@@ -1,0 +1,667 @@
+// Package blinkdb is a Go implementation of BlinkDB (Agarwal et al.,
+// EuroSys 2013): a sampling-based approximate query engine that answers
+// SQL aggregation queries with bounded errors and bounded response times.
+//
+// The engine maintains multi-dimensional, multi-resolution stratified
+// samples chosen by an optimization framework over the query-template
+// workload, and at runtime selects the sample family and resolution that
+// satisfy a query's ERROR WITHIN / WITHIN ... SECONDS bounds.
+//
+// A minimal session:
+//
+//	eng := blinkdb.Open(blinkdb.Config{})
+//	load := eng.CreateTable("sessions",
+//		blinkdb.Col("city", blinkdb.String),
+//		blinkdb.Col("sessiontime", blinkdb.Float))
+//	load.Append("NY", 12.5)
+//	load.Close()
+//	eng.CreateSamples("sessions", blinkdb.SampleOptions{
+//		BudgetFraction: 0.5,
+//		Templates:      []blinkdb.Template{{Columns: []string{"city"}, Weight: 1}},
+//	})
+//	res, _ := eng.Query(
+//		"SELECT AVG(sessiontime) FROM sessions GROUP BY city " +
+//			"ERROR WITHIN 10% AT CONFIDENCE 95%")
+//	for _, row := range res.Rows {
+//		fmt.Println(row.Group, row.Cells[0].Value, "±", row.Cells[0].Bound)
+//	}
+package blinkdb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"blinkdb/internal/catalog"
+	"blinkdb/internal/cluster"
+	"blinkdb/internal/elp"
+	"blinkdb/internal/maintenance"
+	"blinkdb/internal/optimizer"
+	"blinkdb/internal/sample"
+	"blinkdb/internal/sqlparser"
+	"blinkdb/internal/storage"
+	"blinkdb/internal/types"
+)
+
+// ColumnType enumerates supported column types.
+type ColumnType uint8
+
+// Column types.
+const (
+	Int ColumnType = iota
+	Float
+	String
+	Bool
+)
+
+// ColumnDef declares one table column.
+type ColumnDef struct {
+	Name string
+	Type ColumnType
+}
+
+// Col is shorthand for a ColumnDef.
+func Col(name string, t ColumnType) ColumnDef { return ColumnDef{Name: name, Type: t} }
+
+// Config configures an Engine. The zero value simulates the paper's
+// 100-node evaluation cluster at physical scale 1.
+type Config struct {
+	// Nodes in the simulated cluster (default 100, the paper's setup).
+	Nodes int
+	// CoresPerNode (default 8).
+	CoresPerNode int
+	// MemCacheGBPerNode (default 60, ≈ the paper's 6 TB aggregate).
+	MemCacheGBPerNode float64
+	// Scale maps stored bytes to logical bytes for latency modelling
+	// (default 1; experiments use 1e4-1e6 to emulate TB-scale tables).
+	Scale float64
+	// Confidence is the default CI level (default 0.95).
+	Confidence float64
+	// Seed drives all sampling randomness (default 1).
+	Seed int64
+	// RowsPerBlock is the storage block granularity. When 0 (default)
+	// blocks are auto-sized so one block represents ≈256 MB of logical
+	// data at the configured Scale (HDFS-style blocks).
+	RowsPerBlock int
+	// CacheTables places base tables in simulated cluster memory.
+	CacheTables bool
+	// FullProbePricing charges ELP probe runs like any other sample
+	// read. By default probes are priced at job overhead only, matching
+	// §4.1.1's assumption that the smallest per-family samples are
+	// memory-resident and "very fast" to query.
+	FullProbePricing bool
+}
+
+func (c Config) normalize() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 100
+	}
+	if c.CoresPerNode <= 0 {
+		c.CoresPerNode = 8
+	}
+	if c.MemCacheGBPerNode <= 0 {
+		c.MemCacheGBPerNode = 60
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		c.Confidence = 0.95
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Engine is a BlinkDB instance: a catalog of tables and samples plus the
+// runtime that answers bounded queries over them.
+type Engine struct {
+	cfg  Config
+	cat  *catalog.Catalog
+	clus *cluster.Cluster
+	rt   *elp.Runtime
+
+	maint    map[string]*maintenance.Maintainer
+	lastSnap map[string]*maintenance.Snapshot
+}
+
+// Open creates an engine.
+func Open(cfg Config) *Engine {
+	cfg = cfg.normalize()
+	clus := cluster.New(cluster.Config{
+		Nodes:                cfg.Nodes,
+		CoresPerNode:         cfg.CoresPerNode,
+		MemCacheBytesPerNode: cfg.MemCacheGBPerNode * 1e9,
+	})
+	cat := catalog.New()
+	rt := elp.New(cat, clus, elp.Options{
+		Confidence:        cfg.Confidence,
+		Scale:             cfg.Scale,
+		ProbeOverheadOnly: !cfg.FullProbePricing,
+	})
+	return &Engine{cfg: cfg, cat: cat, clus: clus, rt: rt}
+}
+
+// Loader streams rows into a new table.
+type Loader struct {
+	eng     *Engine
+	table   *storage.Table
+	builder *storage.Builder
+	schema  *types.Schema
+	place   storage.Placement
+	err     error
+}
+
+// CreateTable registers a new table and returns a loader for its rows.
+func (e *Engine) CreateTable(name string, cols ...ColumnDef) *Loader {
+	tcols := make([]types.Column, len(cols))
+	for i, c := range cols {
+		var k types.Kind
+		switch c.Type {
+		case Int:
+			k = types.KindInt
+		case Float:
+			k = types.KindFloat
+		case String:
+			k = types.KindString
+		case Bool:
+			k = types.KindBool
+		}
+		tcols[i] = types.Column{Name: c.Name, Kind: k}
+	}
+	schema := types.NewSchema(tcols...)
+	tab := storage.NewTable(name, schema)
+	place := storage.OnDisk
+	if e.cfg.CacheTables {
+		place = storage.InMemory
+	}
+	provisional := e.cfg.RowsPerBlock
+	if provisional <= 0 {
+		provisional = 8192
+	}
+	return &Loader{
+		eng:     e,
+		table:   tab,
+		builder: storage.NewBuilder(tab, provisional, e.cfg.Nodes, place),
+		schema:  schema,
+		place:   place,
+	}
+}
+
+// Append adds one row; values must match the declared column order.
+// Accepted Go types: int/int64/float64/string/bool/nil.
+func (l *Loader) Append(values ...any) error {
+	if l.err != nil {
+		return l.err
+	}
+	if len(values) != l.schema.Len() {
+		l.err = fmt.Errorf("blinkdb: row has %d values, schema %s has %d",
+			len(values), l.table.Name, l.schema.Len())
+		return l.err
+	}
+	row := make(types.Row, len(values))
+	for i, v := range values {
+		val, err := toValue(v)
+		if err != nil {
+			l.err = fmt.Errorf("blinkdb: column %s: %w", l.schema.Columns[i].Name, err)
+			return l.err
+		}
+		row[i] = val
+	}
+	l.builder.Append(row, storage.RowMeta{Rate: 1})
+	return nil
+}
+
+// Close finalizes the table and registers it with the engine. When the
+// engine auto-sizes blocks, the table is re-chunked so each block stands
+// for ≈256 MB of logical data at the configured Scale.
+func (l *Loader) Close() error {
+	if l.err != nil {
+		return l.err
+	}
+	l.builder.Finish()
+	if l.eng.cfg.RowsPerBlock <= 0 && l.table.NumRows() > 0 {
+		target := l.eng.blockRows(l.table)
+		rechunked := storage.NewTable(l.table.Name, l.schema)
+		b := storage.NewBuilder(rechunked, target, l.eng.cfg.Nodes, l.place)
+		l.table.Scan(func(r types.Row, m storage.RowMeta) bool {
+			b.Append(r, m)
+			return true
+		})
+		b.Finish()
+		l.table = rechunked
+	}
+	l.eng.cat.Register(l.table)
+	return nil
+}
+
+// blockRows sizes blocks to ≈256 MB logical each at the engine's scale.
+func (e *Engine) blockRows(t *storage.Table) int {
+	avgRow := math.Max(1, float64(t.Bytes())/float64(t.NumRows()))
+	r := int(256e6 / (e.cfg.Scale * avgRow))
+	if r < 2 {
+		r = 2
+	}
+	if r > 8192 {
+		r = 8192
+	}
+	return r
+}
+
+func toValue(v any) (types.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return types.Null(), nil
+	case int:
+		return types.Int(int64(x)), nil
+	case int32:
+		return types.Int(int64(x)), nil
+	case int64:
+		return types.Int(x), nil
+	case float32:
+		return types.Float(float64(x)), nil
+	case float64:
+		return types.Float(x), nil
+	case string:
+		return types.Str(x), nil
+	case bool:
+		return types.Bool(x), nil
+	default:
+		return types.Null(), fmt.Errorf("unsupported value type %T", v)
+	}
+}
+
+// Template declares one workload query template for sample creation.
+type Template struct {
+	// Columns is the WHERE ∪ GROUP BY column set of the template.
+	Columns []string
+	// Weight is the template's frequency/importance in (0, 1].
+	Weight float64
+}
+
+// SampleOptions controls CreateSamples.
+type SampleOptions struct {
+	// BudgetFraction is the storage budget as a fraction of the base
+	// table size (the paper evaluates 0.5, 1.0 and 2.0). Default 0.5.
+	BudgetFraction float64
+	// K is the largest stratification cap (default scales to table size:
+	// max(100, rows/100), emulating the paper's K = 100,000 at 5.5B rows).
+	K int64
+	// Resolutions per family (default 3).
+	Resolutions int
+	// CapRatio between successive resolutions (default 2).
+	CapRatio float64
+	// MaxColumns per stratification candidate (default 3, §3.2.2).
+	MaxColumns int
+	// UniformFraction sizes the always-built uniform family as a
+	// fraction of the table (default 0.1).
+	UniformFraction float64
+	// Templates is the workload; required.
+	Templates []Template
+	// ChurnFraction is r for re-solves (default 1 = unconstrained).
+	ChurnFraction float64
+}
+
+// SampleReport summarises what CreateSamples built.
+type SampleReport struct {
+	// Families lists the built families: column sets ("[city]",
+	// "uniform") with their storage bytes.
+	Families []FamilyInfo
+	// TotalBytes is the cumulative sample storage.
+	TotalBytes int64
+	// BudgetBytes was the allowed budget.
+	BudgetBytes int64
+	// Optimal is true when the exact MILP solver ran.
+	Optimal bool
+}
+
+// FamilyInfo describes one built family.
+type FamilyInfo struct {
+	// Columns is the stratification set; empty means uniform.
+	Columns []string
+	// StorageBytes is the family's physical footprint.
+	StorageBytes int64
+	// Rows is the row count of the largest resolution.
+	Rows int64
+	// Resolutions is the number of nested sample sizes.
+	Resolutions int
+}
+
+// CreateSamples runs the §3.2 optimization over the declared templates and
+// physically builds the chosen stratified families plus a uniform family.
+func (e *Engine) CreateSamples(table string, opts SampleOptions) (*SampleReport, error) {
+	entry, err := e.cat.Lookup(table)
+	if err != nil {
+		return nil, err
+	}
+	if len(opts.Templates) == 0 {
+		return nil, fmt.Errorf("blinkdb: CreateSamples requires query templates")
+	}
+	if opts.BudgetFraction <= 0 {
+		opts.BudgetFraction = 0.5
+	}
+	if opts.UniformFraction <= 0 {
+		opts.UniformFraction = 0.1
+	}
+	if opts.K <= 0 {
+		opts.K = int64(math.Max(100, float64(entry.Table.NumRows())/100))
+	}
+	if opts.ChurnFraction == 0 {
+		opts.ChurnFraction = -1
+	}
+
+	specs := make([]optimizer.TemplateSpec, len(opts.Templates))
+	for i, t := range opts.Templates {
+		specs[i] = optimizer.TemplateSpec{
+			Columns: types.NewColumnSet(t.Columns...),
+			Weight:  t.Weight,
+		}
+	}
+	blockRows := e.cfg.RowsPerBlock
+	if blockRows <= 0 {
+		blockRows = e.blockRows(entry.Table)
+	}
+	cfg := optimizer.Config{
+		K:           opts.K,
+		CapRatio:    opts.CapRatio,
+		Resolutions: opts.Resolutions,
+		MaxColumns:  opts.MaxColumns,
+		BudgetBytes: int64(float64(entry.Table.Bytes()) * opts.BudgetFraction),
+		ChurnFrac:   opts.ChurnFraction,
+		Build: sample.BuildConfig{
+			RowsPerBlock: blockRows,
+			Nodes:        e.cfg.Nodes,
+			Place:        storage.InMemory, // samples live in the cache
+			Seed:         e.cfg.Seed,
+		},
+	}
+	plan, err := optimizer.ChooseSamples(entry.Table, specs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fams, err := optimizer.BuildFamilies(entry.Table, plan, cfg, opts.UniformFraction)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SampleReport{BudgetBytes: cfg.BudgetBytes, Optimal: plan.Optimal}
+	for _, f := range fams {
+		if err := e.cat.AddFamily(table, f); err != nil {
+			return nil, err
+		}
+		rep.Families = append(rep.Families, FamilyInfo{
+			Columns:      f.Phi.Columns(),
+			StorageBytes: f.StorageBytes(),
+			Rows:         f.StorageRows(),
+			Resolutions:  f.Resolutions(),
+		})
+		rep.TotalBytes += f.StorageBytes()
+	}
+	return rep, nil
+}
+
+// Cell is one aggregate output with its error bar.
+type Cell struct {
+	// Name is the aggregate label (alias or canonical form).
+	Name string
+	// Value is the point estimate.
+	Value float64
+	// Bound is the CI half-width at the result's confidence.
+	Bound float64
+	// RelErr is Bound/|Value| (0 when exact).
+	RelErr float64
+	// Exact marks answers with no sampling error.
+	Exact bool
+	// Rows is the matching sample rows behind the estimate.
+	Rows int64
+}
+
+// ResultRow is one output group.
+type ResultRow struct {
+	// Group is the rendered GROUP BY key ("(all)" for global aggregates).
+	Group string
+	// Cells hold the aggregates in SELECT order.
+	Cells []Cell
+}
+
+// Result is a query outcome.
+type Result struct {
+	// Rows are the output groups, sorted by key.
+	Rows []ResultRow
+	// Confidence of all error bars.
+	Confidence float64
+	// SimLatencySeconds is the latency the simulated cluster attributes
+	// to this query (probes + sample read).
+	SimLatencySeconds float64
+	// SampleDescription says which sample answered the query, e.g.
+	// "S([city], K=1000)" or "base table".
+	SampleDescription string
+	// Explanation is the planner's reasoning (EXPLAIN-style).
+	Explanation string
+	// RowsScanned and RowsMatched describe the work done.
+	RowsScanned int64
+	RowsMatched int64
+}
+
+// MaxRelErr returns the worst relative error across all cells.
+func (r *Result) MaxRelErr() float64 {
+	worst := 0.0
+	for _, row := range r.Rows {
+		for _, c := range row.Cells {
+			if c.RelErr > worst && !math.IsInf(c.RelErr, 1) {
+				worst = c.RelErr
+			}
+		}
+	}
+	return worst
+}
+
+// Query parses, plans and executes one query. Queries without bounds run
+// exactly on the base table; bounded queries run on the best sample.
+func (e *Engine) Query(sql string) (*Result, error) {
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := e.rt.Run(q)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Confidence:        resp.Confidence,
+		SimLatencySeconds: resp.SimLatency,
+		RowsScanned:       resp.Result.RowsScanned,
+		RowsMatched:       resp.Result.RowsMatched,
+	}
+	var expl, desc []string
+	for _, d := range resp.Decisions {
+		expl = append(expl, d.Reason)
+		if d.UsedBase {
+			desc = append(desc, "base table")
+		} else {
+			desc = append(desc, d.View.String())
+		}
+	}
+	out.Explanation = strings.Join(expl, " | ")
+	out.SampleDescription = strings.Join(desc, " | ")
+	for _, g := range resp.Result.Groups {
+		row := ResultRow{Group: g.KeyString()}
+		for i, est := range g.Estimates {
+			name := ""
+			if i < len(q.Aggs) {
+				name = q.Aggs[i].Alias
+			}
+			re := est.RelErr()
+			row.Cells = append(row.Cells, Cell{
+				Name:   name,
+				Value:  est.Point,
+				Bound:  est.Bound,
+				RelErr: re,
+				Exact:  est.Exact,
+				Rows:   est.Rows,
+			})
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Tables lists registered table names.
+func (e *Engine) Tables() []string { return e.cat.Tables() }
+
+// TableRows returns the row count of a table.
+func (e *Engine) TableRows(name string) (int64, error) {
+	entry, err := e.cat.Lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	return entry.Table.NumRows(), nil
+}
+
+// RefreshSamples re-draws one sample family with fresh randomness (§4.5's
+// background replacement, exposed as an explicit step). Returns the
+// refreshed family's column list, or ok=false when the table has no
+// samples.
+func (e *Engine) RefreshSamples(table string) (columns []string, ok bool, err error) {
+	entry, err := e.cat.Lookup(table)
+	if err != nil {
+		return nil, false, err
+	}
+	r := maintenance.NewRefresher(e.cat, table, sample.BuildConfig{
+		RowsPerBlock: e.blockRows(entry.Table),
+		Nodes:        e.cfg.Nodes,
+		Place:        storage.InMemory,
+		Seed:         e.cfg.Seed + 7717,
+	})
+	phi, ok, err := r.RefreshNext()
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	return phi.Columns(), true, nil
+}
+
+// MaintainReport describes what a maintenance pass did.
+type MaintainReport struct {
+	// DataDrift and WorkloadDrift are the measured total-variation
+	// distances against the last observed statistics (0 on first run).
+	DataDrift     float64
+	WorkloadDrift float64
+	// Resolved is true when the optimization was re-run.
+	Resolved bool
+	// Built and Dropped list the column sets changed.
+	Built, Dropped [][]string
+}
+
+// MaintainOptions controls a maintenance pass (§3.2.3, §4.5).
+type MaintainOptions struct {
+	// Templates is the current workload (required).
+	Templates []Template
+	// ChurnFraction is r in constraint (5): the storage share of
+	// existing samples that may be rebuilt/dropped. Default 1.
+	ChurnFraction float64
+	// K, Resolutions, CapRatio, BudgetFraction mirror SampleOptions and
+	// default the same way.
+	K              int64
+	Resolutions    int
+	CapRatio       float64
+	BudgetFraction float64
+	// Force re-solves even when drift is below thresholds.
+	Force bool
+}
+
+// Maintain runs one maintenance pass over a table: measure data/workload
+// drift against the previous pass, and when it exceeds the 10% thresholds
+// (or Force is set) re-solve the sample-selection problem under the churn
+// constraint and apply the resulting build/drop diff.
+func (e *Engine) Maintain(table string, opts MaintainOptions) (*MaintainReport, error) {
+	entry, err := e.cat.Lookup(table)
+	if err != nil {
+		return nil, err
+	}
+	if len(opts.Templates) == 0 {
+		return nil, fmt.Errorf("blinkdb: Maintain requires query templates")
+	}
+	if opts.BudgetFraction <= 0 {
+		opts.BudgetFraction = 0.5
+	}
+	if opts.K <= 0 {
+		opts.K = int64(math.Max(100, float64(entry.Table.NumRows())/100))
+	}
+	if opts.ChurnFraction == 0 {
+		opts.ChurnFraction = 1
+	}
+	specs := make([]optimizer.TemplateSpec, len(opts.Templates))
+	var cols []string
+	seen := map[string]bool{}
+	for i, t := range opts.Templates {
+		specs[i] = optimizer.TemplateSpec{
+			Columns: types.NewColumnSet(t.Columns...),
+			Weight:  t.Weight,
+		}
+		for _, c := range t.Columns {
+			lc := strings.ToLower(c)
+			if !seen[lc] {
+				seen[lc] = true
+				cols = append(cols, lc)
+			}
+		}
+	}
+
+	cfg := optimizer.Config{
+		K:           opts.K,
+		CapRatio:    opts.CapRatio,
+		Resolutions: opts.Resolutions,
+		BudgetBytes: int64(float64(entry.Table.Bytes()) * opts.BudgetFraction),
+		ChurnFrac:   opts.ChurnFraction,
+		Build: sample.BuildConfig{
+			RowsPerBlock: e.blockRows(entry.Table),
+			Nodes:        e.cfg.Nodes,
+			Place:        storage.InMemory,
+			Seed:         e.cfg.Seed + 31,
+		},
+	}
+
+	if e.maint == nil {
+		e.maint = map[string]*maintenance.Maintainer{}
+	}
+	m, ok := e.maint[strings.ToLower(table)]
+	if !ok {
+		m = maintenance.NewMaintainer(e.cat, table, cfg)
+		e.maint[strings.ToLower(table)] = m
+	}
+	m.Cfg = cfg
+
+	snap, err := maintenance.TakeSnapshot(entry.Table, cols, specs)
+	if err != nil {
+		return nil, err
+	}
+	rep := &MaintainReport{}
+	if last := e.lastSnap[strings.ToLower(table)]; last != nil {
+		rep.DataDrift = maintenance.DataDrift(last, snap)
+		rep.WorkloadDrift = maintenance.WorkloadDrift(last, snap)
+	}
+	needs := m.NeedsResolve(snap) || opts.Force
+	m.Observe(snap)
+	if e.lastSnap == nil {
+		e.lastSnap = map[string]*maintenance.Snapshot{}
+	}
+	e.lastSnap[strings.ToLower(table)] = snap
+	if !needs {
+		return rep, nil
+	}
+	diff, err := m.Resolve(specs)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Apply(diff); err != nil {
+		return nil, err
+	}
+	rep.Resolved = true
+	for _, phi := range diff.Build {
+		rep.Built = append(rep.Built, phi.Columns())
+	}
+	for _, phi := range diff.Drop {
+		rep.Dropped = append(rep.Dropped, phi.Columns())
+	}
+	return rep, nil
+}

@@ -1,0 +1,364 @@
+package blinkdb
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// demoEngine loads a skewed sessions table and builds samples.
+func demoEngine(t testing.TB, rows int) *Engine {
+	t.Helper()
+	eng := Open(Config{Scale: 1e4, Seed: 7, CacheTables: true})
+	load := eng.CreateTable("sessions",
+		Col("city", String),
+		Col("os", String),
+		Col("genre", String),
+		Col("sessiontime", Float),
+		Col("ended", Bool),
+	)
+	rng := rand.New(rand.NewSource(3))
+	cities := []string{"NY", "SF", "LA", "Austin", "Boise", "Fargo"}
+	weights := []float64{0.5, 0.25, 0.15, 0.06, 0.03, 0.01}
+	oses := []string{"Win7", "OSX", "Linux"}
+	genres := []string{"western", "drama"}
+	pick := func() string {
+		u := rng.Float64()
+		for i, w := range weights {
+			u -= w
+			if u <= 0 {
+				return cities[i]
+			}
+		}
+		return cities[len(cities)-1]
+	}
+	for i := 0; i < rows; i++ {
+		if err := load.Append(
+			pick(), oses[rng.Intn(3)], genres[rng.Intn(2)],
+			rng.ExpFloat64()*100, rng.Float64() < 0.9,
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := load.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.CreateSamples("sessions", SampleOptions{
+		BudgetFraction: 0.5,
+		K:              2000,
+		Templates: []Template{
+			{Columns: []string{"city"}, Weight: 0.7},
+			{Columns: []string{"os"}, Weight: 0.3},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestEndToEndExactQuery(t *testing.T) {
+	eng := demoEngine(t, 20000)
+	res, err := eng.Query(`SELECT COUNT(*) FROM sessions`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Cells[0].Value != 20000 {
+		t.Fatalf("count = %+v", res.Rows)
+	}
+	if !res.Rows[0].Cells[0].Exact {
+		t.Error("unbounded query should be exact")
+	}
+	if res.SampleDescription != "base table" {
+		t.Errorf("sample = %q", res.SampleDescription)
+	}
+}
+
+func TestEndToEndErrorBoundedQuery(t *testing.T) {
+	eng := demoEngine(t, 50000)
+	res, err := eng.Query(
+		`SELECT AVG(sessiontime) FROM sessions WHERE city = 'NY' ERROR WITHIN 5% AT CONFIDENCE 95%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := eng.Query(`SELECT AVG(sessiontime) FROM sessions WHERE city = 'NY'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Rows[0].Cells[0].Value
+	want := exact.Rows[0].Cells[0].Value
+	if math.Abs(got-want)/want > 0.08 {
+		t.Errorf("estimate %.2f vs exact %.2f", got, want)
+	}
+	if res.MaxRelErr() > 0.08 {
+		t.Errorf("reported error %.3f above bound", res.MaxRelErr())
+	}
+	if !strings.Contains(res.SampleDescription, "S(") {
+		t.Errorf("should answer from a stratified sample, got %q", res.SampleDescription)
+	}
+	if res.Explanation == "" {
+		t.Error("explanation empty")
+	}
+}
+
+func TestEndToEndTimeBoundedQuery(t *testing.T) {
+	eng := demoEngine(t, 50000)
+	res, err := eng.Query(
+		`SELECT COUNT(*), RELATIVE ERROR AT 95% CONFIDENCE FROM sessions WHERE city = 'SF' GROUP BY os WITHIN 2 SECONDS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimLatencySeconds > 2.1 {
+		t.Errorf("latency %.2f exceeds bound", res.SimLatencySeconds)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("groups = %d, want 3 OSes", len(res.Rows))
+	}
+}
+
+func TestRareGroupPresent(t *testing.T) {
+	eng := demoEngine(t, 50000)
+	res, err := eng.Query(
+		`SELECT COUNT(*) FROM sessions GROUP BY city ERROR WITHIN 20%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res.Rows {
+		if r.Group == "Fargo" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("stratified sampling must not lose the rare Fargo group")
+	}
+}
+
+func TestLoaderErrors(t *testing.T) {
+	eng := Open(Config{})
+	load := eng.CreateTable("t", Col("a", Int))
+	if err := load.Append(1, 2); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	// Error is sticky.
+	if err := load.Append(1); err == nil {
+		t.Error("loader error should be sticky")
+	}
+	if err := load.Close(); err == nil {
+		t.Error("Close should surface the sticky error")
+	}
+
+	load2 := eng.CreateTable("t2", Col("a", Int))
+	if err := load2.Append(struct{}{}); err == nil {
+		t.Error("unsupported type should error")
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	eng := Open(Config{})
+	load := eng.CreateTable("conv",
+		Col("i", Int), Col("f", Float), Col("s", String), Col("b", Bool))
+	if err := load.Append(int32(1), float32(2.5), "x", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := load.Append(int64(2), 3.5, "y", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := load.Append(nil, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := load.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := eng.TableRows("conv")
+	if err != nil || n != 3 {
+		t.Errorf("rows = %d, err = %v", n, err)
+	}
+}
+
+func TestCreateSamplesValidation(t *testing.T) {
+	eng := Open(Config{})
+	if _, err := eng.CreateSamples("nope", SampleOptions{}); err == nil {
+		t.Error("unknown table should error")
+	}
+	load := eng.CreateTable("t", Col("a", Int))
+	load.Append(1)
+	load.Close()
+	if _, err := eng.CreateSamples("t", SampleOptions{}); err == nil {
+		t.Error("missing templates should error")
+	}
+}
+
+func TestSampleReportBudget(t *testing.T) {
+	eng := demoEngine(t, 20000)
+	// demoEngine already created samples; re-create with a tight budget.
+	rep, err := eng.CreateSamples("sessions", SampleOptions{
+		BudgetFraction: 0.25,
+		K:              500,
+		Templates: []Template{
+			{Columns: []string{"city"}, Weight: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stratifiedBytes int64
+	hasUniform := false
+	for _, f := range rep.Families {
+		if len(f.Columns) == 0 {
+			hasUniform = true
+			continue
+		}
+		stratifiedBytes += f.StorageBytes
+	}
+	if stratifiedBytes > rep.BudgetBytes {
+		t.Errorf("stratified bytes %d exceed budget %d", stratifiedBytes, rep.BudgetBytes)
+	}
+	if !hasUniform {
+		t.Error("uniform family always built")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	eng := demoEngine(t, 1000)
+	for _, q := range []string{
+		`SELECT`, // parse error
+		`SELECT COUNT(*) FROM missing`,
+		`SELECT COUNT(*) FROM sessions WHERE bogus = 1`,
+	} {
+		if _, err := eng.Query(q); err == nil {
+			t.Errorf("Query(%q) should fail", q)
+		}
+	}
+}
+
+func TestTablesAndRefresh(t *testing.T) {
+	eng := demoEngine(t, 5000)
+	if got := eng.Tables(); len(got) != 1 || got[0] != "sessions" {
+		t.Errorf("Tables = %v", got)
+	}
+	cols, ok, err := eng.RefreshSamples("sessions")
+	if err != nil || !ok {
+		t.Fatalf("refresh: ok=%v err=%v", ok, err)
+	}
+	_ = cols
+	if _, _, err := eng.RefreshSamples("missing"); err == nil {
+		t.Error("unknown table refresh should error")
+	}
+}
+
+func TestDisjunctiveQueryEndToEnd(t *testing.T) {
+	eng := demoEngine(t, 30000)
+	res, err := eng.Query(
+		`SELECT COUNT(*) FROM sessions WHERE city = 'NY' OR os = 'OSX' ERROR WITHIN 10%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := eng.Query(`SELECT COUNT(*) FROM sessions WHERE city = 'NY' OR os = 'OSX'`)
+	got := res.Rows[0].Cells[0].Value
+	want := exact.Rows[0].Cells[0].Value
+	// Disjunct merging over near-overlapping predicates is approximate;
+	// the paper assumes near-disjoint template predicates. Allow 40%.
+	if math.Abs(got-want)/want > 0.4 {
+		t.Errorf("disjunctive estimate %.0f vs exact %.0f", got, want)
+	}
+}
+
+func BenchmarkQueryErrorBounded(b *testing.B) {
+	eng := demoEngine(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(
+			`SELECT AVG(sessiontime) FROM sessions WHERE city = 'NY' ERROR WITHIN 10%`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestJoinThroughPublicAPI(t *testing.T) {
+	eng := demoEngine(t, 30000)
+	// Dimension table: os → vendor (fits trivially in memory, §2.1).
+	dim := eng.CreateTable("vendors", Col("os", String), Col("vendor", String))
+	for _, r := range [][2]string{
+		{"Win7", "Microsoft"}, {"OSX", "Apple"}, {"Linux", "Community"},
+	} {
+		if err := dim.Append(r[0], r[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dim.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	exact, err := eng.Query(
+		`SELECT COUNT(*) FROM sessions JOIN vendors ON os = os GROUP BY vendor`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Rows) != 3 {
+		t.Fatalf("vendors = %d", len(exact.Rows))
+	}
+	approx, err := eng.Query(
+		`SELECT COUNT(*) FROM sessions JOIN vendors ON os = os GROUP BY vendor ERROR WITHIN 15%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range approx.Rows {
+		want := exact.Rows[i].Cells[0].Value
+		got := row.Cells[0].Value
+		if math.Abs(got-want)/want > 0.2 {
+			t.Errorf("%s: %g vs exact %g", row.Group, got, want)
+		}
+	}
+}
+
+func TestMaintainEndToEnd(t *testing.T) {
+	eng := demoEngine(t, 20000)
+	tpl := []Template{
+		{Columns: []string{"city"}, Weight: 0.7},
+		{Columns: []string{"os"}, Weight: 0.3},
+	}
+	// First pass establishes a baseline; no priors means drift is 0 but a
+	// re-solve may run (NeedsResolve is true without a baseline).
+	rep, err := eng.Maintain("sessions", MaintainOptions{Templates: tpl, K: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resolved {
+		t.Error("first pass should resolve")
+	}
+	// Second pass with identical data and workload: no drift, no work.
+	rep, err = eng.Maintain("sessions", MaintainOptions{Templates: tpl, K: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resolved {
+		t.Errorf("stable pass should not resolve (data drift %.3f, workload drift %.3f)",
+			rep.DataDrift, rep.WorkloadDrift)
+	}
+	if rep.DataDrift > 0.01 || rep.WorkloadDrift > 0.01 {
+		t.Errorf("unexpected drift: %.3f / %.3f", rep.DataDrift, rep.WorkloadDrift)
+	}
+	// Workload flip triggers a re-solve; churn limits apply.
+	flipped := []Template{
+		{Columns: []string{"os"}, Weight: 0.9},
+		{Columns: []string{"city"}, Weight: 0.1},
+	}
+	rep, err = eng.Maintain("sessions", MaintainOptions{Templates: flipped, K: 2000, ChurnFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorkloadDrift < 0.3 {
+		t.Errorf("workload flip drift = %.3f", rep.WorkloadDrift)
+	}
+	if !rep.Resolved {
+		t.Error("workload flip should trigger a re-solve")
+	}
+	// Errors.
+	if _, err := eng.Maintain("missing", MaintainOptions{Templates: tpl}); err == nil {
+		t.Error("unknown table should error")
+	}
+	if _, err := eng.Maintain("sessions", MaintainOptions{}); err == nil {
+		t.Error("missing templates should error")
+	}
+}

@@ -1,0 +1,80 @@
+// Command blinkdb-bench regenerates the tables and figures of the paper's
+// evaluation (§6) on the simulated cluster.
+//
+// Usage:
+//
+//	blinkdb-bench                  # run every experiment (full size)
+//	blinkdb-bench -quick           # reduced dataset sizes
+//	blinkdb-bench -run 6c,table5   # run a subset
+//	blinkdb-bench -list            # list experiment names
+//	blinkdb-bench -rows 200000     # override the Conviva row count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"blinkdb/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "use reduced dataset sizes")
+		run   = flag.String("run", "", "comma-separated experiment names (default: all)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		rows  = flag.Int("rows", 0, "override Conviva row count")
+		tpch  = flag.Int("tpch-rows", 0, "override TPC-H row count")
+		seed  = flag.Int64("seed", 0, "override random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	cfg := experiments.Config{}
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *rows > 0 {
+		cfg.ConvivaRows = *rows
+	}
+	if *tpch > 0 {
+		cfg.TPCHRows = *tpch
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	names := map[string]bool{}
+	if *run != "" {
+		for _, n := range strings.Split(*run, ",") {
+			names[strings.TrimSpace(n)] = true
+		}
+	}
+
+	failed := 0
+	for _, e := range experiments.All() {
+		if len(names) > 0 && !names[e.Name] {
+			continue
+		}
+		start := time.Now()
+		tab, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.Name, err)
+			failed++
+			continue
+		}
+		fmt.Println(tab)
+		fmt.Printf("(%s regenerated in %.1fs)\n\n", e.Name, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,187 @@
+// Command blinkdb is an interactive shell for BlinkDB-Go. It loads a
+// synthetic dataset (Conviva-like session log or TPC-H lineitem), builds
+// the optimizer-chosen sample families, and answers ad-hoc bounded queries
+// from stdin:
+//
+//	$ blinkdb -dataset conviva -rows 100000
+//	blinkdb> SELECT COUNT(*) FROM sessions WHERE country = 'country02'
+//	         ERROR WITHIN 10% AT CONFIDENCE 95%;
+//
+// Each answer is annotated with its confidence interval, the sample that
+// produced it, and the latency attributed by the simulated 100-node
+// cluster.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"blinkdb/internal/catalog"
+	"blinkdb/internal/cluster"
+	"blinkdb/internal/elp"
+	"blinkdb/internal/optimizer"
+	"blinkdb/internal/sample"
+	"blinkdb/internal/sqlparser"
+	"blinkdb/internal/storage"
+	"blinkdb/internal/workload"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "conviva", "conviva or tpch")
+		rows    = flag.Int("rows", 100000, "fact table rows")
+		budget  = flag.Float64("budget", 0.5, "sample storage budget as a fraction of the table")
+		seed    = flag.Int64("seed", 42, "random seed")
+		scale   = flag.Float64("tb", 17, "pretend logical dataset size in TB (latency model)")
+	)
+	flag.Parse()
+
+	if err := run(*dataset, *rows, *budget, *seed, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "blinkdb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, rows int, budget float64, seed int64, tb float64) error {
+	fmt.Printf("loading %s dataset (%d rows)...\n", dataset, rows)
+	gen := func(rowsPerBlock int) (*workload.Dataset, error) {
+		switch dataset {
+		case "conviva":
+			return workload.Conviva(workload.ConvivaConfig{Rows: rows, Seed: seed, RowsPerBlock: rowsPerBlock}), nil
+		case "tpch":
+			return workload.TPCH(workload.TPCHConfig{Rows: rows, Seed: seed, RowsPerBlock: rowsPerBlock}), nil
+		default:
+			return nil, fmt.Errorf("unknown dataset %q", dataset)
+		}
+	}
+	// Size blocks so one physical block ≈ one 256 MB HDFS block at the
+	// pretend scale (two passes: measure row width, then rebuild).
+	data, err := gen(512)
+	if err != nil {
+		return err
+	}
+	scale := tb * 1e12 / float64(data.Table.Bytes())
+	avgRow := float64(data.Table.Bytes()) / float64(data.Table.NumRows())
+	blockRows := int(256e6 / (scale * avgRow))
+	if blockRows < 2 {
+		blockRows = 2
+	}
+	if blockRows > 4096 {
+		blockRows = 4096
+	}
+	if data, err = gen(blockRows); err != nil {
+		return err
+	}
+
+	k := int64(rows / 200)
+	if k < 64 {
+		k = 64
+	}
+	cfg := optimizer.Config{
+		K: k, CapRatio: 2, Resolutions: 8, MinCap: 2,
+		BudgetBytes: int64(float64(data.Table.Bytes()) * budget),
+		ChurnFrac:   -1,
+		Build: sample.BuildConfig{
+			RowsPerBlock: blockRows, Nodes: 100, Place: storage.InMemory, Seed: seed,
+		},
+	}
+	fmt.Printf("solving sample-selection MILP (budget %.0f%% of table)...\n", budget*100)
+	plan, err := optimizer.ChooseSamples(data.Table, data.OptimizerTemplates(), cfg)
+	if err != nil {
+		return err
+	}
+	fams, err := optimizer.BuildFamilies(data.Table, plan, cfg, 0.2)
+	if err != nil {
+		return err
+	}
+	cat := catalog.New()
+	cat.Register(data.Table)
+	for _, f := range fams {
+		if err := cat.AddFamily(data.Table.Name, f); err != nil {
+			return err
+		}
+		fmt.Printf("  built %s (%d rows, %.1f%% of table)\n",
+			f, f.StorageRows(), 100*float64(f.StorageBytes())/float64(data.Table.Bytes()))
+	}
+
+	clus := cluster.New(cluster.PaperConfig())
+	rt := elp.New(cat, clus, elp.Options{
+		Scale:             scale,
+		ProbeOverheadOnly: true,
+	})
+
+	fmt.Printf("\ntable %q ready; pretending it is %.0f TB on a 100-node cluster.\n", data.Table.Name, tb)
+	fmt.Println(`enter SQL (end with ';'), e.g.:
+  SELECT COUNT(*) FROM ` + data.Table.Name + ` ERROR WITHIN 10% AT CONFIDENCE 95%;
+  SELECT AVG(sessiontimems) FROM sessions WHERE country = 'country02' GROUP BY endedflag WITHIN 5 SECONDS;`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() { fmt.Print("blinkdb> ") }
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			fmt.Print("      -> ")
+			continue
+		}
+		src := strings.TrimSpace(buf.String())
+		buf.Reset()
+		if src == ";" || src == "" {
+			prompt()
+			continue
+		}
+		if err := execute(rt, src); err != nil {
+			fmt.Println("error:", err)
+		}
+		prompt()
+	}
+	fmt.Println()
+	return scanner.Err()
+}
+
+func execute(rt *elp.Runtime, src string) error {
+	q, err := sqlparser.Parse(src)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.Run(q)
+	if err != nil {
+		return err
+	}
+	for _, g := range resp.Result.Groups {
+		fmt.Printf("  %-24s", g.KeyString())
+		for i, e := range g.Estimates {
+			name := ""
+			if i < len(q.Aggs) {
+				name = q.Aggs[i].Alias
+			}
+			if e.Exact {
+				fmt.Printf("  %s = %.4g (exact)", name, e.Point)
+			} else {
+				fmt.Printf("  %s = %.4g ± %.3g (%.0f%% conf, %.1f%% rel)",
+					name, e.Point, e.Bound, resp.Confidence*100, 100*e.RelErr())
+			}
+		}
+		fmt.Println()
+	}
+	if len(resp.Result.Groups) == 0 {
+		fmt.Println("  (no rows)")
+	}
+	for _, d := range resp.Decisions {
+		src := "base table"
+		if !d.UsedBase {
+			src = d.View.String()
+		}
+		fmt.Printf("  [%s; %s]\n", src, d.Reason)
+	}
+	fmt.Printf("  simulated latency: %.2fs; scanned %d sample rows\n",
+		resp.SimLatency, resp.Result.RowsScanned)
+	return nil
+}

@@ -1,0 +1,139 @@
+// Conviva scenario: the paper's motivating use case (§1) — a video
+// service provider diagnosing an outage. "Determining the subset of users
+// who are affected by an outage or are experiencing poor quality of
+// service based on the service provider or region" needs answers in
+// seconds, not the minutes a full scan takes.
+//
+// This example loads a Conviva-like session log with Zipf-skewed
+// dimensions, builds samples from the historical template workload, and
+// walks through an incident-response session: spotting elevated failure
+// rates, drilling into the affected country, and comparing quality
+// metrics — every query bounded to seconds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"blinkdb"
+)
+
+func main() {
+	eng := blinkdb.Open(blinkdb.Config{Scale: 2e5, Seed: 11, CacheTables: true})
+
+	load := eng.CreateTable("sessions",
+		blinkdb.Col("dt", blinkdb.Int),
+		blinkdb.Col("country", blinkdb.String),
+		blinkdb.Col("city", blinkdb.String),
+		blinkdb.Col("asn", blinkdb.Int),
+		blinkdb.Col("os", blinkdb.String),
+		blinkdb.Col("sessiontimems", blinkdb.Float),
+		blinkdb.Col("bufferingms", blinkdb.Float),
+		blinkdb.Col("failed", blinkdb.Int),
+	)
+
+	// Synthetic trace: country05 has an elevated failure rate today
+	// (simulating a CDN outage in that region).
+	rng := rand.New(rand.NewSource(5))
+	const rows = 250000
+	zipfCountry := rand.NewZipf(rng, 1.3, 1, 49)
+	zipfCity := rand.NewZipf(rng, 1.5, 1, 299)
+	oses := []string{"Win7", "OSX", "Linux", "iOS", "Android"}
+	for i := 0; i < rows; i++ {
+		day := int64(20120310 + rng.Intn(5))
+		country := fmt.Sprintf("country%02d", zipfCountry.Uint64()+1)
+		failRate := 0.05
+		buffering := rng.ExpFloat64() * 2000
+		if country == "country05" && day == 20120314 {
+			failRate = 0.35 // the outage
+			buffering *= 4
+		}
+		failed := int64(0)
+		if rng.Float64() < failRate {
+			failed = 1
+		}
+		if err := load.Append(
+			day, country,
+			fmt.Sprintf("city%03d", zipfCity.Uint64()+1),
+			int64(7000+rng.Intn(200)),
+			oses[rng.Intn(len(oses))],
+			rng.ExpFloat64()*600000,
+			buffering,
+			failed,
+		); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := load.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d session records\n", rows)
+
+	// Samples chosen from the ops team's historical query templates.
+	if _, err := eng.CreateSamples("sessions", blinkdb.SampleOptions{
+		BudgetFraction: 0.5,
+		Templates: []blinkdb.Template{
+			{Columns: []string{"country", "failed"}, Weight: 0.35},
+			{Columns: []string{"dt", "country"}, Weight: 0.30},
+			{Columns: []string{"city"}, Weight: 0.20},
+			{Columns: []string{"asn"}, Weight: 0.15},
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sample families built; starting incident diagnosis")
+
+	ask := func(label, sql string) *blinkdb.Result {
+		res, err := eng.Query(sql)
+		if err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		fmt.Printf("%s  [%.2fs simulated, %s]\n", label, res.SimLatencySeconds, res.SampleDescription)
+		for _, row := range res.Rows {
+			fmt.Printf("    %-16s", row.Group)
+			for _, c := range row.Cells {
+				if c.Exact {
+					fmt.Printf("  %s=%.4g(exact)", c.Name, c.Value)
+				} else {
+					fmt.Printf("  %s=%.4g±%.2g", c.Name, c.Value, c.Bound)
+				}
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+		return res
+	}
+
+	// Step 1: is anything failing right now? Quick country-level sweep.
+	ask("1. failure counts by country (today, 2s bound):", `
+		SELECT COUNT(*) FROM sessions
+		WHERE dt = 20120314 AND failed = 1
+		GROUP BY country
+		WITHIN 2 SECONDS LIMIT 8`)
+
+	// Step 2: country05 looks hot — what is its failure count today vs
+	// an error-bounded estimate of the norm?
+	ask("2. country05 failures today (10% error bound):", `
+		SELECT COUNT(*) FROM sessions
+		WHERE country = 'country05' AND failed = 1 AND dt = 20120314
+		ERROR WITHIN 10% AT CONFIDENCE 95%`)
+	ask("3. country05 failures on a normal day:", `
+		SELECT COUNT(*) FROM sessions
+		WHERE country = 'country05' AND failed = 1 AND dt = 20120312
+		ERROR WITHIN 10% AT CONFIDENCE 95%`)
+
+	// Step 4: is quality degraded for everyone there, or just failures?
+	ask("4. buffering in country05 by day (5s bound):", `
+		SELECT AVG(bufferingms) FROM sessions
+		WHERE country = 'country05'
+		GROUP BY dt
+		WITHIN 5 SECONDS`)
+
+	// Step 5: confirm with an exact query (the expensive way).
+	res := ask("5. exact failure count (full scan for confirmation):", `
+		SELECT COUNT(*) FROM sessions
+		WHERE country = 'country05' AND failed = 1 AND dt = 20120314`)
+	fmt.Printf("the exact confirmation cost %.0fx the bounded estimate\n",
+		res.SimLatencySeconds/0.5)
+}

@@ -1,0 +1,92 @@
+// Exploratory analysis: the §2 narrative — "a user can perform rapid
+// exploratory analysis ... wherein she can progressively tweak the query
+// bounds until the desired accuracy is achieved." The example runs the
+// same aggregation repeatedly, tightening the error bound each round, and
+// prints how the sample size, latency and interval evolve; then does the
+// reverse sweep over time bounds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"blinkdb"
+)
+
+func main() {
+	eng := blinkdb.Open(blinkdb.Config{Scale: 2e5, Seed: 31, CacheTables: true})
+
+	load := eng.CreateTable("clicks",
+		blinkdb.Col("site", blinkdb.String),
+		blinkdb.Col("region", blinkdb.String),
+		blinkdb.Col("latencyms", blinkdb.Float),
+	)
+	rng := rand.New(rand.NewSource(9))
+	zipfSite := rand.NewZipf(rng, 1.6, 1, 499)
+	regions := []string{"us-east", "us-west", "eu", "apac"}
+	const rows = 300000
+	for i := 0; i < rows; i++ {
+		if err := load.Append(
+			fmt.Sprintf("site%03d", zipfSite.Uint64()+1),
+			regions[rng.Intn(len(regions))],
+			rng.ExpFloat64()*120,
+		); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := load.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.CreateSamples("clicks", blinkdb.SampleOptions{
+		BudgetFraction: 0.5,
+		Templates: []blinkdb.Template{
+			{Columns: []string{"site"}, Weight: 0.6},
+			{Columns: []string{"region"}, Weight: 0.4},
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d click records, samples ready\n\n", rows)
+
+	fmt.Println("progressively tightening the ERROR bound on AVG(latencyms) for site007:")
+	fmt.Printf("%-10s %-12s %-14s %-12s %s\n", "bound", "estimate", "interval", "latency(s)", "sample")
+	for _, bound := range []int{32, 16, 8, 4, 2, 1} {
+		sql := fmt.Sprintf(`SELECT AVG(latencyms) FROM clicks WHERE site = 'site007'
+			ERROR WITHIN %d%% AT CONFIDENCE 95%%`, bound)
+		res, err := eng.Query(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := res.Rows[0].Cells[0]
+		interval := fmt.Sprintf("±%.2f", c.Bound)
+		if c.Exact {
+			interval = "exact"
+		}
+		fmt.Printf("%-10s %-12.3f %-14s %-12.2f %s\n",
+			fmt.Sprintf("%d%%", bound), c.Value, interval,
+			res.SimLatencySeconds, res.SampleDescription)
+	}
+
+	fmt.Println("\nsweeping the TIME bound on a per-region GROUP BY:")
+	fmt.Printf("%-10s %-12s %-12s %s\n", "budget", "worst rel%", "latency(s)", "sample")
+	for _, budget := range []int{1, 2, 4, 8} {
+		sql := fmt.Sprintf(`SELECT AVG(latencyms) FROM clicks GROUP BY region
+			WITHIN %d SECONDS`, budget)
+		res, err := eng.Query(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-12.2f %-12.2f %s\n",
+			fmt.Sprintf("%ds", budget), res.MaxRelErr()*100,
+			res.SimLatencySeconds, res.SampleDescription)
+	}
+
+	fmt.Println("\nfinally, the exact answer for reference:")
+	res, err := eng.Query(`SELECT AVG(latencyms) FROM clicks WHERE site = 'site007'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact AVG = %.3f (full scan: %.1f simulated seconds)\n",
+		res.Rows[0].Cells[0].Value, res.SimLatencySeconds)
+}

@@ -1,0 +1,122 @@
+// Quickstart: load a small media-sessions table, build samples, and run
+// the two example queries from §2 of the paper — one with an error bound,
+// one with a time bound.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"blinkdb"
+)
+
+func main() {
+	eng := blinkdb.Open(blinkdb.Config{
+		Scale:       1e5, // pretend the table is ~100,000x bigger
+		Seed:        7,
+		CacheTables: true,
+	})
+
+	// The Sessions table of §2: Session, Genre, OS, City, URL (+ a
+	// session-time measure so AVG/SUM have something to chew on).
+	load := eng.CreateTable("sessions",
+		blinkdb.Col("session", blinkdb.Int),
+		blinkdb.Col("genre", blinkdb.String),
+		blinkdb.Col("os", blinkdb.String),
+		blinkdb.Col("city", blinkdb.String),
+		blinkdb.Col("url", blinkdb.String),
+		blinkdb.Col("sessiontime", blinkdb.Float),
+	)
+	rng := rand.New(rand.NewSource(1))
+	genres := []string{"western", "drama", "comedy", "news"}
+	oses := []string{"Win7", "OSX", "Linux", "iOS"}
+	cities := []string{"NY", "NY", "NY", "NY", "SF", "SF", "LA", "Berkeley"} // skewed
+	urls := []string{"cnn.com", "yahoo.com", "google.com", "bing.com"}
+	const rows = 200000
+	for i := 0; i < rows; i++ {
+		if err := load.Append(
+			int64(i),
+			genres[rng.Intn(len(genres))],
+			oses[rng.Intn(len(oses))],
+			cities[rng.Intn(len(cities))],
+			urls[rng.Intn(len(urls))],
+			rng.ExpFloat64()*300,
+		); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := load.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d rows\n", rows)
+
+	// Declare the query-template workload and let the optimization
+	// framework (§3.2) decide which stratified samples to build.
+	rep, err := eng.CreateSamples("sessions", blinkdb.SampleOptions{
+		BudgetFraction: 0.5,
+		Templates: []blinkdb.Template{
+			{Columns: []string{"genre", "os"}, Weight: 0.5},
+			{Columns: []string{"city"}, Weight: 0.3},
+			{Columns: []string{"os", "url"}, Weight: 0.2},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range rep.Families {
+		kind := fmt.Sprintf("stratified on %v", f.Columns)
+		if len(f.Columns) == 0 {
+			kind = "uniform"
+		}
+		fmt.Printf("built %-28s %8d rows, %d resolutions\n", kind, f.Rows, f.Resolutions)
+	}
+
+	// §2's first example: an error-bounded COUNT.
+	res, err := eng.Query(`
+		SELECT COUNT(*)
+		FROM sessions
+		WHERE genre = 'western'
+		GROUP BY os
+		ERROR WITHIN 10% AT CONFIDENCE 95%`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwestern sessions per OS (error-bounded):")
+	for _, row := range res.Rows {
+		c := row.Cells[0]
+		fmt.Printf("  %-8s %10.0f ± %-8.0f (%.1f%% rel err)\n",
+			row.Group, c.Value, c.Bound, c.RelErr*100)
+	}
+	fmt.Printf("  answered from %s in %.2f simulated seconds\n",
+		res.SampleDescription, res.SimLatencySeconds)
+
+	// §2's second example: a time-bounded COUNT with reported error.
+	res, err = eng.Query(`
+		SELECT COUNT(*), RELATIVE ERROR AT 95% CONFIDENCE
+		FROM sessions
+		WHERE genre = 'western'
+		GROUP BY os
+		WITHIN 5 SECONDS`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwestern sessions per OS (time-bounded, 5s):")
+	for _, row := range res.Rows {
+		c := row.Cells[0]
+		fmt.Printf("  %-8s %10.0f ± %-8.0f\n", row.Group, c.Value, c.Bound)
+	}
+	fmt.Printf("  answered from %s in %.2f simulated seconds\n",
+		res.SampleDescription, res.SimLatencySeconds)
+
+	// Ground truth for comparison (no bounds = exact scan).
+	res, err = eng.Query(`SELECT COUNT(*) FROM sessions WHERE genre = 'western' GROUP BY os`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nexact answer (full scan):")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-8s %10.0f\n", row.Group, row.Cells[0].Value)
+	}
+	fmt.Printf("  exact scan took %.2f simulated seconds\n", res.SimLatencySeconds)
+}

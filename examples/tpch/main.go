@@ -1,0 +1,130 @@
+// TPC-H scenario: BlinkDB on the standard decision-support benchmark
+// (§6.1 maps the 22 TPC-H queries onto 6 templates over lineitem). The
+// example builds a lineitem-shaped table, declares the template workload,
+// and runs bounded versions of the classic pricing-summary and
+// forecasting-revenue queries (Q1/Q6 style).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"blinkdb"
+)
+
+func main() {
+	eng := blinkdb.Open(blinkdb.Config{Scale: 1e5, Seed: 22, CacheTables: true})
+
+	load := eng.CreateTable("lineitem",
+		blinkdb.Col("orderkey", blinkdb.Int),
+		blinkdb.Col("suppkey", blinkdb.Int),
+		blinkdb.Col("quantity", blinkdb.Float),
+		blinkdb.Col("extendedprice", blinkdb.Float),
+		blinkdb.Col("discount", blinkdb.Float),
+		blinkdb.Col("returnflag", blinkdb.String),
+		blinkdb.Col("linestatus", blinkdb.String),
+		blinkdb.Col("shipdt", blinkdb.Int),
+		blinkdb.Col("shipmode", blinkdb.String),
+	)
+	rng := rand.New(rand.NewSource(3))
+	zipfSupp := rand.NewZipf(rng, 1.3, 1, 999)
+	modes := []string{"TRUCK", "MAIL", "SHIP", "RAIL", "AIR"}
+	flags := []string{"N", "N", "N", "A", "R"}
+	const rows = 200000
+	orderkey, lines := int64(0), 0
+	for i := 0; i < rows; i++ {
+		if lines == 0 {
+			orderkey++
+			lines = 1 + rng.Intn(7)
+		}
+		lines--
+		qty := float64(1 + rng.Intn(50))
+		if err := load.Append(
+			orderkey,
+			int64(zipfSupp.Uint64()+1),
+			qty,
+			qty*(900+rng.Float64()*10000),
+			float64(rng.Intn(11))/100,
+			flags[rng.Intn(len(flags))],
+			[]string{"O", "F"}[rng.Intn(2)],
+			int64(19940101+rng.Intn(2000)),
+			modes[rng.Intn(len(modes))],
+		); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := load.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d lineitem rows\n", rows)
+
+	if _, err := eng.CreateSamples("lineitem", blinkdb.SampleOptions{
+		BudgetFraction: 0.5,
+		Templates: []blinkdb.Template{
+			{Columns: []string{"returnflag", "linestatus"}, Weight: 0.25},
+			{Columns: []string{"suppkey"}, Weight: 0.25},
+			{Columns: []string{"discount", "quantity"}, Weight: 0.30},
+			{Columns: []string{"shipmode"}, Weight: 0.20},
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("samples built")
+
+	show := func(label string, res *blinkdb.Result) {
+		fmt.Printf("\n%s  [%.2fs simulated, %s]\n", label, res.SimLatencySeconds, res.SampleDescription)
+		for _, row := range res.Rows {
+			fmt.Printf("  %-8s", row.Group)
+			for _, c := range row.Cells {
+				fmt.Printf("  %s=%.5g±%.2g", c.Name, c.Value, c.Bound)
+			}
+			fmt.Println()
+		}
+	}
+
+	// Q1-style pricing summary, bounded to 5 seconds.
+	res, err := eng.Query(`
+		SELECT SUM(quantity) AS sum_qty, AVG(extendedprice) AS avg_price, COUNT(*) AS cnt
+		FROM lineitem
+		WHERE returnflag = 'R'
+		GROUP BY linestatus
+		WITHIN 5 SECONDS`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("Q1-style pricing summary (returned items):", res)
+
+	// Q6-style revenue-change estimate with an error bound.
+	res, err = eng.Query(`
+		SELECT SUM(extendedprice) AS revenue
+		FROM lineitem
+		WHERE discount >= 0.05 AND quantity < 24
+		ERROR WITHIN 5% AT CONFIDENCE 95%`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("Q6-style discounted revenue (5% error bound):", res)
+
+	// Supplier drill-down on a skewed dimension: stratification keeps
+	// rare suppliers answerable.
+	res, err = eng.Query(`
+		SELECT AVG(extendedprice) AS avg_price, COUNT(*) AS cnt
+		FROM lineitem
+		WHERE suppkey = 700
+		ERROR WITHIN 10% AT CONFIDENCE 95%`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("rare-supplier drill-down (suppkey 700):", res)
+
+	// Exact comparison for the Q6-style query.
+	exact, err := eng.Query(`
+		SELECT SUM(extendedprice) AS revenue
+		FROM lineitem
+		WHERE discount >= 0.05 AND quantity < 24`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("Q6 exact (full scan):", exact)
+}

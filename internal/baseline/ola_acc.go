@@ -1,0 +1,108 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"blinkdb/internal/stats"
+)
+
+// olaAcc accumulates one (group, aggregate) pair for online aggregation.
+// Unlike stats.Acc, the sampling fraction is not known at Add time — the
+// consumed prefix of the stream is a uniform sample whose rate grows as
+// more rows arrive — so sums are kept raw and the current fraction is
+// applied at estimate time.
+type olaAcc struct {
+	kind stats.AggKind
+	p    float64 // quantile level
+
+	n     int64
+	sumX  float64
+	sumX2 float64
+	vals  []float64 // retained for quantiles only
+}
+
+func newOLAAcc(kind stats.AggKind, p float64) *olaAcc {
+	return &olaAcc{kind: kind, p: p}
+}
+
+func (a *olaAcc) add(x float64) {
+	a.n++
+	a.sumX += x
+	a.sumX2 += x * x
+	if a.kind.NeedsValues() {
+		a.vals = append(a.vals, x)
+	}
+}
+
+// estimate computes the current point estimate and CI given that the
+// matched rows are a uniform sample with rate frac ∈ (0, 1].
+func (a *olaAcc) estimate(frac, conf float64) stats.Estimate {
+	e := stats.Estimate{Confidence: conf, Rows: a.n, EffRows: float64(a.n)}
+	if a.n == 0 {
+		return e
+	}
+	if frac <= 0 {
+		frac = 1
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	z := stats.ZForConfidence(conf)
+	nf := float64(a.n)
+	fpc := 1 - frac // finite-population correction: exact at frac = 1
+	switch a.kind {
+	case stats.AggCount:
+		e.Point = nf / frac
+		e.StdErr = math.Sqrt(nf*fpc) / frac
+	case stats.AggSum:
+		e.Point = a.sumX / frac
+		e.StdErr = math.Sqrt(math.Max(a.sumX2*fpc, 0)) / frac
+	case stats.AggAvg:
+		e.Point = a.sumX / nf
+		variance := a.sumX2/nf - e.Point*e.Point
+		if variance < 0 {
+			variance = 0
+		}
+		e.StdErr = math.Sqrt(variance / nf * fpc)
+	case stats.AggQuantile:
+		e.Point = a.quantile(a.p)
+		e.StdErr = a.quantileStdErr(fpc)
+	}
+	e.Exact = frac >= 1
+	if e.Exact {
+		e.StdErr = 0
+	}
+	e.Bound = z * e.StdErr
+	return e
+}
+
+func (a *olaAcc) quantile(p float64) float64 {
+	if len(a.vals) == 0 {
+		return 0
+	}
+	sort.Float64s(a.vals)
+	h := p * float64(len(a.vals)-1)
+	lo := int(math.Floor(h))
+	hi := int(math.Ceil(h))
+	if hi >= len(a.vals) {
+		hi = len(a.vals) - 1
+	}
+	return a.vals[lo] + (h-float64(lo))*(a.vals[hi]-a.vals[lo])
+}
+
+func (a *olaAcc) quantileStdErr(fpc float64) float64 {
+	n := float64(len(a.vals))
+	if n < 4 {
+		return math.Abs(a.quantile(0.75)-a.quantile(0.25)) / 2
+	}
+	delta := math.Min(0.1, math.Max(0.01, 1/math.Sqrt(n)))
+	lo := math.Max(0.001, a.p-delta)
+	hi := math.Min(0.999, a.p+delta)
+	spread := a.quantile(hi) - a.quantile(lo)
+	if spread <= 0 {
+		return 0
+	}
+	f := (hi - lo) / spread
+	return math.Sqrt(a.p*(1-a.p)/n*fpc) / f
+}

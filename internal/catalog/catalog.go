@@ -1,0 +1,153 @@
+// Package catalog is BlinkDB-Go's metastore (§5): it registers base tables
+// and the sample families built over them, and answers the family-lookup
+// queries the runtime sample selection needs (§4.1) — "which stratified
+// families exist whose column set covers this query's columns?".
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"blinkdb/internal/sample"
+	"blinkdb/internal/storage"
+	"blinkdb/internal/types"
+)
+
+// Entry groups one base table with its sample families.
+type Entry struct {
+	Table    *storage.Table
+	Families []*sample.Family
+}
+
+// Uniform returns the table's uniform family, or nil.
+func (e *Entry) Uniform() *sample.Family {
+	for _, f := range e.Families {
+		if f.IsUniform() {
+			return f
+		}
+	}
+	return nil
+}
+
+// Stratified returns the non-uniform families.
+func (e *Entry) Stratified() []*sample.Family {
+	var out []*sample.Family
+	for _, f := range e.Families {
+		if !f.IsUniform() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// CoveringFamilies returns stratified families whose column set is a
+// superset of phi, sorted by ascending column count then key — §4.1.1
+// picks the first (fewest columns).
+func (e *Entry) CoveringFamilies(phi types.ColumnSet) []*sample.Family {
+	var out []*sample.Family
+	for _, f := range e.Families {
+		if f.IsUniform() {
+			continue
+		}
+		if phi.SubsetOf(f.Phi) {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Phi.Len() != out[j].Phi.Len() {
+			return out[i].Phi.Len() < out[j].Phi.Len()
+		}
+		return out[i].Phi.Key() < out[j].Phi.Key()
+	})
+	return out
+}
+
+// SampleBytes returns the total physical bytes of all families.
+func (e *Entry) SampleBytes() int64 {
+	var n int64
+	for _, f := range e.Families {
+		n += f.StorageBytes()
+	}
+	return n
+}
+
+// Catalog is a concurrency-safe table registry.
+type Catalog struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{entries: make(map[string]*Entry)}
+}
+
+// Register adds a base table. Re-registering a name replaces the entry.
+func (c *Catalog) Register(t *storage.Table) *Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := &Entry{Table: t}
+	c.entries[strings.ToLower(t.Name)] = e
+	return e
+}
+
+// AddFamily attaches a sample family to a registered table. Only one
+// family per column set is kept; re-adding replaces it (sample refresh).
+func (c *Catalog) AddFamily(table string, f *sample.Family) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[strings.ToLower(table)]
+	if !ok {
+		return fmt.Errorf("catalog: unknown table %q", table)
+	}
+	for i, old := range e.Families {
+		if old.Phi.Equal(f.Phi) {
+			e.Families[i] = f
+			return nil
+		}
+	}
+	e.Families = append(e.Families, f)
+	return nil
+}
+
+// DropFamily removes the family on the given column set.
+func (c *Catalog) DropFamily(table string, phi types.ColumnSet) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[strings.ToLower(table)]
+	if !ok {
+		return fmt.Errorf("catalog: unknown table %q", table)
+	}
+	for i, f := range e.Families {
+		if f.Phi.Equal(phi) {
+			e.Families = append(e.Families[:i], e.Families[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("catalog: table %q has no family on %s", table, phi)
+}
+
+// Lookup returns the entry for a table.
+func (c *Catalog) Lookup(table string) (*Entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[strings.ToLower(table)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", table)
+	}
+	return e, nil
+}
+
+// Tables returns the registered table names, sorted.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

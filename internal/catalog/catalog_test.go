@@ -1,0 +1,153 @@
+package catalog
+
+import (
+	"testing"
+
+	"blinkdb/internal/sample"
+	"blinkdb/internal/storage"
+	"blinkdb/internal/types"
+)
+
+func buildFixture(t *testing.T) (*Catalog, *storage.Table) {
+	t.Helper()
+	schema := types.NewSchema(
+		types.Column{Name: "city", Kind: types.KindString},
+		types.Column{Name: "os", Kind: types.KindString},
+		types.Column{Name: "url", Kind: types.KindString},
+		types.Column{Name: "t", Kind: types.KindFloat},
+	)
+	tab := storage.NewTable("Sessions", schema)
+	b := storage.NewBuilder(tab, 64, 2, storage.OnDisk)
+	for i := 0; i < 500; i++ {
+		b.AppendRow(types.Row{
+			types.Str("c" + string(rune('a'+i%7))),
+			types.Str("o" + string(rune('a'+i%3))),
+			types.Str("u" + string(rune('a'+i%11))),
+			types.Float(float64(i)),
+		})
+	}
+	b.Finish()
+	c := New()
+	c.Register(tab)
+	mustFam := func(phi types.ColumnSet) *sample.Family {
+		var f *sample.Family
+		var err error
+		if phi.Empty() {
+			f, err = sample.BuildUniform(tab, []int64{50, 200}, sample.BuildConfig{Seed: 1})
+		} else {
+			f, err = sample.Build(tab, phi, []int64{5, 50}, sample.BuildConfig{Seed: 1})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddFamily("sessions", f); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	mustFam(types.NewColumnSet("city"))
+	mustFam(types.NewColumnSet("os", "url"))
+	mustFam(types.NewColumnSet())
+	return c, tab
+}
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	c, tab := buildFixture(t)
+	e, err := c.Lookup("SESSIONS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Table != tab {
+		t.Error("wrong table")
+	}
+	if _, err := c.Lookup("nope"); err == nil {
+		t.Error("unknown table should error")
+	}
+	if got := c.Tables(); len(got) != 1 || got[0] != "sessions" {
+		t.Errorf("Tables = %v", got)
+	}
+}
+
+func TestUniformAndStratifiedAccessors(t *testing.T) {
+	c, _ := buildFixture(t)
+	e, _ := c.Lookup("sessions")
+	if e.Uniform() == nil {
+		t.Error("uniform family missing")
+	}
+	if got := len(e.Stratified()); got != 2 {
+		t.Errorf("stratified = %d", got)
+	}
+	if e.SampleBytes() <= 0 {
+		t.Error("sample bytes should be positive")
+	}
+}
+
+func TestCoveringFamilies(t *testing.T) {
+	c, _ := buildFixture(t)
+	e, _ := c.Lookup("sessions")
+	// φ = {city}: covered by [city] only.
+	fams := e.CoveringFamilies(types.NewColumnSet("city"))
+	if len(fams) != 1 || fams[0].Phi.Key() != "city" {
+		t.Errorf("covering(city) = %v", fams)
+	}
+	// φ = {os}: covered by [os,url].
+	fams = e.CoveringFamilies(types.NewColumnSet("os"))
+	if len(fams) != 1 || fams[0].Phi.Key() != "os,url" {
+		t.Errorf("covering(os) = %v", fams)
+	}
+	// φ = {city, os}: no covering family.
+	if fams = e.CoveringFamilies(types.NewColumnSet("city", "os")); len(fams) != 0 {
+		t.Errorf("covering(city,os) = %v", fams)
+	}
+	// Empty φ is covered by every stratified family, smallest first.
+	fams = e.CoveringFamilies(types.NewColumnSet())
+	if len(fams) != 2 || fams[0].Phi.Key() != "city" {
+		t.Errorf("covering(∅) = %v", fams)
+	}
+}
+
+func TestAddFamilyReplaces(t *testing.T) {
+	c, tab := buildFixture(t)
+	e, _ := c.Lookup("sessions")
+	before := len(e.Families)
+	f2, err := sample.Build(tab, types.NewColumnSet("city"), []int64{10, 100}, sample.BuildConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddFamily("sessions", f2); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Families) != before {
+		t.Error("replacement should not grow the family list")
+	}
+	found := false
+	for _, f := range e.Families {
+		if f == f2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new family not installed")
+	}
+	if err := c.AddFamily("nope", f2); err == nil {
+		t.Error("unknown table should error")
+	}
+}
+
+func TestDropFamily(t *testing.T) {
+	c, _ := buildFixture(t)
+	e, _ := c.Lookup("sessions")
+	before := len(e.Families)
+	if err := c.DropFamily("sessions", types.NewColumnSet("city")); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Families) != before-1 {
+		t.Error("family not dropped")
+	}
+	if err := c.DropFamily("sessions", types.NewColumnSet("city")); err == nil {
+		t.Error("double drop should error")
+	}
+	if err := c.DropFamily("nope", types.NewColumnSet("city")); err == nil {
+		t.Error("unknown table should error")
+	}
+}

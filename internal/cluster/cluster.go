@@ -1,0 +1,251 @@
+// Package cluster simulates the distributed execution substrate the paper
+// runs on: a 100-node EC2 cluster with per-node disks, memory caches, cores
+// and a network, executing scan-heavy data-parallel jobs under different
+// engine profiles (Hive on Hadoop, Shark with/without caching, BlinkDB).
+//
+// The model is the same first-order model BlinkDB itself uses for its
+// latency profile (§4.2): job latency is linear in per-node bytes scanned
+// at a tier-dependent rate, plus scheduling-wave overhead, plus a shuffle
+// term, plus fixed job startup. The simulator exists so that the latency
+// *shape* of every figure (who wins, by what factor, where crossovers
+// fall) can be regenerated without the authors' testbed.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"blinkdb/internal/storage"
+)
+
+// Config describes cluster hardware. The defaults mirror the paper's
+// evaluation setting (§6.1): 100 EC2 extra-large nodes, 8 cores, 68.4 GB
+// RAM and 800 GB disk each; 6 TB aggregate RAM cache configured.
+type Config struct {
+	// Nodes is the number of worker machines.
+	Nodes int
+	// CoresPerNode bounds task parallelism per node.
+	CoresPerNode int
+	// MemCacheBytesPerNode is the per-node cache capacity; bytes placed
+	// in memory beyond this spill to disk rate (§6.2's 6 TB cache).
+	MemCacheBytesPerNode float64
+}
+
+// PaperConfig returns the 100-node evaluation cluster of §6.1.
+func PaperConfig() Config {
+	return Config{
+		Nodes:                100,
+		CoresPerNode:         8,
+		MemCacheBytesPerNode: 60e9, // 6 TB aggregate
+	}
+}
+
+// WithNodes returns a copy of c resized to n nodes (Fig. 8(c) scale-up).
+func (c Config) WithNodes(n int) Config {
+	c.Nodes = n
+	return c
+}
+
+// EngineProfile captures the per-engine execution characteristics. Rates
+// are effective scan-processing rates (CPU + I/O pipeline), not raw device
+// bandwidth, which is why they differ between engines reading identical
+// hardware.
+type EngineProfile struct {
+	// Name labels the engine in experiment output.
+	Name string
+	// JobOverheadSec is fixed startup cost per job (JVM spin-up, plan
+	// distribution). Hadoop pays tens of seconds; Spark under a second.
+	JobOverheadSec float64
+	// TaskOverheadSec is per-scheduling-wave overhead.
+	TaskOverheadSec float64
+	// DiskMBps is the effective per-node scan rate from disk.
+	DiskMBps float64
+	// MemMBps is the effective per-node scan rate from memory cache.
+	MemMBps float64
+	// NetworkMBps is the per-node shuffle bandwidth.
+	NetworkMBps float64
+	// RandomIOPenalty multiplies disk time for random-order access
+	// (online aggregation must stream in random order, §7).
+	RandomIOPenalty float64
+}
+
+// Engine profiles calibrated against the paper's reported anchors:
+// a full scan of 10 TB on Hadoop takes 30–45 min (§1); Shark answers the
+// 2.5 TB cached query in ~112 s (§6.2); BlinkDB answers in ~2 s.
+var (
+	// HiveOnHadoop models Hive compiling to Hadoop MapReduce.
+	HiveOnHadoop = EngineProfile{
+		Name: "Hive on Hadoop", JobOverheadSec: 30, TaskOverheadSec: 2.0,
+		DiskMBps: 40, MemMBps: 40, NetworkMBps: 60, RandomIOPenalty: 8,
+	}
+	// SharkNoCache models Shark (Hive on Spark) reading from disk.
+	SharkNoCache = EngineProfile{
+		Name: "Hive on Spark (no cache)", JobOverheadSec: 2, TaskOverheadSec: 0.3,
+		DiskMBps: 90, MemMBps: 90, NetworkMBps: 120, RandomIOPenalty: 8,
+	}
+	// SharkCached models Shark with input cached in cluster RAM.
+	SharkCached = EngineProfile{
+		Name: "Hive on Spark (cached)", JobOverheadSec: 2, TaskOverheadSec: 0.3,
+		DiskMBps: 90, MemMBps: 230, NetworkMBps: 120, RandomIOPenalty: 8,
+	}
+	// BlinkDBEngine models BlinkDB's Shark-based runtime on samples.
+	BlinkDBEngine = EngineProfile{
+		Name: "BlinkDB", JobOverheadSec: 0.25, TaskOverheadSec: 0.05,
+		DiskMBps: 90, MemMBps: 230, NetworkMBps: 120, RandomIOPenalty: 8,
+	}
+)
+
+// Work describes a single data-parallel job to be costed.
+type Work struct {
+	// DiskBytesPerNode and MemBytesPerNode give logical bytes scanned on
+	// each node from each tier. Lengths must equal Config.Nodes (or be
+	// nil for zero).
+	DiskBytesPerNode []float64
+	MemBytesPerNode  []float64
+	// Tasks is the number of independent scan tasks (≈ blocks).
+	Tasks int
+	// ShuffleBytes is the total bytes repartitioned over the network
+	// (GROUP BY / JOIN exchange).
+	ShuffleBytes float64
+	// RandomOrder marks random-access streaming (OLA); disk reads then
+	// pay the profile's RandomIOPenalty.
+	RandomOrder bool
+}
+
+// Cluster is a simulated cluster with a virtual clock.
+type Cluster struct {
+	cfg Config
+}
+
+// New creates a cluster simulator.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.CoresPerNode <= 0 {
+		cfg.CoresPerNode = 1
+	}
+	return &Cluster{cfg: cfg}
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Latency returns the simulated wall-clock seconds for the job under the
+// given engine profile.
+func (c *Cluster) Latency(p EngineProfile, w Work) float64 {
+	// Per-node scan time: the straggler node bounds the job.
+	maxScan := 0.0
+	for n := 0; n < c.cfg.Nodes; n++ {
+		var disk, mem float64
+		if n < len(w.DiskBytesPerNode) {
+			disk = w.DiskBytesPerNode[n]
+		}
+		if n < len(w.MemBytesPerNode) {
+			mem = w.MemBytesPerNode[n]
+		}
+		// Memory beyond the cache capacity spills to disk rate.
+		if over := mem - c.cfg.MemCacheBytesPerNode; over > 0 {
+			mem = c.cfg.MemCacheBytesPerNode
+			disk += over
+		}
+		diskRate := p.DiskMBps * 1e6
+		if w.RandomOrder && p.RandomIOPenalty > 1 {
+			diskRate /= p.RandomIOPenalty
+		}
+		t := disk/diskRate + mem/(p.MemMBps*1e6)
+		if t > maxScan {
+			maxScan = t
+		}
+	}
+
+	// Scheduling waves.
+	slots := float64(c.cfg.Nodes * c.cfg.CoresPerNode)
+	waves := math.Ceil(float64(w.Tasks) / slots)
+	if w.Tasks == 0 {
+		waves = 0
+	}
+
+	// Shuffle: all-to-all over aggregate network bandwidth.
+	shuffle := w.ShuffleBytes / (float64(c.cfg.Nodes) * p.NetworkMBps * 1e6)
+
+	return p.JobOverheadSec + waves*p.TaskOverheadSec + maxScan + shuffle
+}
+
+// UniformWork builds a Work whose totalBytes are spread evenly over the
+// cluster with memFraction of the data cache-resident. taskBytes sets the
+// per-task granularity (HDFS block size; 0 defaults to 256 MB).
+func (c *Cluster) UniformWork(totalBytes, memFraction, shuffleBytes, taskBytes float64) Work {
+	if taskBytes <= 0 {
+		taskBytes = 256e6
+	}
+	n := c.cfg.Nodes
+	disk := make([]float64, n)
+	mem := make([]float64, n)
+	per := totalBytes / float64(n)
+	for i := 0; i < n; i++ {
+		mem[i] = per * memFraction
+		disk[i] = per * (1 - memFraction)
+	}
+	return Work{
+		DiskBytesPerNode: disk,
+		MemBytesPerNode:  mem,
+		Tasks:            int(math.Ceil(totalBytes / taskBytes)),
+		ShuffleBytes:     shuffleBytes,
+	}
+}
+
+// SkewedWork is UniformWork but with the data striped over only the first
+// span nodes, modelling selective queries whose input lives on a few
+// machines (Fig. 8(c) "selective" suite).
+func (c *Cluster) SkewedWork(totalBytes, memFraction, shuffleBytes, taskBytes float64, span int) Work {
+	if span <= 0 || span > c.cfg.Nodes {
+		span = c.cfg.Nodes
+	}
+	if taskBytes <= 0 {
+		taskBytes = 256e6
+	}
+	disk := make([]float64, c.cfg.Nodes)
+	mem := make([]float64, c.cfg.Nodes)
+	per := totalBytes / float64(span)
+	for i := 0; i < span; i++ {
+		mem[i] = per * memFraction
+		disk[i] = per * (1 - memFraction)
+	}
+	return Work{
+		DiskBytesPerNode: disk,
+		MemBytesPerNode:  mem,
+		Tasks:            int(math.Ceil(totalBytes / taskBytes)),
+		ShuffleBytes:     shuffleBytes,
+	}
+}
+
+// WorkFromBlocks derives a Work from physical sample blocks, scaling
+// physical bytes by scale (logical bytes per stored byte) and mapping
+// block node assignments modulo the cluster size. rowsScanned lets callers
+// charge only the fraction of each block actually read.
+func (c *Cluster) WorkFromBlocks(blocks []*storage.Block, scale float64, shuffleBytes float64) Work {
+	disk := make([]float64, c.cfg.Nodes)
+	mem := make([]float64, c.cfg.Nodes)
+	for _, b := range blocks {
+		n := b.Node % c.cfg.Nodes
+		bytes := float64(b.Bytes) * scale
+		if b.Place == storage.InMemory {
+			mem[n] += bytes
+		} else {
+			disk[n] += bytes
+		}
+	}
+	return Work{
+		DiskBytesPerNode: disk,
+		MemBytesPerNode:  mem,
+		Tasks:            len(blocks),
+		ShuffleBytes:     shuffleBytes,
+	}
+}
+
+// String summarises the config.
+func (c Config) String() string {
+	return fmt.Sprintf("%d nodes × %d cores, %.0f GB cache/node",
+		c.Nodes, c.CoresPerNode, c.MemCacheBytesPerNode/1e9)
+}

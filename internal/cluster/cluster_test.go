@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"blinkdb/internal/storage"
+	"blinkdb/internal/types"
+)
+
+func TestPaperConfig(t *testing.T) {
+	cfg := PaperConfig()
+	if cfg.Nodes != 100 || cfg.CoresPerNode != 8 {
+		t.Errorf("paper config = %+v", cfg)
+	}
+	if cfg.WithNodes(10).Nodes != 10 {
+		t.Error("WithNodes failed")
+	}
+	if cfg.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestLatencyScalesLinearlyWithBytes(t *testing.T) {
+	c := New(PaperConfig())
+	w1 := c.UniformWork(1e12, 0, 0, 256e6)
+	w2 := c.UniformWork(2e12, 0, 0, 256e6)
+	l1 := c.Latency(SharkNoCache, w1)
+	l2 := c.Latency(SharkNoCache, w2)
+	// Subtract job overhead before checking linearity.
+	s1 := l1 - SharkNoCache.JobOverheadSec
+	s2 := l2 - SharkNoCache.JobOverheadSec
+	if s2 < 1.8*s1 || s2 > 2.2*s1 {
+		t.Errorf("scan time not ~linear: %g vs %g", s1, s2)
+	}
+}
+
+func TestMemoryFasterThanDisk(t *testing.T) {
+	c := New(PaperConfig())
+	disk := c.Latency(SharkCached, c.UniformWork(1e12, 0, 0, 0))
+	mem := c.Latency(SharkCached, c.UniformWork(1e12, 1, 0, 0))
+	if mem >= disk {
+		t.Errorf("memory (%g) should beat disk (%g)", mem, disk)
+	}
+}
+
+func TestCacheSpill(t *testing.T) {
+	c := New(PaperConfig())
+	// 7.5 TB "cached" exceeds the 6 TB aggregate cache → partial spill,
+	// so latency grows super-linearly vs the fully-cached 2.5 TB case.
+	small := c.Latency(SharkCached, c.UniformWork(2.5e12, 1, 0, 0))
+	big := c.Latency(SharkCached, c.UniformWork(7.5e12, 1, 0, 0))
+	if big < 3*small {
+		t.Errorf("spill should cost more than 3× (%g vs %g)", big, small)
+	}
+}
+
+func TestFigure6cAnchors(t *testing.T) {
+	// Calibration anchors from the paper: Shark cached ≈ 112 s on 2.5 TB;
+	// Hadoop ≈ 1800–2700 s on 10 TB; BlinkDB ≈ seconds.
+	c := New(PaperConfig())
+	shark := c.Latency(SharkCached, c.UniformWork(2.5e12, 1, 2.5e9, 0))
+	if shark < 60 || shark > 200 {
+		t.Errorf("Shark cached 2.5TB = %.0f s, want ≈ 112 s", shark)
+	}
+	hadoop := c.Latency(HiveOnHadoop, c.UniformWork(10e12, 0, 10e9, 0))
+	if hadoop < 1500 || hadoop > 4000 {
+		t.Errorf("Hadoop 10TB = %.0f s, want 1800-2700 s", hadoop)
+	}
+	blink := c.Latency(BlinkDBEngine, c.UniformWork(20e9, 1, 0.1e9, 64e6))
+	if blink > 3 {
+		t.Errorf("BlinkDB on 20GB sample = %.2f s, want < 3 s", blink)
+	}
+}
+
+func TestRandomOrderPenalty(t *testing.T) {
+	c := New(PaperConfig())
+	w := c.UniformWork(1e12, 0, 0, 0)
+	seq := c.Latency(SharkNoCache, w)
+	w.RandomOrder = true
+	rnd := c.Latency(SharkNoCache, w)
+	if rnd < 2*seq {
+		t.Errorf("random order should be much slower: %g vs %g", rnd, seq)
+	}
+}
+
+func TestStragglerBoundsJob(t *testing.T) {
+	c := New(Config{Nodes: 4, CoresPerNode: 2, MemCacheBytesPerNode: 1e12})
+	disk := make([]float64, 4)
+	disk[0] = 4e9 // all data on one node
+	skew := c.Latency(SharkNoCache, Work{DiskBytesPerNode: disk, Tasks: 4})
+	even := c.Latency(SharkNoCache, c.UniformWork(4e9, 0, 0, 1e9))
+	if skew <= even {
+		t.Errorf("skewed placement (%g) should be slower than even (%g)", skew, even)
+	}
+}
+
+func TestSkewedWorkSpan(t *testing.T) {
+	c := New(Config{Nodes: 10, CoresPerNode: 2, MemCacheBytesPerNode: 1e12})
+	w := c.SkewedWork(10e9, 0, 0, 1e9, 2)
+	nonZero := 0
+	for _, b := range w.DiskBytesPerNode {
+		if b > 0 {
+			nonZero++
+		}
+	}
+	if nonZero != 2 {
+		t.Errorf("span=2 but %d nodes have data", nonZero)
+	}
+	// Span defaults to all nodes when out of range.
+	w2 := c.SkewedWork(10e9, 0, 0, 1e9, 0)
+	nonZero = 0
+	for _, b := range w2.DiskBytesPerNode {
+		if b > 0 {
+			nonZero++
+		}
+	}
+	if nonZero != 10 {
+		t.Errorf("span=0 should spread to all nodes, got %d", nonZero)
+	}
+}
+
+func TestWorkFromBlocks(t *testing.T) {
+	c := New(Config{Nodes: 2, CoresPerNode: 2, MemCacheBytesPerNode: 1e12})
+	blocks := []*storage.Block{
+		{Node: 0, Place: storage.OnDisk, Bytes: 100},
+		{Node: 1, Place: storage.InMemory, Bytes: 200},
+		{Node: 5, Place: storage.OnDisk, Bytes: 50}, // wraps to node 1
+	}
+	w := c.WorkFromBlocks(blocks, 10, 7)
+	if w.DiskBytesPerNode[0] != 1000 {
+		t.Errorf("node0 disk = %g", w.DiskBytesPerNode[0])
+	}
+	if w.MemBytesPerNode[1] != 2000 || w.DiskBytesPerNode[1] != 500 {
+		t.Errorf("node1 = mem %g disk %g", w.MemBytesPerNode[1], w.DiskBytesPerNode[1])
+	}
+	if w.Tasks != 3 || w.ShuffleBytes != 7 {
+		t.Errorf("tasks=%d shuffle=%g", w.Tasks, w.ShuffleBytes)
+	}
+	_ = types.Row{} // keep import for parallel edits
+}
+
+func TestMoreNodesFaster(t *testing.T) {
+	// Fixed 1 TB dataset: a bigger cluster should be faster (Fig. 8(c)
+	// rationale in reverse — per-node share shrinks).
+	small := New(PaperConfig().WithNodes(10))
+	big := New(PaperConfig().WithNodes(100))
+	ls := small.Latency(SharkNoCache, small.UniformWork(1e12, 0, 0, 0))
+	lb := big.Latency(SharkNoCache, big.UniformWork(1e12, 0, 0, 0))
+	if lb >= ls {
+		t.Errorf("100 nodes (%g) should beat 10 nodes (%g)", lb, ls)
+	}
+}
+
+func TestZeroWork(t *testing.T) {
+	c := New(PaperConfig())
+	l := c.Latency(BlinkDBEngine, Work{})
+	if math.Abs(l-BlinkDBEngine.JobOverheadSec) > 1e-9 {
+		t.Errorf("empty work should cost only job overhead, got %g", l)
+	}
+}

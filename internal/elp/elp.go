@@ -1,0 +1,725 @@
+// Package elp implements BlinkDB's runtime sample selection (§4): given a
+// query with an error or response-time bound, it probes the smallest
+// samples of candidate families, builds an Error-Latency Profile that
+// predicts how error shrinks and latency grows with sample size, and picks
+// the family and resolution that best satisfy the bounds.
+//
+// Latency is attributed by the cluster simulator (internal/cluster) using
+// the same linear-scaling model the paper fits at runtime (§4.2); error
+// projections use the 1/√n law of Table 2.
+package elp
+
+import (
+	"fmt"
+	"math"
+
+	"blinkdb/internal/catalog"
+	"blinkdb/internal/cluster"
+	"blinkdb/internal/exec"
+	"blinkdb/internal/sample"
+	"blinkdb/internal/sqlparser"
+	"blinkdb/internal/stats"
+	"blinkdb/internal/storage"
+	"blinkdb/internal/types"
+)
+
+// Options tune the runtime. Zero values select paper-default behaviour.
+type Options struct {
+	// Confidence is the default CI level for queries that don't set one.
+	Confidence float64
+	// ProbeAll, when true (default), probes the smallest sample of every
+	// family when no covering family exists (§4.1.1's choice); false
+	// probes only families sharing ≥1 column with the query — the
+	// ablation the paper argues against (negative correlation risk).
+	ProbeAll *bool
+	// DeltaReuse, when true (default), charges only the delta blocks
+	// when upgrading from the probe resolution (§4.4); false recharges
+	// the full chosen sample — the ablation of intermediate-data reuse.
+	DeltaReuse *bool
+	// Scale maps physical stored bytes to logical bytes for BASE TABLE
+	// scans (our tables are laptop-scale stand-ins for TB-scale data).
+	Scale float64
+	// SampleScale maps physical sample bytes to logical bytes. Sample
+	// resolutions are absolute row counts in the paper (§2.3: 1M/2M/4M
+	// tuples; K = 1e5), so their logical size scales with the cap ratio
+	// (paperK/ourK), not with the table-byte ratio. Defaults to Scale.
+	SampleScale float64
+	// Profile is the engine cost profile (default BlinkDBEngine).
+	Profile cluster.EngineProfile
+	// ShuffleFraction approximates shuffle volume as a fraction of bytes
+	// scanned (GROUP BY exchange). Default 0.01.
+	ShuffleFraction float64
+	// ProbeOverheadOnly prices probe runs at job overhead alone,
+	// reflecting §4.1.1's assumption that the smallest samples fit in
+	// aggregate memory and "running Q on these samples is very fast".
+	// Off by default (probes priced like any other read).
+	ProbeOverheadOnly bool
+	// MinProbeRows is the smallest sample size worth probing; the probe
+	// uses the smallest resolution with at least this many rows so the
+	// selectivity estimate carries statistical signal. Default 100.
+	MinProbeRows int64
+}
+
+func (o Options) normalize() Options {
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = 0.95
+	}
+	if o.ProbeAll == nil {
+		v := true
+		o.ProbeAll = &v
+	}
+	if o.DeltaReuse == nil {
+		v := true
+		o.DeltaReuse = &v
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.SampleScale <= 0 {
+		o.SampleScale = o.Scale
+	}
+	if o.Profile.Name == "" {
+		o.Profile = cluster.BlinkDBEngine
+	}
+	if o.ShuffleFraction <= 0 {
+		o.ShuffleFraction = 0.01
+	}
+	if o.MinProbeRows <= 0 {
+		o.MinProbeRows = 100
+	}
+	return o
+}
+
+// Runtime executes bounded queries against a catalog on a simulated
+// cluster.
+type Runtime struct {
+	cat  *catalog.Catalog
+	clus *cluster.Cluster
+	opt  Options
+}
+
+// New creates a runtime.
+func New(cat *catalog.Catalog, clus *cluster.Cluster, opt Options) *Runtime {
+	return &Runtime{cat: cat, clus: clus, opt: opt.normalize()}
+}
+
+// Decision records how one conjunctive sub-query was planned.
+type Decision struct {
+	// View is the chosen sample resolution (zero-value when the base
+	// table was used).
+	View sample.View
+	// UsedBase marks execution on the full base table (unbounded query
+	// or no usable sample).
+	UsedBase bool
+	// Probed lists the families probed, with their selectivity ratios.
+	Probed []ProbeInfo
+	// ProbeLatency is the simulated seconds spent probing (parallel max).
+	ProbeLatency float64
+	// ReadLatency is the simulated seconds reading the chosen sample
+	// (delta-only when reuse applies).
+	ReadLatency float64
+	// RequiredRows is the matched-row target derived from the error
+	// bound (0 when no error bound).
+	RequiredRows float64
+	// Reason summarises the choice for EXPLAIN-style output.
+	Reason string
+}
+
+// Latency returns the decision's total simulated seconds.
+func (d Decision) Latency() float64 { return d.ProbeLatency + d.ReadLatency }
+
+// ProbeInfo is one family probe outcome.
+type ProbeInfo struct {
+	Family      *sample.Family
+	Selectivity float64 // matched/read on the family's smallest sample
+	Matched     int64
+}
+
+// Response is the full outcome of one query.
+type Response struct {
+	// Result holds the estimates.
+	Result *exec.Result
+	// Decisions has one entry per conjunctive disjunct (§4.1.2).
+	Decisions []Decision
+	// SimLatency is the simulated wall-clock seconds (disjuncts run in
+	// parallel: max over decisions).
+	SimLatency float64
+	// Confidence is the CI level used.
+	Confidence float64
+}
+
+// Run parses nothing: q must already be parsed. It plans and executes the
+// query returning estimates with error bars and a simulated latency.
+func (rt *Runtime) Run(q *sqlparser.Query) (*Response, error) {
+	entry, err := rt.cat.Lookup(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := entry.Table.Schema
+	var joins []exec.JoinSpec
+	if len(q.Joins) > 0 {
+		schema, joins, err = exec.CompileJoins(q, entry.Table.Schema,
+			func(table string) (*storage.Table, error) {
+				de, err := rt.cat.Lookup(table)
+				if err != nil {
+					return nil, err
+				}
+				return de.Table, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		if err := rt.checkJoinAdmissible(entry, q, joins); err != nil {
+			return nil, err
+		}
+	}
+	plan, err := exec.Compile(q, schema)
+	if err != nil {
+		return nil, err
+	}
+	conf := rt.opt.Confidence
+	if q.Err != nil && q.Err.Confidence > 0 {
+		conf = q.Err.Confidence
+	} else if q.ReportError {
+		conf = q.ReportConfidence
+	}
+
+	// Unbounded queries run exactly on the base table, like plain Hive.
+	if q.Err == nil && q.Time == nil {
+		res := rt.runPlan(plan, exec.FromTable(entry.Table), conf, joins)
+		d := Decision{UsedBase: true, Reason: "no bounds: exact execution on base table"}
+		d.ReadLatency = rt.latencyOfBase(entry.Table.Blocks) + rt.broadcastCost(joins)
+		return &Response{Result: res, Decisions: []Decision{d}, SimLatency: d.Latency(), Confidence: conf}, nil
+	}
+
+	// §4.1.2: rewrite disjunctions into parallel conjunctive sub-queries.
+	disjuncts := types.SplitDisjuncts(plan.Pred)
+	groupCols := types.NewColumnSet(q.GroupBy...)
+
+	var parts []*exec.Result
+	var decisions []Decision
+	simLatency := 0.0
+	for _, pred := range disjuncts {
+		sub := plan.WithPred(pred)
+		// Sample selection considers only fact-table columns: samples
+		// exist on the fact side; dimension columns are joined exactly.
+		phi := factColumns(pred.Columns().Union(groupCols), entry.Table.Schema)
+		res, dec := rt.runConjunctive(entry, sub, phi, q, conf, joins)
+		parts = append(parts, res)
+		decisions = append(decisions, dec)
+		if l := dec.Latency(); l > simLatency {
+			simLatency = l // disjuncts execute in parallel
+		}
+	}
+	merged := exec.MergeResults(plan, parts)
+	if plan.Limit > 0 && len(merged.Groups) > plan.Limit {
+		merged.Groups = merged.Groups[:plan.Limit]
+	}
+	return &Response{Result: merged, Decisions: decisions, SimLatency: simLatency, Confidence: conf}, nil
+}
+
+// runConjunctive plans and executes one conjunctive sub-query.
+func (rt *Runtime) runConjunctive(entry *catalog.Entry, plan *exec.Plan,
+	phi types.ColumnSet, q *sqlparser.Query, conf float64, joins []exec.JoinSpec) (*exec.Result, Decision) {
+
+	fam, dec := rt.selectFamily(entry, plan, phi, conf, joins)
+	if fam == nil {
+		// No samples at all: exact execution.
+		res := rt.runPlan(plan, exec.FromTable(entry.Table), conf, joins)
+		dec.UsedBase = true
+		dec.Reason = "no sample families available: exact execution"
+		dec.ReadLatency = rt.latencyOfBase(entry.Table.Blocks) + rt.broadcastCost(joins)
+		return res, dec
+	}
+
+	level, pv, probeRes := rt.selectResolution(fam, plan, q, conf, &dec, joins)
+	if level < 0 {
+		// Even the largest resolution cannot meet the error bound and no
+		// time bound caps the work: fall back to exact execution.
+		res := rt.runPlan(plan, exec.FromTable(entry.Table), conf, joins)
+		dec.UsedBase = true
+		dec.Reason += "; error bound unreachable on samples: exact execution"
+		dec.ReadLatency = rt.latencyOfBase(entry.Table.Blocks) + rt.broadcastCost(joins)
+		return res, dec
+	}
+	// With delta reuse the probe's blocks are already read; answering
+	// from at least the probe's resolution costs nothing extra and can
+	// only improve accuracy.
+	if *rt.opt.DeltaReuse && level < pv.Level {
+		level = pv.Level
+	}
+	view := fam.View(level)
+	dec.View = view
+
+	// Execute on the chosen view (zone-pruned). Latency accounting applies
+	// §4.4 delta reuse: the probe already read resolutions 0..pv.Level.
+	in, blocks := viewInput(view, plan)
+	res := rt.runPlan(plan, in, conf, joins)
+	if *rt.opt.DeltaReuse && probeRes != nil {
+		dec.ReadLatency = rt.latencyOfSample(prunedBlocks(view.DeltaBlocks(pv), plan))
+	} else {
+		dec.ReadLatency = rt.latencyOfSample(blocks)
+	}
+	dec.ReadLatency += rt.broadcastCost(joins)
+	return res, dec
+}
+
+// selectFamily implements §4.1.1: prefer the covering stratified family
+// with the fewest columns; otherwise probe candidates and take the one
+// with the highest matched/read ratio.
+func (rt *Runtime) selectFamily(entry *catalog.Entry, plan *exec.Plan,
+	phi types.ColumnSet, conf float64, joins []exec.JoinSpec) (*sample.Family, Decision) {
+
+	var dec Decision
+	if len(entry.Families) == 0 {
+		return nil, dec
+	}
+
+	// Queries with no filter/group columns have no stratification to
+	// exploit; the uniform family's equal weights give the lowest
+	// estimator variance per row read.
+	if phi.Empty() {
+		if u := entry.Uniform(); u != nil {
+			dec.Reason = "no filter/group columns: uniform family"
+			return u, dec
+		}
+	}
+
+	if covering := entry.CoveringFamilies(phi); len(covering) > 0 {
+		f := covering[0]
+		dec.Reason = fmt.Sprintf("covering family %s (fewest columns among %d covering)", f.Phi, len(covering))
+		return f, dec
+	}
+
+	// No covering family: probe smallest samples. Candidate set per the
+	// ProbeAll option; the uniform family is always a candidate.
+	var cands []*sample.Family
+	for _, f := range entry.Families {
+		if f.IsUniform() {
+			cands = append(cands, f)
+			continue
+		}
+		if *rt.opt.ProbeAll {
+			cands = append(cands, f)
+			continue
+		}
+		// Ablation path: only families sharing a column with φ.
+		shares := false
+		for _, c := range f.Phi.Columns() {
+			if phi.Contains(c) {
+				shares = true
+				break
+			}
+		}
+		if shares {
+			cands = append(cands, f)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, dec
+	}
+
+	var best, uniform *sample.Family
+	bestRatio, uniformRatio := -1.0, -1.0
+	maxProbe := 0.0
+	for _, f := range cands {
+		in, blocks := viewInput(rt.probeView(f), plan)
+		res := rt.runPlan(plan, in, conf, joins)
+		lat := rt.latencyOfProbe(blocks)
+		if lat > maxProbe {
+			maxProbe = lat // probes run in parallel
+		}
+		ratio := res.Selectivity()
+		dec.Probed = append(dec.Probed, ProbeInfo{Family: f, Selectivity: ratio, Matched: res.RowsMatched})
+		if ratio > bestRatio {
+			bestRatio, best = ratio, f
+		}
+		if f.IsUniform() {
+			uniform, uniformRatio = f, ratio
+		}
+	}
+	// Tie-break: when the uniform family matches the best stratified
+	// ratio (within 10%), prefer it — for predicates uncorrelated with
+	// any stratification column the ratios converge, and the uniform
+	// sample's equal weights give strictly lower estimator variance than
+	// a stratified sample's spread of 1/rate weights.
+	if uniform != nil && best != nil && !best.IsUniform() && uniformRatio >= 0.9*bestRatio {
+		best, bestRatio = uniform, uniformRatio
+	}
+	dec.ProbeLatency = maxProbe
+	dec.Reason = fmt.Sprintf("no covering family: probed %d families, best selectivity %.4f on %s",
+		len(cands), bestRatio, best.Phi)
+	return best, dec
+}
+
+// selectResolution implements §4.2: build error and latency profiles from
+// a probe run on the family's smallest sample, then pick the resolution.
+func (rt *Runtime) selectResolution(fam *sample.Family, plan *exec.Plan,
+	q *sqlparser.Query, conf float64, dec *Decision, joins []exec.JoinSpec) (int, sample.View, *exec.Result) {
+
+	// §4.2: "BlinkDB runs a few smaller samples until performance seems
+	// to grow linearly" — for error-bounded queries, probe iteratively,
+	// escalating to coarser resolutions until the probe has enough
+	// matching rows (20) to carry statistical signal. Only the FIRST
+	// probe enjoys the cheap-probe assumption; escalations read real
+	// delta blocks and are priced (and budget-limited) accordingly.
+	pv := rt.probeView(fam)
+	in, probeBlocks := viewInput(pv, plan)
+	probe := rt.runPlan(plan, in, conf, joins)
+	probeLat := rt.latencyOfProbe(probeBlocks)
+	for q.Err != nil && probe.RowsMatched < 20 && pv.Level < fam.Resolutions()-1 {
+		next := fam.View(pv.Level + 1)
+		step := rt.latencyOfSample(prunedBlocks(next.DeltaBlocks(pv), plan))
+		if q.Time != nil && probeLat+step > q.Time.Seconds {
+			break // escalating further would blow the time bound
+		}
+		pv = next
+		in, probeBlocks = viewInput(pv, plan)
+		probe = rt.runPlan(plan, in, conf, joins)
+		probeLat += step
+	}
+	if probeLat > dec.ProbeLatency {
+		dec.ProbeLatency = probeLat
+	}
+
+	minLevel := 0 // smallest level satisfying the error bound
+	satisfiable := true
+	if q.Err != nil {
+		if probe.RowsMatched == 0 {
+			// The probe saw no matching rows: no error bound can be
+			// certified from this family.
+			satisfiable = false
+			minLevel = fam.Resolutions() - 1
+			dec.Reason += "; probe matched no rows"
+		} else {
+			need := rt.requiredRows(probe, q.Err)
+			dec.RequiredRows = need
+			minLevel, satisfiable = rt.levelForRows(fam, probe, need, pv)
+		}
+	}
+
+	maxLevel := fam.Resolutions() - 1 // largest level within the time bound
+	if q.Time != nil {
+		maxLevel = rt.levelForTime(fam, plan, q.Time.Seconds, dec.ProbeLatency, pv)
+	}
+
+	level := minLevel
+	switch {
+	case q.Err != nil && q.Time != nil:
+		// Time is a hard bound; deliver the most accurate within it.
+		if minLevel > maxLevel || !satisfiable {
+			level = maxLevel
+		}
+	case q.Err != nil:
+		if !satisfiable {
+			// No resolution reaches the bound; signal base-table fallback.
+			dec.Reason += "; largest sample insufficient for error bound"
+			return -1, pv, probe
+		}
+	case q.Time != nil:
+		level = maxLevel
+	}
+	if level < 0 {
+		level = 0
+	}
+	dec.Reason += fmt.Sprintf("; resolution %d/%d (K=%d)", level, fam.Resolutions()-1, fam.View(level).Cap())
+	return level, pv, probe
+}
+
+// requiredRows converts the error bound into a matched-row target using
+// the Table 2 extrapolation: stderr ∝ 1/√n. The worst (group, aggregate)
+// pair dominates.
+func (rt *Runtime) requiredRows(probe *exec.Result, eb *sqlparser.ErrorBound) float64 {
+	z := stats.ZForConfidence(eb.Confidence)
+	need := 0.0
+	for _, g := range probe.Groups {
+		for _, e := range g.Estimates {
+			if e.Rows == 0 {
+				continue
+			}
+			var n float64
+			if e.Exact {
+				// The probe already holds every matching row of this
+				// group; keeping them all keeps the answer exact.
+				n = float64(e.Rows)
+			} else {
+				targetBound := eb.Bound
+				if eb.Relative {
+					targetBound = eb.Bound * math.Abs(e.Point)
+					if targetBound == 0 {
+						continue
+					}
+				}
+				targetStdErr := targetBound / z
+				n = stats.RequiredRowsForStdErr(e.StdErr, float64(e.Rows), targetStdErr)
+				// Stderr estimated from a handful of rows is unreliable;
+				// apply a floor that shrinks once the probe carries
+				// signal.
+				switch {
+				case e.Rows < 8 && n < 30:
+					n = 30
+				case n < 10:
+					n = 10
+				}
+			}
+			// n is a PER-GROUP requirement; levelForRows reasons in
+			// query-total matched rows, so scale by the group's share of
+			// the probe's matches.
+			if probe.RowsMatched > 0 {
+				n *= float64(probe.RowsMatched) / float64(e.Rows)
+			}
+			if n > need && !math.IsInf(n, 1) {
+				need = n
+			}
+		}
+	}
+	return need
+}
+
+// levelForRows finds the smallest resolution whose expected matched rows
+// reach need (the paper's n·(Km/n_{i,m}) rule inverted). The second return
+// value is false when even the largest resolution falls short.
+func (rt *Runtime) levelForRows(fam *sample.Family, probe *exec.Result, need float64, pv sample.View) (int, bool) {
+	if need == 0 {
+		return 0, true
+	}
+	probeRows := float64(probe.RowsMatched)
+	if probeRows == 0 {
+		return fam.Resolutions() - 1, false // no signal: be conservative
+	}
+	for lvl := 0; lvl < fam.Resolutions(); lvl++ {
+		if expectedMatches(fam, probe, lvl, pv) >= need {
+			return lvl, true
+		}
+		// Census detection: a resolution whose cap is at least the
+		// largest stratum frequency among matched rows contains EVERY
+		// matching base-table row, so its answer is exact (§3.1:
+		// F(x) ≤ K ⇒ exact) and any error bound is satisfied. The
+		// stratum frequencies come from sample metadata, so this test is
+		// noise-free.
+		if f := probe.MaxMatchedStratumFreq; f > 0 && fam.View(lvl).Cap() >= f &&
+			!fam.IsUniform() {
+			return lvl, true
+		}
+	}
+	return fam.Resolutions() - 1, false
+}
+
+// expectedMatches projects the matched rows at a resolution. Matched rows
+// in capped strata grow proportionally to the cap K (that is precisely the
+// guarantee of S(φ,K)); the projection is clamped by the HT estimate of
+// the true base-table match count, which uncapped strata cannot exceed.
+func expectedMatches(fam *sample.Family, probe *exec.Result, lvl int, pv sample.View) float64 {
+	probeRows := float64(probe.RowsMatched)
+	capProbe := float64(pv.Cap())
+	if capProbe <= 0 {
+		return probeRows
+	}
+	expected := probeRows * float64(fam.View(lvl).Cap()) / capProbe
+	if probe.WeightedMatched > 0 && expected > probe.WeightedMatched {
+		expected = probe.WeightedMatched
+	}
+	return expected
+}
+
+// levelForTime finds the largest resolution executable within the bound,
+// accounting for probe time already spent and §4.4 delta reuse.
+func (rt *Runtime) levelForTime(fam *sample.Family, plan *exec.Plan, budget, spent float64, pv sample.View) int {
+	best := 0
+	small := pv
+	for lvl := 0; lvl < fam.Resolutions(); lvl++ {
+		view := fam.View(lvl)
+		var lat float64
+		if *rt.opt.DeltaReuse {
+			lat = rt.latencyOfSample(prunedBlocks(view.DeltaBlocks(small), plan))
+		} else {
+			lat = rt.latencyOfSample(prunedBlocks(view.Blocks(), plan))
+		}
+		if spent+lat <= budget {
+			best = lvl
+		}
+	}
+	return best
+}
+
+// ProfilePoint is one point of an Error-Latency Profile: the projected
+// standard error and simulated latency of running the plan on one
+// resolution of a family.
+type ProfilePoint struct {
+	// Level is the resolution index.
+	Level int
+	// Cap is the resolution's frequency cap (or row target for uniform).
+	Cap int64
+	// Rows is the resolution's total row count.
+	Rows int64
+	// ExpectedMatches projects the matched rows at this resolution.
+	ExpectedMatches float64
+	// ProjStdErr is the projected worst-group standard error (1/√n law).
+	ProjStdErr float64
+	// ProjRelErr is the projected worst-group relative error.
+	ProjRelErr float64
+	// Latency is the simulated seconds to scan this resolution
+	// (cumulative blocks, no delta reuse).
+	Latency float64
+}
+
+// Profile builds the full ELP for a plan over one family by probing the
+// smallest resolution and extrapolating error with the 1/√n law of
+// Table 2 while pricing latency with the cluster model. This is the curve
+// Fig. 7(c) plots (time to reach a target error).
+func (rt *Runtime) Profile(fam *sample.Family, plan *exec.Plan, conf float64) []ProfilePoint {
+	pv := rt.probeView(fam)
+	smallIn, _ := viewInput(pv, plan)
+	probe := exec.Run(plan, smallIn, conf)
+	probeMatched := float64(probe.RowsMatched)
+
+	// Worst-group probe error.
+	worstStd, worstRel := 0.0, 0.0
+	for _, g := range probe.Groups {
+		for _, e := range g.Estimates {
+			if e.StdErr > worstStd {
+				worstStd = e.StdErr
+			}
+			if re := e.RelErr(); re > worstRel && !math.IsInf(re, 1) {
+				worstRel = re
+			}
+		}
+	}
+
+	pts := make([]ProfilePoint, 0, fam.Resolutions())
+	for lvl := 0; lvl < fam.Resolutions(); lvl++ {
+		view := fam.View(lvl)
+		pt := ProfilePoint{Level: lvl, Cap: view.Cap(), Rows: view.Rows()}
+		pt.ExpectedMatches = expectedMatches(fam, probe, lvl, pv)
+		if probeMatched > 0 && pt.ExpectedMatches > 0 {
+			shrink := math.Sqrt(probeMatched / pt.ExpectedMatches)
+			pt.ProjStdErr = worstStd * shrink
+			pt.ProjRelErr = worstRel * shrink
+		}
+		pt.Latency = rt.latencyOfSample(prunedBlocks(view.Blocks(), plan))
+		pts = append(pts, pt)
+	}
+	return pts
+}
+
+// runPlan executes the plan over the input, joining dimension tables when
+// the query has JOIN clauses (§2.1: fact-side sampling, exact broadcast
+// dimensions).
+func (rt *Runtime) runPlan(plan *exec.Plan, in exec.Input, conf float64, joins []exec.JoinSpec) *exec.Result {
+	if len(joins) == 0 {
+		return exec.Run(plan, in, conf)
+	}
+	return exec.RunJoin(plan, in, joins, conf)
+}
+
+// checkJoinAdmissible enforces §2.1's join rules: each join needs either a
+// stratified family on the fact table containing the join key, or a
+// dimension table that fits in the cluster's aggregate memory.
+func (rt *Runtime) checkJoinAdmissible(entry *catalog.Entry, q *sqlparser.Query, joins []exec.JoinSpec) error {
+	cacheBytes := float64(rt.clus.Config().Nodes) * rt.clus.Config().MemCacheBytesPerNode
+	for i, j := range joins {
+		key := q.Joins[i].LeftCol
+		keyInFamily := false
+		for _, f := range entry.Stratified() {
+			if f.Phi.Contains(key) {
+				keyInFamily = true
+				break
+			}
+		}
+		fits := float64(j.Dim.Bytes())*rt.opt.Scale <= cacheBytes
+		if !keyInFamily && !fits {
+			return fmt.Errorf("elp: join on %s unsupported: no stratified sample contains the join key %q and table %q does not fit in cluster memory (§2.1)",
+				q.Joins[i].Table, key, q.Joins[i].Table)
+		}
+	}
+	return nil
+}
+
+// broadcastCost prices shipping every dimension table to every node once
+// per query (the §2.1 in-memory dimension path).
+func (rt *Runtime) broadcastCost(joins []exec.JoinSpec) float64 {
+	if len(joins) == 0 {
+		return 0
+	}
+	var bytes float64
+	for _, j := range joins {
+		bytes += float64(j.Dim.Bytes()) * rt.opt.Scale
+	}
+	cfg := rt.clus.Config()
+	return bytes / (float64(cfg.Nodes) * rt.opt.Profile.NetworkMBps * 1e6)
+}
+
+// factColumns restricts a column set to those present in the fact schema.
+func factColumns(cs types.ColumnSet, fact *types.Schema) types.ColumnSet {
+	var keep []string
+	for _, c := range cs.Columns() {
+		if fact.Index(c) >= 0 {
+			keep = append(keep, c)
+		}
+	}
+	return types.NewColumnSet(keep...)
+}
+
+// prunedBlocks applies zone-map pruning (the §3.1 clustered layout) to a
+// view's blocks for the given plan: blocks whose per-column min/max cannot
+// satisfy the predicate's conjunctive bounds are neither read nor priced.
+func prunedBlocks(blocks []*storage.Block, plan *exec.Plan) []*storage.Block {
+	kept, _ := exec.PruneBlocks(blocks, exec.ColumnBounds(plan.Pred))
+	return kept
+}
+
+// viewInput builds a pruned executor input for one view.
+func viewInput(v sample.View, plan *exec.Plan) (exec.Input, []*storage.Block) {
+	blocks := prunedBlocks(v.Blocks(), plan)
+	return exec.FromBlocks(v.Family.Schema(), blocks, v.Cap()), blocks
+}
+
+// latencyOf prices a block read on the simulated cluster: bytes are scaled
+// to logical size, spread per the blocks' node placement, with a shuffle
+// term proportional to bytes scanned.
+func (rt *Runtime) latencyOf(blocks []*storage.Block, scale float64) float64 {
+	if len(blocks) == 0 {
+		// §4.4: upgrading to the already-probed resolution reads nothing
+		// and launches no job — the probe's answer is reused as-is.
+		return 0
+	}
+	var total int64
+	for _, b := range blocks {
+		total += b.Bytes
+	}
+	shuffle := float64(total) * scale * rt.opt.ShuffleFraction
+	work := rt.clus.WorkFromBlocks(blocks, scale, shuffle)
+	return rt.clus.Latency(rt.opt.Profile, work)
+}
+
+// latencyOfBase prices a base-table read (table-byte scale).
+func (rt *Runtime) latencyOfBase(blocks []*storage.Block) float64 {
+	return rt.latencyOf(blocks, rt.opt.Scale)
+}
+
+// latencyOfSample prices a sample read (sample scale).
+func (rt *Runtime) latencyOfSample(blocks []*storage.Block) float64 {
+	return rt.latencyOf(blocks, rt.opt.SampleScale)
+}
+
+// latencyOfProbe prices a probe run.
+func (rt *Runtime) latencyOfProbe(blocks []*storage.Block) float64 {
+	if rt.opt.ProbeOverheadOnly {
+		if len(blocks) == 0 {
+			return 0
+		}
+		return rt.opt.Profile.JobOverheadSec
+	}
+	return rt.latencyOfSample(blocks)
+}
+
+// probeView returns the family's probe resolution: the smallest level with
+// at least MinProbeRows rows (or the largest level if none reaches it).
+func (rt *Runtime) probeView(fam *sample.Family) sample.View {
+	for lvl := 0; lvl < fam.Resolutions(); lvl++ {
+		if v := fam.View(lvl); v.Rows() >= rt.opt.MinProbeRows {
+			return v
+		}
+	}
+	return fam.Largest()
+}

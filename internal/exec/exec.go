@@ -1,0 +1,411 @@
+// Package exec implements BlinkDB-Go's query executor: scan → filter →
+// group-by → weighted aggregate over block-oriented row sources. Every
+// matching row contributes with weight 1/rate (its effective sampling
+// rate), producing the unbiased estimates of §4.3; base tables have rate 1
+// everywhere so exact execution is the same code path.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"blinkdb/internal/sample"
+	"blinkdb/internal/sqlparser"
+	"blinkdb/internal/stats"
+	"blinkdb/internal/storage"
+	"blinkdb/internal/types"
+)
+
+// Input is a scannable row source with per-row sampling rates.
+type Input struct {
+	// Schema describes the rows.
+	Schema *types.Schema
+	// Blocks is the physical block set (used by the cost model).
+	Blocks []*storage.Block
+	// Rate derives a row's effective sampling rate from its metadata.
+	Rate func(m storage.RowMeta) float64
+}
+
+// FromTable wraps a base table (or uniform-rate sample table) as an Input.
+func FromTable(t *storage.Table) Input {
+	return Input{
+		Schema: t.Schema,
+		Blocks: t.Blocks,
+		Rate:   func(m storage.RowMeta) float64 { return m.Rate },
+	}
+}
+
+// FromView wraps a sample-family resolution as an Input; rates are derived
+// per row from the view's cap and the row's stratum frequency.
+func FromView(v sample.View) Input {
+	cap := v.Cap()
+	return Input{
+		Schema: v.Family.Schema(),
+		Blocks: v.Blocks(),
+		Rate:   func(m storage.RowMeta) float64 { return sample.RateForCap(m, cap) },
+	}
+}
+
+// FromBlocks wraps an explicit block list (the §4.4 delta-reuse path).
+func FromBlocks(schema *types.Schema, blocks []*storage.Block, cap int64) Input {
+	return Input{
+		Schema: schema,
+		Blocks: blocks,
+		Rate:   func(m storage.RowMeta) float64 { return sample.RateForCap(m, cap) },
+	}
+}
+
+// AggPlan is a compiled aggregate.
+type AggPlan struct {
+	Kind  stats.AggKind
+	Col   int // schema index; -1 for COUNT(*)
+	P     float64
+	Alias string
+}
+
+// Plan is a compiled query ready to run against inputs sharing a schema.
+type Plan struct {
+	Schema     *types.Schema
+	Pred       types.Predicate
+	GroupBy    []int
+	GroupNames []string
+	Aggs       []AggPlan
+	Limit      int
+}
+
+// Compile resolves a parsed query against a schema.
+func Compile(q *sqlparser.Query, schema *types.Schema) (*Plan, error) {
+	p := &Plan{Schema: schema, Pred: types.TruePred{}, Limit: q.Limit}
+	if q.Where != nil {
+		pred, err := q.Where.Resolve(schema)
+		if err != nil {
+			return nil, fmt.Errorf("exec: %w", err)
+		}
+		p.Pred = pred
+	}
+	for _, g := range q.GroupBy {
+		i, err := schema.MustIndex(g)
+		if err != nil {
+			return nil, fmt.Errorf("exec: %w", err)
+		}
+		p.GroupBy = append(p.GroupBy, i)
+		p.GroupNames = append(p.GroupNames, strings.ToLower(g))
+	}
+	for _, a := range q.Aggs {
+		ap := AggPlan{Kind: a.Kind, Col: -1, P: a.P, Alias: a.Alias}
+		if a.Col != "" {
+			i, err := schema.MustIndex(a.Col)
+			if err != nil {
+				return nil, fmt.Errorf("exec: %w", err)
+			}
+			ap.Col = i
+		} else if a.Kind != stats.AggCount {
+			return nil, fmt.Errorf("exec: %s requires a column", a.Kind)
+		}
+		p.Aggs = append(p.Aggs, ap)
+	}
+	if len(p.Aggs) == 0 {
+		return nil, fmt.Errorf("exec: no aggregates")
+	}
+	return p, nil
+}
+
+// WithPred returns a copy of the plan with the predicate replaced. Used by
+// the §4.1.2 disjunction rewrite, which runs one sub-query per disjunct.
+func (p *Plan) WithPred(pred types.Predicate) *Plan {
+	cp := *p
+	cp.Pred = pred
+	return &cp
+}
+
+// Group is one output row.
+type Group struct {
+	// Key holds the GROUP BY values (empty for global aggregates).
+	Key []types.Value
+	// Estimates has one entry per aggregate, in plan order.
+	Estimates []stats.Estimate
+}
+
+// KeyString renders the group key for display ("NY" or "NY/Win7").
+func (g Group) KeyString() string {
+	if len(g.Key) == 0 {
+		return "(all)"
+	}
+	parts := make([]string, len(g.Key))
+	for i, v := range g.Key {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "/")
+}
+
+// Result is the output of running a plan over one input.
+type Result struct {
+	// Groups are the output rows, sorted by key.
+	Groups []Group
+	// RowsScanned counts every row read from the input.
+	RowsScanned int64
+	// RowsMatched counts rows passing the predicate.
+	RowsMatched int64
+	// WeightedMatched is Σ 1/rate over matching rows — the
+	// Horvitz–Thompson estimate of how many base-table rows match.
+	WeightedMatched float64
+	// MaxMatchedStratumFreq is the largest base-table stratum frequency
+	// among matching rows (0 when rows carry no stratum metadata). A
+	// sample resolution whose cap is ≥ this value contains EVERY
+	// matching row — a census, hence an exact answer (§3.1).
+	MaxMatchedStratumFreq int64
+	// BytesScanned is the physical bytes behind the scanned blocks.
+	BytesScanned int64
+	// Confidence used for the estimates.
+	Confidence float64
+}
+
+// Selectivity returns matched/scanned (the s_q of §4.2).
+func (r *Result) Selectivity() float64 {
+	if r.RowsScanned == 0 {
+		return 0
+	}
+	return float64(r.RowsMatched) / float64(r.RowsScanned)
+}
+
+// MaxRelErr returns the worst relative error across all groups and
+// aggregates; +Inf when a group estimate has zero point and nonzero bound.
+func (r *Result) MaxRelErr() float64 {
+	worst := 0.0
+	for _, g := range r.Groups {
+		for _, e := range g.Estimates {
+			if re := e.RelErr(); re > worst {
+				worst = re
+			}
+		}
+	}
+	return worst
+}
+
+// MaxAbsErr returns the worst CI half-width across groups and aggregates.
+func (r *Result) MaxAbsErr() float64 {
+	worst := 0.0
+	for _, g := range r.Groups {
+		for _, e := range g.Estimates {
+			if e.Bound > worst {
+				worst = e.Bound
+			}
+		}
+	}
+	return worst
+}
+
+// MinGroupRows returns the smallest per-group matched row count, a
+// convergence indicator for rare subgroups.
+func (r *Result) MinGroupRows() int64 {
+	if len(r.Groups) == 0 {
+		return 0
+	}
+	min := int64(1<<62 - 1)
+	for _, g := range r.Groups {
+		for _, e := range g.Estimates {
+			if e.Rows < min {
+				min = e.Rows
+			}
+		}
+	}
+	return min
+}
+
+// groupState accumulates one group during execution.
+type groupState struct {
+	key  []types.Value
+	accs []*stats.Acc
+}
+
+// newGroupState initialises a group for the given (possibly nil) first row.
+func newGroupState(p *Plan, row types.Row) *groupState {
+	gs := &groupState{accs: make([]*stats.Acc, len(p.Aggs))}
+	for ai, a := range p.Aggs {
+		gs.accs[ai] = stats.NewAcc(a.Kind, a.P)
+	}
+	if len(p.GroupBy) > 0 && row != nil {
+		gs.key = make([]types.Value, len(p.GroupBy))
+		for ki, ci := range p.GroupBy {
+			gs.key[ki] = row[ci]
+		}
+	}
+	return gs
+}
+
+// addRow feeds one matching row into a group's accumulators.
+func addRow(p *Plan, gs *groupState, row types.Row, rate float64) {
+	for ai, a := range p.Aggs {
+		x := 1.0 // COUNT(*)
+		if a.Col >= 0 {
+			v := row[a.Col]
+			if v.IsNull() {
+				continue // SQL semantics: NULLs ignored
+			}
+			x = v.AsFloat()
+			if a.Kind == stats.AggCount {
+				x = 1
+			}
+		}
+		gs.accs[ai].Add(x, rate)
+	}
+}
+
+// finalize converts group states into sorted result groups.
+func finalize(p *Plan, res *Result, groups map[string]*groupState) {
+	for _, gs := range groups {
+		g := Group{Key: gs.key, Estimates: make([]stats.Estimate, len(gs.accs))}
+		for i, acc := range gs.accs {
+			g.Estimates[i] = acc.Estimate(res.Confidence)
+		}
+		res.Groups = append(res.Groups, g)
+	}
+	sort.Slice(res.Groups, func(i, j int) bool {
+		return compareKeys(res.Groups[i].Key, res.Groups[j].Key) < 0
+	})
+	if p.Limit > 0 && len(res.Groups) > p.Limit {
+		res.Groups = res.Groups[:p.Limit]
+	}
+}
+
+// Run executes the plan over the input at the given confidence level.
+func Run(p *Plan, in Input, confidence float64) *Result {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	res := &Result{Confidence: confidence}
+	groups := make(map[string]*groupState)
+
+	for _, b := range in.Blocks {
+		res.BytesScanned += b.Bytes
+		for i, row := range b.Rows {
+			res.RowsScanned++
+			if !p.Pred.Eval(row) {
+				continue
+			}
+			res.RowsMatched++
+			rate := 1.0
+			if in.Rate != nil {
+				rate = in.Rate(b.Meta[i])
+			}
+			if rate > 0 {
+				res.WeightedMatched += 1 / rate
+			}
+			if f := b.Meta[i].StratumFreq; f > res.MaxMatchedStratumFreq {
+				res.MaxMatchedStratumFreq = f
+			}
+			key := ""
+			if len(p.GroupBy) > 0 {
+				key = types.RowKey(row, p.GroupBy)
+			}
+			gs, ok := groups[key]
+			if !ok {
+				gs = newGroupState(p, row)
+				groups[key] = gs
+			}
+			addRow(p, gs, row, rate)
+		}
+	}
+
+	// A global aggregate with zero matches still yields one empty group.
+	if len(p.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = newGroupState(p, nil)
+	}
+	finalize(p, res, groups)
+	return res
+}
+
+func compareKeys(a, b []types.Value) int {
+	for i := range a {
+		if i >= len(b) {
+			return 1
+		}
+		if c := types.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
+}
+
+// MergeResults combines partial results from disjunct sub-queries
+// (§4.1.2): groups with equal keys have their estimates summed for
+// COUNT/SUM and combined conservatively for AVG/QUANTILE (point estimates
+// weighted by effective rows; variances added for sums).
+//
+// Disjuncts produced by SplitDisjuncts may overlap (a OR b is not a
+// disjoint union); BlinkDB's rewrite assigns per-subquery constraints and
+// aggregates assuming near-disjoint predicates, which holds for the
+// template workloads evaluated in the paper. We follow that design.
+func MergeResults(p *Plan, parts []*Result) *Result {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	out := &Result{Confidence: parts[0].Confidence}
+	type slot struct {
+		key []types.Value
+		est []stats.Estimate
+	}
+	merged := map[string]*slot{}
+	var order []string
+	for _, part := range parts {
+		out.RowsScanned += part.RowsScanned
+		out.RowsMatched += part.RowsMatched
+		out.WeightedMatched += part.WeightedMatched
+		out.BytesScanned += part.BytesScanned
+		for _, g := range part.Groups {
+			key := ""
+			for _, v := range g.Key {
+				key += v.Key() + "\x1f"
+			}
+			s, ok := merged[key]
+			if !ok {
+				s = &slot{key: g.Key, est: make([]stats.Estimate, len(g.Estimates))}
+				copy(s.est, g.Estimates)
+				merged[key] = s
+				order = append(order, key)
+				continue
+			}
+			for i := range s.est {
+				s.est[i] = mergeEstimate(p.Aggs[i].Kind, s.est[i], g.Estimates[i])
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		s := merged[key]
+		out.Groups = append(out.Groups, Group{Key: s.key, Estimates: s.est})
+	}
+	return out
+}
+
+func mergeEstimate(kind stats.AggKind, a, b stats.Estimate) stats.Estimate {
+	out := a
+	out.Rows = a.Rows + b.Rows
+	out.EffRows = a.EffRows + b.EffRows
+	out.Exact = a.Exact && b.Exact
+	switch kind {
+	case stats.AggCount, stats.AggSum:
+		out.Point = a.Point + b.Point
+		out.StdErr = sqrtSumSq(a.StdErr, b.StdErr)
+	case stats.AggAvg, stats.AggQuantile:
+		// Weighted combination by effective rows.
+		wa, wb := a.EffRows, b.EffRows
+		if wa+wb == 0 {
+			wa, wb = 1, 1
+		}
+		out.Point = (a.Point*wa + b.Point*wb) / (wa + wb)
+		out.StdErr = sqrtSumSq(a.StdErr*wa/(wa+wb), b.StdErr*wb/(wa+wb))
+	}
+	z := stats.ZForConfidence(a.Confidence)
+	out.Bound = z * out.StdErr
+	return out
+}
+
+func sqrtSumSq(a, b float64) float64 {
+	return math.Sqrt(a*a + b*b)
+}

@@ -1,0 +1,204 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"blinkdb/internal/sqlparser"
+	"blinkdb/internal/storage"
+	"blinkdb/internal/types"
+)
+
+// JoinSpec is one compiled equi-join against an in-memory dimension table
+// (§2.1's common case: a large fact table joined with dimension tables
+// small enough to broadcast to every node).
+type JoinSpec struct {
+	// Dim is the dimension table (broadcast, unsampled).
+	Dim *storage.Table
+	// LeftCol indexes the accumulated left-side schema.
+	LeftCol int
+	// RightCol indexes the dimension table's schema.
+	RightCol int
+}
+
+// JoinedSchema builds the output schema of fact ⋈ dims: fact columns keep
+// their names; dimension columns that collide with an existing name are
+// qualified as "table.col". Returns the combined schema and, per join, the
+// offset where that dimension's columns start.
+func JoinedSchema(fact *types.Schema, dims []*storage.Table) (*types.Schema, []int, error) {
+	cols := append([]types.Column{}, fact.Columns...)
+	used := map[string]bool{}
+	for _, c := range fact.Columns {
+		used[strings.ToLower(c.Name)] = true
+	}
+	offsets := make([]int, len(dims))
+	for di, d := range dims {
+		offsets[di] = len(cols)
+		for _, c := range d.Schema.Columns {
+			name := c.Name
+			if used[strings.ToLower(name)] {
+				name = strings.ToLower(d.Name) + "." + c.Name
+				if used[strings.ToLower(name)] {
+					return nil, nil, fmt.Errorf("exec: column %q ambiguous even qualified", name)
+				}
+			}
+			used[strings.ToLower(name)] = true
+			cols = append(cols, types.Column{Name: name, Kind: c.Kind})
+		}
+	}
+	return types.NewSchema(cols...), offsets, nil
+}
+
+// CompileJoins resolves a query's JOIN clauses against the fact schema and
+// a dimension lookup function, returning the combined schema and compiled
+// join specs. Join columns may be qualified ("dim.col").
+func CompileJoins(q *sqlparser.Query, fact *types.Schema,
+	lookup func(table string) (*storage.Table, error)) (*types.Schema, []JoinSpec, error) {
+
+	dims := make([]*storage.Table, len(q.Joins))
+	for i, j := range q.Joins {
+		d, err := lookup(j.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		dims[i] = d
+	}
+	combined, offsets, err := JoinedSchema(fact, dims)
+	if err != nil {
+		return nil, nil, err
+	}
+	specs := make([]JoinSpec, len(q.Joins))
+	for i, j := range q.Joins {
+		// The left column resolves against the combined schema (it may
+		// reference the fact table or an earlier join's output).
+		li := combined.Index(j.LeftCol)
+		if li < 0 {
+			return nil, nil, fmt.Errorf("exec: join column %q not found", j.LeftCol)
+		}
+		// The right column resolves within the joined dimension; accept
+		// both bare and "table.col" qualified forms.
+		rname := j.RightCol
+		if k := strings.IndexByte(rname, '.'); k >= 0 {
+			if !strings.EqualFold(rname[:k], j.Table) {
+				return nil, nil, fmt.Errorf("exec: join column %q does not reference %s", rname, j.Table)
+			}
+			rname = rname[k+1:]
+		}
+		ri := dims[i].Schema.Index(rname)
+		if ri < 0 {
+			return nil, nil, fmt.Errorf("exec: join column %q not in %s", j.RightCol, j.Table)
+		}
+		specs[i] = JoinSpec{Dim: dims[i], LeftCol: li, RightCol: ri}
+	}
+	_ = offsets
+	return combined, specs, nil
+}
+
+// joinIndex is a hash index over one dimension table.
+type joinIndex struct {
+	rows map[string][]types.Row
+	spec JoinSpec
+}
+
+func buildJoinIndex(spec JoinSpec) *joinIndex {
+	idx := &joinIndex{rows: map[string][]types.Row{}, spec: spec}
+	spec.Dim.Scan(func(r types.Row, _ storage.RowMeta) bool {
+		key := r[spec.RightCol].Key()
+		idx.rows[key] = append(idx.rows[key], r)
+		return true
+	})
+	return idx
+}
+
+// RunJoin executes the plan over fact ⋈ dims: the fact side streams from
+// `in` (a base table or a sample view — rates carry through unchanged,
+// since dimensions are unsampled, §2.1); dimension rows are hash-joined
+// in memory. plan must be compiled against the combined schema.
+func RunJoin(p *Plan, in Input, joins []JoinSpec, confidence float64) *Result {
+	idxs := make([]*joinIndex, len(joins))
+	for i, j := range joins {
+		idxs[i] = buildJoinIndex(j)
+	}
+	joined := Input{
+		Schema: p.Schema,
+		Blocks: in.Blocks,
+		Rate:   in.Rate,
+	}
+	// Wrap execution: expand each fact row through the join chain.
+	return runExpanded(p, joined, confidence, func(fact types.Row, emit func(types.Row)) {
+		expandJoins(fact, idxs, 0, emit)
+	})
+}
+
+func expandJoins(left types.Row, idxs []*joinIndex, depth int, emit func(types.Row)) {
+	if depth == len(idxs) {
+		emit(left)
+		return
+	}
+	idx := idxs[depth]
+	matches := idx.rows[left[idx.spec.LeftCol].Key()]
+	for _, dimRow := range matches {
+		combined := make(types.Row, 0, len(left)+len(dimRow))
+		combined = append(combined, left...)
+		combined = append(combined, dimRow...)
+		expandJoins(combined, idxs, depth+1, emit)
+	}
+}
+
+// runExpanded is Run with a row-expansion hook (used by joins): each
+// scanned row may produce zero or more logical rows that flow through the
+// predicate/group/aggregate pipeline with the source row's sampling rate.
+func runExpanded(p *Plan, in Input, confidence float64,
+	expand func(r types.Row, emit func(types.Row))) *Result {
+
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	res := &Result{Confidence: confidence}
+	groups := make(map[string]*groupState)
+
+	process := func(row types.Row, rate float64) {
+		if !p.Pred.Eval(row) {
+			return
+		}
+		res.RowsMatched++
+		if rate > 0 {
+			res.WeightedMatched += 1 / rate
+		}
+		key := ""
+		if len(p.GroupBy) > 0 {
+			key = types.RowKey(row, p.GroupBy)
+		}
+		gs, ok := groups[key]
+		if !ok {
+			gs = newGroupState(p, row)
+			groups[key] = gs
+		}
+		addRow(p, gs, row, rate)
+	}
+
+	for _, b := range in.Blocks {
+		res.BytesScanned += b.Bytes
+		for i, r := range b.Rows {
+			res.RowsScanned++
+			rate := 1.0
+			if in.Rate != nil {
+				rate = in.Rate(b.Meta[i])
+			}
+			meta := b.Meta[i]
+			expand(r, func(row types.Row) {
+				before := res.RowsMatched
+				process(row, rate)
+				if res.RowsMatched > before && meta.StratumFreq > res.MaxMatchedStratumFreq {
+					res.MaxMatchedStratumFreq = meta.StratumFreq
+				}
+			})
+		}
+	}
+
+	if len(p.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = newGroupState(p, nil)
+	}
+	finalize(p, res, groups)
+	return res
+}

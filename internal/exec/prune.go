@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"math"
+
+	"blinkdb/internal/storage"
+	"blinkdb/internal/types"
+)
+
+// Bounds is a per-column value interval implied by a predicate's
+// conjunctive comparisons. Nil endpoints mean unbounded.
+type Bounds struct {
+	// Lo is the lower bound (nil = −∞); LoOpen excludes Lo itself.
+	Lo *types.Value
+	// Hi is the upper bound (nil = +∞); HiOpen excludes Hi itself.
+	Hi     *types.Value
+	LoOpen bool
+	HiOpen bool
+}
+
+// ColumnBounds extracts per-column bounds from the conjunctive parts of a
+// predicate. OR and NOT subtrees contribute no constraints (conservative:
+// pruning stays correct, it just prunes less). The result maps schema
+// column index → interval.
+func ColumnBounds(p types.Predicate) map[int]*Bounds {
+	out := map[int]*Bounds{}
+	collectBounds(p, out)
+	return out
+}
+
+func collectBounds(p types.Predicate, out map[int]*Bounds) {
+	switch t := p.(type) {
+	case *types.AndPred:
+		for _, k := range t.Kids {
+			collectBounds(k, out)
+		}
+	case *types.CmpPred:
+		b := out[t.ColIdx]
+		if b == nil {
+			b = &Bounds{}
+			out[t.ColIdx] = b
+		}
+		v := t.Val
+		switch t.Op {
+		case types.CmpEq:
+			b.tightenLo(v, false)
+			b.tightenHi(v, false)
+		case types.CmpLt:
+			b.tightenHi(v, true)
+		case types.CmpLe:
+			b.tightenHi(v, false)
+		case types.CmpGt:
+			b.tightenLo(v, true)
+		case types.CmpGe:
+			b.tightenLo(v, false)
+		}
+		// CmpNe carries no interval information.
+	}
+}
+
+func (b *Bounds) tightenLo(v types.Value, open bool) {
+	if b.Lo == nil || types.Compare(v, *b.Lo) > 0 {
+		b.Lo, b.LoOpen = &v, open
+	} else if types.Compare(v, *b.Lo) == 0 && open {
+		b.LoOpen = true
+	}
+}
+
+func (b *Bounds) tightenHi(v types.Value, open bool) {
+	if b.Hi == nil || types.Compare(v, *b.Hi) < 0 {
+		b.Hi, b.HiOpen = &v, open
+	} else if types.Compare(v, *b.Hi) == 0 && open {
+		b.HiOpen = true
+	}
+}
+
+// overlapsZone reports whether the interval can intersect [zMin, zMax].
+func (b *Bounds) overlapsZone(zMin, zMax types.Value) bool {
+	if b.Hi != nil {
+		c := types.Compare(zMin, *b.Hi)
+		if c > 0 || (c == 0 && b.HiOpen) {
+			return false
+		}
+	}
+	if b.Lo != nil {
+		c := types.Compare(zMax, *b.Lo)
+		if c < 0 || (c == 0 && b.LoOpen) {
+			return false
+		}
+	}
+	return true
+}
+
+// PruneBlocks returns the blocks whose zone maps may contain rows
+// satisfying the bounds. Blocks without zone maps are kept (correctness
+// over savings). The second return value is the fraction of bytes pruned.
+func PruneBlocks(blocks []*storage.Block, bounds map[int]*Bounds) ([]*storage.Block, float64) {
+	if len(bounds) == 0 {
+		return blocks, 0
+	}
+	kept := make([]*storage.Block, 0, len(blocks))
+	var total, keptBytes int64
+	for _, blk := range blocks {
+		total += blk.Bytes
+		keep := true
+		for col, b := range bounds {
+			if col >= len(blk.Zones) || !blk.Zones[col].Valid {
+				continue
+			}
+			z := blk.Zones[col]
+			if !b.overlapsZone(z.Min, z.Max) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			kept = append(kept, blk)
+			keptBytes += blk.Bytes
+		}
+	}
+	if total == 0 {
+		return kept, 0
+	}
+	frac := 1 - float64(keptBytes)/float64(total)
+	return kept, math.Max(0, frac)
+}

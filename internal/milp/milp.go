@@ -1,0 +1,394 @@
+// Package milp solves the paper's sample-selection optimization problem
+// (§3.2.1, equations (2)–(5)): a mixed integer linear program that picks
+// which column sets to build stratified sample families on.
+//
+//	maximize   G = Σᵢ wᵢ·yᵢ·Δ(φᵢ)                           (2)
+//	subject to Σⱼ Store(φⱼ)·zⱼ ≤ S                           (3)
+//	           yᵢ ≤ max_{φⱼ ⊆ φᵢ} |D(φⱼ)|/|D(φᵢ)| · zⱼ       (4)
+//	           Σⱼ (δⱼ−zⱼ)²·Store(φⱼ) ≤ r·Σⱼ δⱼ·Store(φⱼ)     (5)
+//
+// with zⱼ ∈ {0,1}. Because the yᵢ appear only through their upper bound,
+// the optimum sets yᵢ to the max coverage among selected candidates, so
+// the program reduces to a nonlinear binary knapsack with a max-coverage
+// objective. The paper solves it with GLPK; we implement an exact
+// depth-first branch-and-bound (optimal for the instance sizes the
+// evaluation uses) with a greedy + local-search fallback for very large
+// candidate sets.
+package milp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Cover links a template to a candidate that (partially) covers it.
+type Cover struct {
+	// Cand indexes Problem.Store.
+	Cand int
+	// Frac is the coverage ratio |D(φⱼ)|/|D(φᵢ)| ∈ [0,1].
+	Frac float64
+}
+
+// Template is one workload query template ⟨φᵢ, wᵢ⟩ with its skew Δ(φᵢ).
+type Template struct {
+	// Weight is wᵢ, the normalized frequency of the template.
+	Weight float64
+	// Delta is Δ(φᵢ), the non-uniformity of the template's column set.
+	Delta float64
+	// Covers lists candidates φⱼ ⊆ φᵢ with their coverage fractions.
+	Covers []Cover
+}
+
+// Problem is a full instance of the optimization.
+type Problem struct {
+	// Store[j] is the storage cost of building candidate j.
+	Store []float64
+	// Budget is S, the total storage budget.
+	Budget float64
+	// Templates is the workload.
+	Templates []Template
+	// Exists[j] is δⱼ: whether candidate j is already built. nil means
+	// nothing exists yet (first solve; the paper then forces r = 1).
+	Exists []bool
+	// ChurnFrac is r ∈ [0,1] from constraint (5). Negative disables the
+	// constraint entirely (equivalent to r = 1 with no prior samples).
+	ChurnFrac float64
+}
+
+// Solution is the solver output.
+type Solution struct {
+	// Select[j] is zⱼ.
+	Select []bool
+	// Objective is G at the solution.
+	Objective float64
+	// Cost is Σ selected storage.
+	Cost float64
+	// Churn is the storage mass created+deleted relative to Exists.
+	Churn float64
+	// Optimal is true when produced by exhaustive branch-and-bound.
+	Optimal bool
+}
+
+// ExactLimit is the candidate count above which Solve falls back from
+// exact branch-and-bound to greedy + local search.
+const ExactLimit = 28
+
+// Solve solves the instance. Candidate sets up to ExactLimit are solved
+// exactly; larger instances use a greedy with swap-based local search.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Store) <= ExactLimit {
+		return branchAndBound(p), nil
+	}
+	return greedy(p), nil
+}
+
+// SolveGreedy forces the greedy + local-search path regardless of instance
+// size. Exposed for the exact-vs-greedy ablation; production callers
+// should use Solve.
+func SolveGreedy(p *Problem) *Solution {
+	if err := p.validate(); err != nil {
+		return &Solution{Select: make([]bool, len(p.Store))}
+	}
+	return greedy(p)
+}
+
+func (p *Problem) validate() error {
+	if p.Budget < 0 {
+		return errors.New("milp: negative budget")
+	}
+	for j, s := range p.Store {
+		if s < 0 || math.IsNaN(s) {
+			return fmt.Errorf("milp: bad storage cost %g for candidate %d", s, j)
+		}
+	}
+	for i, t := range p.Templates {
+		if t.Weight < 0 || t.Delta < 0 {
+			return fmt.Errorf("milp: template %d has negative weight/delta", i)
+		}
+		for _, c := range t.Covers {
+			if c.Cand < 0 || c.Cand >= len(p.Store) {
+				return fmt.Errorf("milp: template %d covers unknown candidate %d", i, c.Cand)
+			}
+			if c.Frac < 0 || c.Frac > 1 {
+				return fmt.Errorf("milp: template %d has coverage %g outside [0,1]", i, c.Frac)
+			}
+		}
+	}
+	if p.Exists != nil && len(p.Exists) != len(p.Store) {
+		return errors.New("milp: Exists length mismatch")
+	}
+	return nil
+}
+
+// existingStorage returns Σ δⱼ·Store(φⱼ).
+func (p *Problem) existingStorage() float64 {
+	if p.Exists == nil {
+		return 0
+	}
+	var s float64
+	for j, e := range p.Exists {
+		if e {
+			s += p.Store[j]
+		}
+	}
+	return s
+}
+
+// churnOf returns the created+deleted storage mass of a selection.
+func (p *Problem) churnOf(sel []bool) float64 {
+	if p.Exists == nil {
+		var s float64
+		for j, z := range sel {
+			if z {
+				s += p.Store[j]
+			}
+		}
+		return s
+	}
+	var churn float64
+	for j, z := range sel {
+		if z != p.Exists[j] {
+			churn += p.Store[j]
+		}
+	}
+	return churn
+}
+
+// churnBudget returns the RHS of constraint (5), or +Inf when disabled.
+func (p *Problem) churnBudget() float64 {
+	if p.ChurnFrac < 0 || p.Exists == nil {
+		return math.Inf(1)
+	}
+	return p.ChurnFrac * p.existingStorage()
+}
+
+// Objective evaluates G for a selection.
+func (p *Problem) Objective(sel []bool) float64 {
+	var g float64
+	for _, t := range p.Templates {
+		best := 0.0
+		for _, c := range t.Covers {
+			if sel[c.Cand] && c.Frac > best {
+				best = c.Frac
+			}
+		}
+		g += t.Weight * t.Delta * best
+	}
+	return g
+}
+
+// cost returns total storage of a selection.
+func (p *Problem) cost(sel []bool) float64 {
+	var s float64
+	for j, z := range sel {
+		if z {
+			s += p.Store[j]
+		}
+	}
+	return s
+}
+
+// ---------- exact branch & bound ----------
+
+type bbState struct {
+	p        *Problem
+	order    []int // candidate visit order
+	gain     []float64
+	best     float64
+	bestSel  []bool
+	churnCap float64
+}
+
+func branchAndBound(p *Problem) *Solution {
+	n := len(p.Store)
+	st := &bbState{p: p, churnCap: p.churnBudget(), best: -1}
+
+	// Visit candidates in descending "max possible contribution" order so
+	// good solutions are found early and pruning bites.
+	maxGain := make([]float64, n)
+	for _, t := range p.Templates {
+		for _, c := range t.Covers {
+			if g := t.Weight * t.Delta * c.Frac; g > maxGain[c.Cand] {
+				maxGain[c.Cand] = g
+			}
+		}
+	}
+	st.gain = maxGain
+	st.order = make([]int, n)
+	for j := range st.order {
+		st.order[j] = j
+	}
+	sort.Slice(st.order, func(a, b int) bool {
+		return maxGain[st.order[a]] > maxGain[st.order[b]]
+	})
+
+	sel := make([]bool, n)
+	st.recurse(sel, 0, 0, 0)
+	if st.bestSel == nil {
+		st.bestSel = make([]bool, n) // empty selection is always feasible
+		st.best = p.Objective(st.bestSel)
+	}
+	return &Solution{
+		Select:    st.bestSel,
+		Objective: st.best,
+		Cost:      p.cost(st.bestSel),
+		Churn:     p.churnOf(st.bestSel),
+		Optimal:   true,
+	}
+}
+
+// upperBound computes an admissible bound: the objective if every
+// undecided candidate (position ≥ depth) were selected for free.
+func (st *bbState) upperBound(sel []bool, depth int) float64 {
+	undecided := make(map[int]bool, len(st.order)-depth)
+	for k := depth; k < len(st.order); k++ {
+		undecided[st.order[k]] = true
+	}
+	var g float64
+	for _, t := range st.p.Templates {
+		best := 0.0
+		for _, c := range t.Covers {
+			if (sel[c.Cand] || undecided[c.Cand]) && c.Frac > best {
+				best = c.Frac
+			}
+		}
+		g += t.Weight * t.Delta * best
+	}
+	return g
+}
+
+func (st *bbState) recurse(sel []bool, depth int, cost, churn float64) {
+	if cost > st.p.Budget+1e-9 || churn > st.churnCap+1e-9 {
+		return
+	}
+	if depth == len(st.order) {
+		// With Exists set, NOT selecting an existing sample also costs
+		// churn (deletion); account for the full selection now.
+		totalChurn := st.p.churnOf(sel)
+		if totalChurn > st.churnCap+1e-9 {
+			return
+		}
+		if g := st.p.Objective(sel); g > st.best {
+			st.best = g
+			st.bestSel = append([]bool{}, sel...)
+		}
+		return
+	}
+	if st.upperBound(sel, depth) <= st.best {
+		return // prune
+	}
+	j := st.order[depth]
+
+	// Branch 1: skip j (deleting an existing sample costs churn).
+	// Exploring "skip" first makes ties resolve toward the smallest
+	// selection, so zero-gain candidates are never chosen just because
+	// budget allows (matches §2.3: no sample on the uniform Genre column).
+	delChurn := 0.0
+	if st.p.Exists != nil && st.p.Exists[j] {
+		delChurn = st.p.Store[j]
+	}
+	st.recurse(sel, depth+1, cost, churn+delChurn)
+
+	// Branch 2: select j (creating a new sample costs churn).
+	addChurn := 0.0
+	if st.p.Exists != nil && !st.p.Exists[j] {
+		addChurn = st.p.Store[j]
+	}
+	sel[j] = true
+	st.recurse(sel, depth+1, cost+st.p.Store[j], churn+addChurn)
+	sel[j] = false
+}
+
+// ---------- greedy + local search fallback ----------
+
+func greedy(p *Problem) *Solution {
+	n := len(p.Store)
+	sel := make([]bool, n)
+	churnCap := p.churnBudget()
+
+	feasible := func(s []bool) bool {
+		return p.cost(s) <= p.Budget+1e-9 && p.churnOf(s) <= churnCap+1e-9
+	}
+
+	// Seed with the existing configuration when it is feasible — churn
+	// constraints make "keep everything" the natural starting point.
+	if p.Exists != nil {
+		copySel := make([]bool, n)
+		copy(copySel, p.Exists)
+		if feasible(copySel) {
+			sel = copySel
+		}
+	}
+
+	cur := p.Objective(sel)
+	for {
+		bestJ, bestGain := -1, 0.0
+		for j := 0; j < n; j++ {
+			if sel[j] {
+				continue
+			}
+			sel[j] = true
+			ok := feasible(sel)
+			g := 0.0
+			if ok {
+				g = p.Objective(sel) - cur
+				// Density: prefer gain per storage unit.
+				if p.Store[j] > 0 {
+					g /= p.Store[j]
+				} else if g > 0 {
+					g = math.Inf(1)
+				}
+			}
+			sel[j] = false
+			if ok && g > bestGain {
+				bestGain, bestJ = g, j
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		sel[bestJ] = true
+		cur = p.Objective(sel)
+	}
+
+	// Local search: try single swaps (drop one, add one) until no
+	// improvement. Bounded passes keep this polynomial.
+	improved := true
+	for pass := 0; improved && pass < 8; pass++ {
+		improved = false
+		for out := 0; out < n; out++ {
+			if !sel[out] {
+				continue
+			}
+			swapped := false
+			for in := 0; in < n && !swapped; in++ {
+				if sel[in] || in == out {
+					continue
+				}
+				sel[out], sel[in] = false, true
+				if feasible(sel) {
+					if g := p.Objective(sel); g > cur+1e-12 {
+						cur = g
+						improved = true
+						swapped = true
+						continue
+					}
+				}
+				sel[out], sel[in] = true, false
+			}
+		}
+	}
+
+	return &Solution{
+		Select:    sel,
+		Objective: cur,
+		Cost:      p.cost(sel),
+		Churn:     p.churnOf(sel),
+		Optimal:   false,
+	}
+}

@@ -1,0 +1,102 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLemmaA1CapFactor property-checks the structural core of Lemma A.1:
+// for a geometric cap family with ratio c, for every feasible optimal cap
+// Kopt the smallest family cap K' ≥ Kopt satisfies K' < c·Kopt + 1 — so an
+// I/O-bound query pays at most a factor c + 1/Kopt in response time over
+// the optimal-sized sample.
+func TestLemmaA1CapFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		c := 2 + rng.Float64()*6 // ratio in [2, 8)
+		k1 := int64(1000 + rng.Intn(1000000))
+		m := 2 + rng.Intn(6)
+		caps := GeometricCaps(k1, c, m, 1)
+		if len(caps) < 2 {
+			continue
+		}
+		// Draw Kopt within the family's representable range.
+		lo, hi := caps[0], caps[len(caps)-1]
+		kopt := lo + int64(rng.Float64()*float64(hi-lo))
+		if kopt < 1 {
+			kopt = 1
+		}
+		// Smallest cap ≥ Kopt.
+		var kPrime int64 = -1
+		for _, k := range caps {
+			if k >= kopt {
+				kPrime = k
+				break
+			}
+		}
+		if kPrime < 0 {
+			continue // Kopt above K1: family cannot satisfy, out of scope
+		}
+		bound := c*float64(kopt) + 1
+		if float64(kPrime) >= bound+1e-9 {
+			t.Fatalf("trial %d: c=%.2f caps=%v Kopt=%d: K'=%d ≥ c·Kopt+1=%.1f",
+				trial, c, caps, kopt, kPrime, bound)
+		}
+	}
+}
+
+// TestLemmaA2CapFactor checks Lemma A.2's structural core: the largest
+// family cap K” ≤ Kopt satisfies K” > Kopt/c − 1, so a time-bounded
+// query's standard deviation grows by at most 1/√(1/c − 1/Kopt).
+func TestLemmaA2CapFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		c := 2 + rng.Float64()*6
+		k1 := int64(1000 + rng.Intn(1000000))
+		m := 2 + rng.Intn(6)
+		caps := GeometricCaps(k1, c, m, 1)
+		if len(caps) < 2 {
+			continue
+		}
+		lo, hi := caps[0], caps[len(caps)-1]
+		kopt := lo + int64(rng.Float64()*float64(hi-lo))
+		var kDouble int64 = -1
+		for i := len(caps) - 1; i >= 0; i-- {
+			if caps[i] <= kopt {
+				kDouble = caps[i]
+				break
+			}
+		}
+		if kDouble < 0 {
+			continue
+		}
+		bound := float64(kopt)/c - 1
+		if float64(kDouble) <= bound-1e-9 {
+			t.Fatalf("trial %d: c=%.2f caps=%v Kopt=%d: K''=%d ≤ Kopt/c−1=%.1f",
+				trial, c, caps, kopt, kDouble, bound)
+		}
+	}
+}
+
+// TestLemmaA2StdErrFactor verifies the statistical consequence empirically:
+// answering from the next-smaller resolution inflates the standard error by
+// at most ~√c relative to the optimal cap (stderr ∝ 1/√n for capped
+// strata).
+func TestLemmaA2StdErrFactor(t *testing.T) {
+	// stderr(K'')/stderr(Kopt) = √(Kopt/K'') < √(c·Kopt/(Kopt−c)) → ~√c
+	// for Kopt ≫ c. Check the ratio bound numerically across the ladder.
+	for _, c := range []float64{2, 4} {
+		caps := GeometricCaps(1<<20, c, 8, 1)
+		for i := 1; i < len(caps); i++ {
+			kopt := caps[i]
+			kDouble := caps[i-1]
+			ratio := math.Sqrt(float64(kopt) / float64(kDouble))
+			limit := 1 / math.Sqrt(1/c-1/float64(kopt))
+			if ratio > limit+1e-9 {
+				t.Errorf("c=%g: stderr ratio %.4f exceeds lemma bound %.4f (Kopt=%d)",
+					c, ratio, limit, kopt)
+			}
+		}
+	}
+}

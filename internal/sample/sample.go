@@ -1,0 +1,396 @@
+// Package sample implements BlinkDB's sample creation machinery (§3.1):
+// stratified samples S(φ,K) that cap the frequency of every distinct value
+// of a column set φ at K, organised into multi-resolution families
+// SFam(φ) = {S(φ,Ki)} with exponentially decreasing caps Ki = ⌊K1/cⁱ⌋.
+//
+// Families are stored physically as NON-OVERLAPPING delta block sets
+// (paper Fig. 4): the smallest sample is delta 0; each coarser resolution
+// adds delta i. A sample at resolution i is the union of deltas 0..i, so a
+// family costs only as much storage as its largest member, and a query
+// that probed resolution 0 can be extended to resolution i by reading only
+// the missing deltas (§4.4 intermediate-data reuse).
+//
+// Uniform samples are the φ = ∅ special case: a single stratum containing
+// every row, capped at the desired sample size.
+package sample
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"blinkdb/internal/storage"
+	"blinkdb/internal/types"
+)
+
+// BuildConfig controls physical layout of built samples.
+type BuildConfig struct {
+	// RowsPerBlock is the block granularity (default 8192).
+	RowsPerBlock int
+	// Nodes is the striping width for round-robin block placement.
+	Nodes int
+	// Place is the storage tier for the blocks.
+	Place storage.Placement
+	// Seed makes sampling deterministic.
+	Seed int64
+}
+
+func (c BuildConfig) normalize() BuildConfig {
+	if c.RowsPerBlock <= 0 {
+		c.RowsPerBlock = 8192
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	return c
+}
+
+// Family is a multi-resolution sample family SFam(φ).
+type Family struct {
+	// Phi is the stratification column set; empty for uniform families.
+	Phi types.ColumnSet
+	// Caps holds the per-resolution frequency caps in ascending order:
+	// Caps[0] is the smallest (probe) sample, Caps[len-1] is K1.
+	Caps []int64
+	// Deltas[i] holds the rows added when moving from resolution i-1 to
+	// i; Deltas[0] is the smallest sample itself. Rows carry
+	// StratumFreq metadata so per-resolution rates can be derived.
+	Deltas []*storage.Table
+
+	schema    *types.Schema
+	baseRows  int64
+	numStrata int64
+	// tailCount is Δ(φ) relative to the largest cap: the number of
+	// distinct φ-values with frequency < K1 (§3.2.1 non-uniformity).
+	tailCount int64
+}
+
+// Resolutions returns the number of resolutions in the family.
+func (f *Family) Resolutions() int { return len(f.Caps) }
+
+// Schema returns the sampled table's schema.
+func (f *Family) Schema() *types.Schema { return f.schema }
+
+// BaseRows returns the row count of the table the family was built from.
+func (f *Family) BaseRows() int64 { return f.baseRows }
+
+// NumStrata returns |D(φ)|, the number of distinct values of φ.
+func (f *Family) NumStrata() int64 { return f.numStrata }
+
+// TailCount returns Δ(φ) = |{v : F(φ,T,v) < K1}|.
+func (f *Family) TailCount() int64 { return f.tailCount }
+
+// IsUniform reports whether this is the uniform (φ = ∅) family.
+func (f *Family) IsUniform() bool { return f.Phi.Empty() }
+
+// StorageBytes returns the family's physical footprint — the size of the
+// largest sample only, since smaller resolutions share its blocks.
+func (f *Family) StorageBytes() int64 {
+	var n int64
+	for _, d := range f.Deltas {
+		n += d.Bytes()
+	}
+	return n
+}
+
+// StorageRows returns the row count of the largest sample.
+func (f *Family) StorageRows() int64 {
+	var n int64
+	for _, d := range f.Deltas {
+		n += d.NumRows()
+	}
+	return n
+}
+
+// View returns the sample at the given resolution (0 = smallest).
+func (f *Family) View(level int) View {
+	if level < 0 {
+		level = 0
+	}
+	if level >= len(f.Caps) {
+		level = len(f.Caps) - 1
+	}
+	return View{Family: f, Level: level}
+}
+
+// Smallest returns the probe resolution.
+func (f *Family) Smallest() View { return f.View(0) }
+
+// Largest returns the highest-fidelity resolution.
+func (f *Family) Largest() View { return f.View(len(f.Caps) - 1) }
+
+// String renders e.g. "SFam([city], K=100..100000, 4 resolutions)".
+func (f *Family) String() string {
+	if f.IsUniform() {
+		return fmt.Sprintf("SFam(uniform, %d resolutions)", len(f.Caps))
+	}
+	return fmt.Sprintf("SFam(%s, K=%d..%d, %d resolutions)",
+		f.Phi, f.Caps[0], f.Caps[len(f.Caps)-1], len(f.Caps))
+}
+
+// View is one sample S(φ, Caps[Level]) of a family: the union of delta
+// block sets 0..Level.
+type View struct {
+	Family *Family
+	Level  int
+}
+
+// Cap returns this view's frequency cap K.
+func (v View) Cap() int64 { return v.Family.Caps[v.Level] }
+
+// Blocks returns the block set backing this resolution (deltas 0..Level).
+func (v View) Blocks() []*storage.Block {
+	var out []*storage.Block
+	for i := 0; i <= v.Level; i++ {
+		out = append(out, v.Family.Deltas[i].Blocks...)
+	}
+	return out
+}
+
+// DeltaBlocks returns only the blocks NOT contained in the other (smaller)
+// view — the §4.4 reuse path: having scanned `smaller`, a query needs to
+// read just these blocks to upgrade to v.
+func (v View) DeltaBlocks(smaller View) []*storage.Block {
+	lo := smaller.Level + 1
+	if smaller.Family != v.Family {
+		lo = 0
+	}
+	var out []*storage.Block
+	for i := lo; i <= v.Level; i++ {
+		out = append(out, v.Family.Deltas[i].Blocks...)
+	}
+	return out
+}
+
+// Rows returns the number of rows in this resolution.
+func (v View) Rows() int64 {
+	var n int64
+	for i := 0; i <= v.Level; i++ {
+		n += v.Family.Deltas[i].NumRows()
+	}
+	return n
+}
+
+// Bytes returns the logical size of this resolution.
+func (v View) Bytes() int64 {
+	var n int64
+	for i := 0; i <= v.Level; i++ {
+		n += v.Family.Deltas[i].Bytes()
+	}
+	return n
+}
+
+// Rate computes the effective sampling rate of a row with the given
+// metadata when read through this view: min(1, K/F(x)) where F(x) is the
+// row's stratum frequency in the base table (§3.1). A row whose stratum
+// fits under the cap has rate 1 (it is exact).
+func (v View) Rate(m storage.RowMeta) float64 {
+	return RateForCap(m, v.Cap())
+}
+
+// RateForCap is View.Rate for an explicit cap value.
+func RateForCap(m storage.RowMeta, cap int64) float64 {
+	f := m.StratumFreq
+	if f <= 0 || f <= cap {
+		return 1
+	}
+	return float64(cap) / float64(f)
+}
+
+// Scan iterates the view's rows with their per-view effective rates.
+func (v View) Scan(fn func(r types.Row, rate float64) bool) {
+	cap := v.Cap()
+	for i := 0; i <= v.Level; i++ {
+		for _, b := range v.Family.Deltas[i].Blocks {
+			for j, r := range b.Rows {
+				if !fn(r, RateForCap(b.Meta[j], cap)) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// String renders e.g. "S([city], K=1000)".
+func (v View) String() string {
+	if v.Family.IsUniform() {
+		return fmt.Sprintf("U(n=%d)", v.Cap())
+	}
+	return fmt.Sprintf("S(%s, K=%d)", v.Family.Phi, v.Cap())
+}
+
+// GeometricCaps builds the paper's cap sequence: Ki = ⌊K1/cⁱ⌋ for
+// 0 ≤ i < m, returned ascending (smallest first). Caps below minCap are
+// dropped; at least one cap (K1) is always returned.
+func GeometricCaps(k1 int64, c float64, m int, minCap int64) []int64 {
+	if c <= 1 {
+		c = 2
+	}
+	if minCap < 1 {
+		minCap = 1
+	}
+	var caps []int64
+	k := float64(k1)
+	for i := 0; i < m; i++ {
+		ki := int64(math.Floor(k))
+		if ki < minCap && i > 0 {
+			break
+		}
+		caps = append(caps, ki)
+		k /= c
+	}
+	// Reverse to ascending order.
+	for i, j := 0, len(caps)-1; i < j; i, j = i+1, j-1 {
+		caps[i], caps[j] = caps[j], caps[i]
+	}
+	return caps
+}
+
+// Build constructs SFam(φ) from a base table. caps must be ascending
+// (GeometricCaps output). An empty φ builds a uniform family whose caps
+// are interpreted as target row counts.
+func Build(base *storage.Table, phi types.ColumnSet, caps []int64, cfg BuildConfig) (*Family, error) {
+	if len(caps) == 0 {
+		return nil, fmt.Errorf("sample: no caps given")
+	}
+	for i := 1; i < len(caps); i++ {
+		if caps[i] < caps[i-1] {
+			return nil, fmt.Errorf("sample: caps must be ascending, got %v", caps)
+		}
+	}
+	cfg = cfg.normalize()
+
+	// Resolve φ to schema indices (empty φ → uniform: single stratum).
+	var idx []int
+	for _, col := range phi.Columns() {
+		i, err := base.Schema.MustIndex(col)
+		if err != nil {
+			return nil, fmt.Errorf("sample: %w", err)
+		}
+		idx = append(idx, i)
+	}
+
+	// Pass 1: group row locators by stratum key.
+	type loc struct{ block, row int32 }
+	strata := make(map[string][]loc)
+	var keys []string
+	for bi, b := range base.Blocks {
+		for ri := range b.Rows {
+			var key string
+			if len(idx) == 0 {
+				key = ""
+			} else {
+				key = types.RowKey(b.Rows[ri], idx)
+			}
+			if _, seen := strata[key]; !seen {
+				keys = append(keys, key)
+			}
+			strata[key] = append(strata[key], loc{int32(bi), int32(ri)})
+		}
+	}
+	sort.Strings(keys) // §3.1: store strata sorted by φ for clustering
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fam := &Family{
+		Phi:       phi,
+		Caps:      append([]int64{}, caps...),
+		schema:    base.Schema,
+		baseRows:  base.NumRows(),
+		numStrata: int64(len(keys)),
+	}
+	k1 := caps[len(caps)-1]
+
+	// Pass 2: per stratum, shuffle once; nested prefixes give every
+	// resolution. Emit rows level by level so deltas are non-overlapping.
+	builders := make([]*storage.Builder, len(caps))
+	for i := range caps {
+		t := storage.NewTable(fmt.Sprintf("%s@K%d", phi.Key(), caps[i]), base.Schema)
+		builders[i] = storage.NewBuilder(t, cfg.RowsPerBlock, cfg.Nodes, cfg.Place)
+		fam.Deltas = append(fam.Deltas, t)
+	}
+	for _, key := range keys {
+		locs := strata[key]
+		f := int64(len(locs))
+		if f < k1 {
+			fam.tailCount++
+		}
+		rng.Shuffle(len(locs), func(i, j int) { locs[i], locs[j] = locs[j], locs[i] })
+		prev := int64(0)
+		for li, cap := range caps {
+			take := f
+			if cap < take {
+				take = cap
+			}
+			for _, l := range locs[prev:take] {
+				r := base.Blocks[l.block].Rows[l.row]
+				builders[li].Append(r, storage.RowMeta{Rate: 1, StratumFreq: f})
+			}
+			if take > prev {
+				prev = take
+			}
+		}
+	}
+	for i := range builders {
+		builders[i].Finish()
+	}
+	return fam, nil
+}
+
+// BuildUniform builds a uniform multi-resolution family with the given
+// target row counts (ascending).
+func BuildUniform(base *storage.Table, sizes []int64, cfg BuildConfig) (*Family, error) {
+	return Build(base, types.NewColumnSet(), sizes, cfg)
+}
+
+// Validate checks the family's structural invariants:
+//   - deltas are disjoint in aggregate size and per-stratum counts are
+//     exactly min(F, K_level) at each resolution;
+//   - per-row StratumFreq matches the actual base frequency recorded at
+//     build time (spot-checkable only via totals here);
+//   - blocks pass storage validation.
+func (f *Family) Validate() error {
+	for li, d := range f.Deltas {
+		if err := storage.Validate(d, 0); err != nil {
+			return fmt.Errorf("delta %d: %w", li, err)
+		}
+	}
+	// Per-stratum counts at each level must be min(F, cap).
+	counts := make(map[string]int64) // stratum key -> rows seen so far
+	freq := make(map[string]int64)   // stratum key -> declared F
+	var idx []int
+	for _, col := range f.Phi.Columns() {
+		i := f.schema.Index(col)
+		if i < 0 {
+			return fmt.Errorf("family column %q missing from schema", col)
+		}
+		idx = append(idx, i)
+	}
+	for li, d := range f.Deltas {
+		cap := f.Caps[li]
+		for _, b := range d.Blocks {
+			for j, r := range b.Rows {
+				key := ""
+				if len(idx) > 0 {
+					key = types.RowKey(r, idx)
+				}
+				counts[key]++
+				m := b.Meta[j]
+				if prev, ok := freq[key]; ok && prev != m.StratumFreq {
+					return fmt.Errorf("stratum %q: inconsistent freq %d vs %d", key, prev, m.StratumFreq)
+				}
+				freq[key] = m.StratumFreq
+			}
+		}
+		for key, n := range counts {
+			want := freq[key]
+			if cap < want {
+				want = cap
+			}
+			if n > want {
+				return fmt.Errorf("level %d stratum %q: %d rows exceeds min(F=%d, K=%d)", li, key, n, freq[key], cap)
+			}
+		}
+	}
+	return nil
+}

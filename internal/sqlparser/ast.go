@@ -1,0 +1,237 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+
+	"blinkdb/internal/stats"
+	"blinkdb/internal/types"
+)
+
+// AggSpec is one aggregate in the SELECT list.
+type AggSpec struct {
+	// Kind is the aggregate operator.
+	Kind stats.AggKind
+	// Col is the argument column; empty for COUNT(*).
+	Col string
+	// P is the quantile level for QUANTILE/PERCENTILE/MEDIAN.
+	P float64
+	// Alias is the output column label.
+	Alias string
+}
+
+// String renders the aggregate in SQL form.
+func (a AggSpec) String() string {
+	switch {
+	case a.Kind == stats.AggCount && a.Col == "":
+		return "COUNT(*)"
+	case a.Kind == stats.AggQuantile:
+		return fmt.Sprintf("QUANTILE(%s, %g)", a.Col, a.P)
+	default:
+		return fmt.Sprintf("%s(%s)", a.Kind, a.Col)
+	}
+}
+
+// ErrorBound is the "ERROR WITHIN x[%] AT CONFIDENCE c%" clause.
+type ErrorBound struct {
+	// Relative, when true, interprets Bound as a fraction of the answer
+	// (the "%": 10% → 0.10); otherwise Bound is absolute.
+	Relative bool
+	// Bound is the maximum half-width of the confidence interval.
+	Bound float64
+	// Confidence is the CI level in (0,1), e.g. 0.95.
+	Confidence float64
+}
+
+// String renders the clause.
+func (e ErrorBound) String() string {
+	if e.Relative {
+		return fmt.Sprintf("ERROR WITHIN %g%% AT CONFIDENCE %g%%", e.Bound*100, e.Confidence*100)
+	}
+	return fmt.Sprintf("ERROR WITHIN %g AT CONFIDENCE %g%%", e.Bound, e.Confidence*100)
+}
+
+// TimeBound is the "WITHIN n SECONDS" clause.
+type TimeBound struct {
+	// Seconds is the maximum response time.
+	Seconds float64
+}
+
+// String renders the clause.
+func (t TimeBound) String() string { return fmt.Sprintf("WITHIN %g SECONDS", t.Seconds) }
+
+// Expr is an unresolved boolean expression (column names not yet bound to
+// schema positions).
+type Expr interface {
+	// Resolve binds column names against a schema, producing an
+	// executable predicate.
+	Resolve(s *types.Schema) (types.Predicate, error)
+	// String renders the expression in SQL-ish syntax.
+	String() string
+}
+
+// CmpExpr is "col op literal".
+type CmpExpr struct {
+	Col string
+	Op  types.CmpOp
+	Val types.Value
+}
+
+// Resolve implements Expr.
+func (e *CmpExpr) Resolve(s *types.Schema) (types.Predicate, error) {
+	i, err := s.MustIndex(e.Col)
+	if err != nil {
+		return nil, err
+	}
+	return &types.CmpPred{Col: strings.ToLower(e.Col), ColIdx: i, Op: e.Op, Val: e.Val}, nil
+}
+
+// String implements Expr.
+func (e *CmpExpr) String() string {
+	if e.Val.Kind == types.KindString {
+		return fmt.Sprintf("%s %s '%s'", e.Col, e.Op, e.Val.S)
+	}
+	return fmt.Sprintf("%s %s %s", e.Col, e.Op, e.Val)
+}
+
+// BinExpr is AND/OR over two sub-expressions.
+type BinExpr struct {
+	And  bool // true = AND, false = OR
+	L, R Expr
+}
+
+// Resolve implements Expr.
+func (e *BinExpr) Resolve(s *types.Schema) (types.Predicate, error) {
+	l, err := e.L.Resolve(s)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.R.Resolve(s)
+	if err != nil {
+		return nil, err
+	}
+	if e.And {
+		return &types.AndPred{Kids: []types.Predicate{l, r}}, nil
+	}
+	return &types.OrPred{Kids: []types.Predicate{l, r}}, nil
+}
+
+// String implements Expr.
+func (e *BinExpr) String() string {
+	op := " OR "
+	if e.And {
+		op = " AND "
+	}
+	return "(" + e.L.String() + op + e.R.String() + ")"
+}
+
+// NotExpr negates a sub-expression.
+type NotExpr struct{ Kid Expr }
+
+// Resolve implements Expr.
+func (e *NotExpr) Resolve(s *types.Schema) (types.Predicate, error) {
+	k, err := e.Kid.Resolve(s)
+	if err != nil {
+		return nil, err
+	}
+	return &types.NotPred{Kid: k}, nil
+}
+
+// String implements Expr.
+func (e *NotExpr) String() string { return "NOT (" + e.Kid.String() + ")" }
+
+// JoinClause is one "JOIN dim ON left = right" clause (equi-joins only,
+// §2.1: BlinkDB supports k-way joins when stratified samples carry the
+// join keys, or when the non-fact operands fit in cluster memory).
+type JoinClause struct {
+	// Table is the joined (dimension) table.
+	Table string
+	// LeftCol and RightCol are the equi-join columns; LeftCol refers to
+	// the accumulated left side (fact table or earlier joins), RightCol
+	// to the joined table. Qualified names ("t.col") are accepted.
+	LeftCol, RightCol string
+}
+
+// String renders the clause.
+func (j JoinClause) String() string {
+	return fmt.Sprintf("JOIN %s ON %s = %s", j.Table, j.LeftCol, j.RightCol)
+}
+
+// Query is a parsed BlinkDB query.
+type Query struct {
+	// Aggs is the SELECT aggregate list.
+	Aggs []AggSpec
+	// ReportError is set by "SELECT ..., RELATIVE ERROR AT c% CONFIDENCE".
+	ReportError bool
+	// ReportConfidence is the confidence for ReportError (default 0.95).
+	ReportConfidence float64
+	// Table is the FROM table name.
+	Table string
+	// Joins lists JOIN clauses in order.
+	Joins []JoinClause
+	// Where is the filter, or nil.
+	Where Expr
+	// GroupBy lists grouping columns.
+	GroupBy []string
+	// Err is the error bound, or nil.
+	Err *ErrorBound
+	// Time is the response-time bound, or nil.
+	Time *TimeBound
+	// Limit caps output rows (0 = unlimited).
+	Limit int
+}
+
+// Columns returns the query-template column set: the union of columns in
+// WHERE and GROUP BY clauses (§3.2.1's φ of the template).
+func (q *Query) Columns(schema *types.Schema) (types.ColumnSet, error) {
+	cs := types.NewColumnSet(q.GroupBy...)
+	if q.Where != nil {
+		p, err := q.Where.Resolve(schema)
+		if err != nil {
+			return cs, err
+		}
+		cs = cs.Union(p.Columns())
+	}
+	return cs, nil
+}
+
+// String renders the query back to SQL.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, a := range q.Aggs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	if q.ReportError {
+		fmt.Fprintf(&b, ", RELATIVE ERROR AT %g%% CONFIDENCE", q.ReportConfidence*100)
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(q.Table)
+	for _, j := range q.Joins {
+		b.WriteString(" ")
+		b.WriteString(j.String())
+	}
+	if q.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(q.Where.String())
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(strings.Join(q.GroupBy, ", "))
+	}
+	if q.Err != nil {
+		b.WriteString(" ")
+		b.WriteString(q.Err.String())
+	}
+	if q.Time != nil {
+		b.WriteString(" ")
+		b.WriteString(q.Time.String())
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}

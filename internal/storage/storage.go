@@ -1,0 +1,263 @@
+// Package storage provides the block-oriented table store underlying
+// BlinkDB-Go. A Table is a bag of Blocks; each block holds a contiguous
+// run of rows, carries per-row effective sampling rates (1.0 for base
+// tables), and has a physical placement: the simulated cluster node it
+// lives on and whether it is resident in memory or on disk.
+//
+// This mirrors the paper's HDFS layout (§2.2.1 "Storage optimization" and
+// Fig. 4): samples are split into many small blocks spread across nodes,
+// and multi-resolution samples map to non-overlapping block sets.
+package storage
+
+import (
+	"fmt"
+
+	"blinkdb/internal/types"
+)
+
+// Placement says where a block physically resides.
+type Placement uint8
+
+const (
+	// OnDisk blocks are read at disk bandwidth.
+	OnDisk Placement = iota
+	// InMemory blocks are read at memory bandwidth.
+	InMemory
+)
+
+// String renders the placement.
+func (p Placement) String() string {
+	if p == InMemory {
+		return "memory"
+	}
+	return "disk"
+}
+
+// RowMeta carries per-row sampling metadata used for the §4.3 bias
+// correction. Base-table rows have Rate 1 and StratumFreq 0.
+type RowMeta struct {
+	// Rate is the effective sampling rate in (0, 1] for rows whose rate
+	// is fixed at build time (uniform samples, base tables).
+	Rate float64
+	// StratumFreq, when positive, records F(φ,T,x): the base-table
+	// frequency of this row's stratum. Stratified-family rows derive
+	// their per-resolution rate as min(1, K/StratumFreq) at query time,
+	// because the same physical row serves several resolutions with
+	// different caps (non-overlapping delta storage, Fig. 4).
+	StratumFreq int64
+}
+
+// Zone is a per-block min/max summary of one column (a zone map). Blocks
+// whose zone cannot intersect a predicate's bounds are skipped entirely —
+// this is how the §3.1 clustered layout ("records with the same or
+// consecutive x values are stored contiguously") turns into I/O savings.
+type Zone struct {
+	// Min and Max bound the column's values within the block.
+	Min, Max types.Value
+	// Valid is false until the first row is recorded.
+	Valid bool
+}
+
+// Extend widens the zone to include v.
+func (z *Zone) Extend(v types.Value) {
+	if !z.Valid {
+		z.Min, z.Max, z.Valid = v, v, true
+		return
+	}
+	if types.Compare(v, z.Min) < 0 {
+		z.Min = v
+	}
+	if types.Compare(v, z.Max) > 0 {
+		z.Max = v
+	}
+}
+
+// Block is a contiguous run of rows with shared placement.
+type Block struct {
+	// ID is unique within a Table.
+	ID int
+	// Rows holds the data.
+	Rows []types.Row
+	// Meta[i] describes Rows[i]. len(Meta) == len(Rows).
+	Meta []RowMeta
+	// Zones[i] summarises column i across the block's rows.
+	Zones []Zone
+	// Node is the cluster node the block is assigned to.
+	Node int
+	// Place is the storage tier.
+	Place Placement
+	// Bytes is the serialized size used by the cost model.
+	Bytes int64
+}
+
+// NumRows returns the row count.
+func (b *Block) NumRows() int { return len(b.Rows) }
+
+// Table is a named collection of blocks sharing a schema.
+type Table struct {
+	Name   string
+	Schema *types.Schema
+	Blocks []*Block
+
+	rows  int64
+	bytes int64
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema *types.Schema) *Table {
+	return &Table{Name: name, Schema: schema}
+}
+
+// AddBlock appends a block, assigning its ID, and updates totals.
+func (t *Table) AddBlock(b *Block) {
+	b.ID = len(t.Blocks)
+	t.Blocks = append(t.Blocks, b)
+	t.rows += int64(len(b.Rows))
+	t.bytes += b.Bytes
+}
+
+// NumRows returns the total number of rows.
+func (t *Table) NumRows() int64 { return t.rows }
+
+// Bytes returns the total serialized size.
+func (t *Table) Bytes() int64 { return t.bytes }
+
+// Scan calls fn for every row (with its metadata) in block order.
+// It is the sequential access path used by the executor.
+func (t *Table) Scan(fn func(r types.Row, m RowMeta) bool) {
+	for _, b := range t.Blocks {
+		for i, r := range b.Rows {
+			if !fn(r, b.Meta[i]) {
+				return
+			}
+		}
+	}
+}
+
+// EstimateRowBytes computes the approximate serialized size of a row:
+// 8 bytes per numeric value, len+2 per string, 1 per bool/null. The cost
+// model only needs relative sizes, so this is deliberately simple.
+func EstimateRowBytes(r types.Row) int64 {
+	var n int64
+	for _, v := range r {
+		switch v.Kind {
+		case types.KindInt, types.KindFloat:
+			n += 8
+		case types.KindString:
+			n += int64(len(v.S)) + 2
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// Builder accumulates rows into fixed-size blocks, striping them
+// round-robin across numNodes cluster nodes (HDFS-style block spread).
+type Builder struct {
+	table        *Table
+	rowsPerBlock int
+	numNodes     int
+	place        Placement
+
+	curRows  []types.Row
+	curMeta  []RowMeta
+	curZones []Zone
+	curByte  int64
+	nextTgt  int
+}
+
+// NewBuilder creates a builder for the given table. rowsPerBlock controls
+// block granularity; numNodes the round-robin striping width.
+func NewBuilder(table *Table, rowsPerBlock, numNodes int, place Placement) *Builder {
+	if rowsPerBlock <= 0 {
+		rowsPerBlock = 8192
+	}
+	if numNodes <= 0 {
+		numNodes = 1
+	}
+	return &Builder{table: table, rowsPerBlock: rowsPerBlock, numNodes: numNodes, place: place}
+}
+
+// Append adds one row with its sampling metadata.
+func (b *Builder) Append(r types.Row, m RowMeta) {
+	b.curRows = append(b.curRows, r)
+	b.curMeta = append(b.curMeta, m)
+	if b.curZones == nil {
+		b.curZones = make([]Zone, len(r))
+	}
+	for i, v := range r {
+		if i < len(b.curZones) {
+			b.curZones[i].Extend(v)
+		}
+	}
+	b.curByte += EstimateRowBytes(r)
+	if len(b.curRows) >= b.rowsPerBlock {
+		b.flush()
+	}
+}
+
+// AppendRow adds an unsampled (rate-1) row.
+func (b *Builder) AppendRow(r types.Row) { b.Append(r, RowMeta{Rate: 1}) }
+
+func (b *Builder) flush() {
+	if len(b.curRows) == 0 {
+		return
+	}
+	blk := &Block{
+		Rows:  b.curRows,
+		Meta:  b.curMeta,
+		Zones: b.curZones,
+		Node:  b.nextTgt % b.numNodes,
+		Place: b.place,
+		Bytes: b.curByte,
+	}
+	b.nextTgt++
+	b.table.AddBlock(blk)
+	b.curRows = nil
+	b.curMeta = nil
+	b.curZones = nil
+	b.curByte = 0
+}
+
+// Finish flushes any partial block and returns the table.
+func (b *Builder) Finish() *Table {
+	b.flush()
+	return b.table
+}
+
+// SetPlacement moves every block of the table to the given tier. Used by
+// experiments to compare cached vs uncached execution (Fig. 8(c)).
+func SetPlacement(t *Table, p Placement) {
+	for _, b := range t.Blocks {
+		b.Place = p
+	}
+}
+
+// Validate checks internal invariants: meta parity, byte accounting and
+// node assignment ranges. Returns the first violation found.
+func Validate(t *Table, numNodes int) error {
+	var rows, bytes int64
+	for _, b := range t.Blocks {
+		if len(b.Rows) != len(b.Meta) {
+			return fmt.Errorf("block %d: %d rows but %d meta", b.ID, len(b.Rows), len(b.Meta))
+		}
+		if numNodes > 0 && (b.Node < 0 || b.Node >= numNodes) {
+			return fmt.Errorf("block %d: node %d out of range [0,%d)", b.ID, b.Node, numNodes)
+		}
+		for i, m := range b.Meta {
+			if m.Rate <= 0 || m.Rate > 1 {
+				return fmt.Errorf("block %d row %d: rate %g out of (0,1]", b.ID, i, m.Rate)
+			}
+		}
+		rows += int64(len(b.Rows))
+		bytes += b.Bytes
+	}
+	if rows != t.rows {
+		return fmt.Errorf("row accounting: blocks have %d, table says %d", rows, t.rows)
+	}
+	if bytes != t.bytes {
+		return fmt.Errorf("byte accounting: blocks have %d, table says %d", bytes, t.bytes)
+	}
+	return nil
+}

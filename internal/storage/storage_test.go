@@ -1,0 +1,155 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"blinkdb/internal/types"
+)
+
+func testSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "city", Kind: types.KindString},
+	)
+}
+
+func buildTable(t *testing.T, n, rowsPerBlock, nodes int) *Table {
+	t.Helper()
+	tab := NewTable("t", testSchema())
+	b := NewBuilder(tab, rowsPerBlock, nodes, OnDisk)
+	for i := 0; i < n; i++ {
+		b.AppendRow(types.Row{types.Int(int64(i)), types.Str("NY")})
+	}
+	b.Finish()
+	if err := Validate(tab, nodes); err != nil {
+		t.Fatalf("invalid table: %v", err)
+	}
+	return tab
+}
+
+func TestBuilderBlocksAndCounts(t *testing.T) {
+	tab := buildTable(t, 100, 16, 4)
+	if tab.NumRows() != 100 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+	// 100/16 → 7 blocks (6 full + 1 partial).
+	if len(tab.Blocks) != 7 {
+		t.Errorf("blocks = %d, want 7", len(tab.Blocks))
+	}
+	if tab.Blocks[6].NumRows() != 4 {
+		t.Errorf("last block rows = %d, want 4", tab.Blocks[6].NumRows())
+	}
+	if tab.Bytes() <= 0 {
+		t.Error("bytes should be positive")
+	}
+}
+
+func TestBuilderRoundRobinPlacement(t *testing.T) {
+	tab := buildTable(t, 100, 10, 4)
+	for i, b := range tab.Blocks {
+		if b.Node != i%4 {
+			t.Errorf("block %d on node %d, want %d", i, b.Node, i%4)
+		}
+	}
+}
+
+func TestScanOrderAndEarlyStop(t *testing.T) {
+	tab := buildTable(t, 50, 8, 2)
+	var seen []int64
+	tab.Scan(func(r types.Row, m RowMeta) bool {
+		if m.Rate != 1 {
+			t.Fatalf("rate = %g, want 1", m.Rate)
+		}
+		seen = append(seen, r[0].I)
+		return len(seen) < 10
+	})
+	if len(seen) != 10 {
+		t.Fatalf("early stop failed: scanned %d", len(seen))
+	}
+	for i, v := range seen {
+		if v != int64(i) {
+			t.Fatalf("scan order broken at %d: %d", i, v)
+		}
+	}
+}
+
+func TestEstimateRowBytes(t *testing.T) {
+	r := types.Row{types.Int(1), types.Str("abc"), types.Float(1.5), types.Null()}
+	// 8 + (3+2) + 8 + 1 = 22
+	if got := EstimateRowBytes(r); got != 22 {
+		t.Errorf("EstimateRowBytes = %d, want 22", got)
+	}
+}
+
+func TestSetPlacement(t *testing.T) {
+	tab := buildTable(t, 30, 8, 2)
+	SetPlacement(tab, InMemory)
+	for _, b := range tab.Blocks {
+		if b.Place != InMemory {
+			t.Fatal("placement not applied")
+		}
+	}
+	if InMemory.String() != "memory" || OnDisk.String() != "disk" {
+		t.Error("Placement.String wrong")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tab := buildTable(t, 20, 8, 2)
+	tab.Blocks[0].Meta = tab.Blocks[0].Meta[:1]
+	if err := Validate(tab, 2); err == nil {
+		t.Error("meta/rows mismatch not caught")
+	}
+
+	tab2 := buildTable(t, 20, 8, 2)
+	tab2.Blocks[0].Meta[0].Rate = 0
+	if err := Validate(tab2, 2); err == nil {
+		t.Error("zero rate not caught")
+	}
+
+	tab3 := buildTable(t, 20, 8, 2)
+	tab3.Blocks[0].Node = 99
+	if err := Validate(tab3, 2); err == nil {
+		t.Error("node out of range not caught")
+	}
+
+	tab4 := buildTable(t, 20, 8, 2)
+	tab4.Blocks[0].Bytes++
+	if err := Validate(tab4, 2); err == nil {
+		t.Error("byte drift not caught")
+	}
+}
+
+// Property: for any row count and block size, total scanned rows equals
+// appended rows and blocks are bounded by ceil(n/rowsPerBlock).
+func TestBuilderConservation(t *testing.T) {
+	f := func(n uint16, bs uint8) bool {
+		rows := int(n % 2000)
+		blockSize := int(bs%64) + 1
+		tab := NewTable("q", testSchema())
+		b := NewBuilder(tab, blockSize, 3, InMemory)
+		for i := 0; i < rows; i++ {
+			b.AppendRow(types.Row{types.Int(int64(i)), types.Str("x")})
+		}
+		b.Finish()
+		count := 0
+		tab.Scan(func(types.Row, RowMeta) bool { count++; return true })
+		wantBlocks := (rows + blockSize - 1) / blockSize
+		return count == rows && len(tab.Blocks) == wantBlocks &&
+			Validate(tab, 3) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderDefaults(t *testing.T) {
+	tab := NewTable("d", testSchema())
+	b := NewBuilder(tab, 0, 0, OnDisk) // defaults kick in
+	b.AppendRow(types.Row{types.Int(1), types.Str("x")})
+	b.Finish()
+	if len(tab.Blocks) != 1 || tab.Blocks[0].Node != 0 {
+		t.Error("defaults broken")
+	}
+}

@@ -1,0 +1,235 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CmpOp is a comparison operator in a predicate leaf.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// String renders the operator in SQL syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEq:
+		return "="
+	case CmpNe:
+		return "<>"
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Eval applies the operator to the comparison result of two values.
+func (op CmpOp) Eval(a, b Value) bool {
+	c := Compare(a, b)
+	switch op {
+	case CmpEq:
+		return c == 0
+	case CmpNe:
+		return c != 0
+	case CmpLt:
+		return c < 0
+	case CmpLe:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	case CmpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// Predicate is a boolean expression tree over row columns. It is the
+// engine-internal (already column-resolved) form of a WHERE clause.
+type Predicate interface {
+	// Eval reports whether the row satisfies the predicate.
+	Eval(r Row) bool
+	// Columns returns the set of columns the predicate references.
+	Columns() ColumnSet
+	// String renders the predicate in SQL-ish syntax.
+	String() string
+}
+
+// CmpPred compares one column against a constant.
+type CmpPred struct {
+	Col    string // column name, for display and column-set extraction
+	ColIdx int    // resolved schema index
+	Op     CmpOp
+	Val    Value
+}
+
+// Eval implements Predicate.
+func (p *CmpPred) Eval(r Row) bool { return p.Op.Eval(r[p.ColIdx], p.Val) }
+
+// Columns implements Predicate.
+func (p *CmpPred) Columns() ColumnSet { return NewColumnSet(p.Col) }
+
+// String implements Predicate.
+func (p *CmpPred) String() string {
+	if p.Val.Kind == KindString {
+		return fmt.Sprintf("%s %s '%s'", p.Col, p.Op, p.Val.S)
+	}
+	return fmt.Sprintf("%s %s %s", p.Col, p.Op, p.Val)
+}
+
+// AndPred is a conjunction of predicates.
+type AndPred struct{ Kids []Predicate }
+
+// Eval implements Predicate.
+func (p *AndPred) Eval(r Row) bool {
+	for _, k := range p.Kids {
+		if !k.Eval(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Columns implements Predicate.
+func (p *AndPred) Columns() ColumnSet {
+	cs := NewColumnSet()
+	for _, k := range p.Kids {
+		cs = cs.Union(k.Columns())
+	}
+	return cs
+}
+
+// String implements Predicate.
+func (p *AndPred) String() string { return joinPreds(p.Kids, " AND ") }
+
+// OrPred is a disjunction of predicates.
+type OrPred struct{ Kids []Predicate }
+
+// Eval implements Predicate.
+func (p *OrPred) Eval(r Row) bool {
+	for _, k := range p.Kids {
+		if k.Eval(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Columns implements Predicate.
+func (p *OrPred) Columns() ColumnSet {
+	cs := NewColumnSet()
+	for _, k := range p.Kids {
+		cs = cs.Union(k.Columns())
+	}
+	return cs
+}
+
+// String implements Predicate.
+func (p *OrPred) String() string { return joinPreds(p.Kids, " OR ") }
+
+// NotPred negates a predicate.
+type NotPred struct{ Kid Predicate }
+
+// Eval implements Predicate.
+func (p *NotPred) Eval(r Row) bool { return !p.Kid.Eval(r) }
+
+// Columns implements Predicate.
+func (p *NotPred) Columns() ColumnSet { return p.Kid.Columns() }
+
+// String implements Predicate.
+func (p *NotPred) String() string { return "NOT (" + p.Kid.String() + ")" }
+
+// TruePred matches every row (an absent WHERE clause).
+type TruePred struct{}
+
+// Eval implements Predicate.
+func (TruePred) Eval(Row) bool { return true }
+
+// Columns implements Predicate.
+func (TruePred) Columns() ColumnSet { return NewColumnSet() }
+
+// String implements Predicate.
+func (TruePred) String() string { return "TRUE" }
+
+func joinPreds(ps []Predicate, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = "(" + p.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// SplitDisjuncts rewrites a predicate into a list of conjunctive-only
+// predicates whose OR is equivalent (§4.1.2). A predicate with no OR
+// returns itself as the single disjunct. NOT over OR is pushed down via
+// De Morgan so the result is correct for the grammar the parser emits.
+func SplitDisjuncts(p Predicate) []Predicate {
+	switch t := p.(type) {
+	case *OrPred:
+		var out []Predicate
+		for _, k := range t.Kids {
+			out = append(out, SplitDisjuncts(k)...)
+		}
+		return out
+	case *AndPred:
+		// Distribute: (a OR b) AND c → (a AND c) OR (b AND c).
+		parts := [][]Predicate{{}}
+		for _, k := range t.Kids {
+			ds := SplitDisjuncts(k)
+			next := make([][]Predicate, 0, len(parts)*len(ds))
+			for _, base := range parts {
+				for _, d := range ds {
+					comb := make([]Predicate, len(base), len(base)+1)
+					copy(comb, base)
+					next = append(next, append(comb, d))
+				}
+			}
+			parts = next
+		}
+		out := make([]Predicate, len(parts))
+		for i, kids := range parts {
+			if len(kids) == 1 {
+				out[i] = kids[0]
+			} else {
+				out[i] = &AndPred{Kids: kids}
+			}
+		}
+		return out
+	case *NotPred:
+		switch kid := t.Kid.(type) {
+		case *OrPred: // NOT (a OR b) = NOT a AND NOT b
+			kids := make([]Predicate, len(kid.Kids))
+			for i, k := range kid.Kids {
+				kids[i] = &NotPred{Kid: k}
+			}
+			return SplitDisjuncts(&AndPred{Kids: kids})
+		case *AndPred: // NOT (a AND b) = NOT a OR NOT b
+			kids := make([]Predicate, len(kid.Kids))
+			for i, k := range kid.Kids {
+				kids[i] = &NotPred{Kid: k}
+			}
+			return SplitDisjuncts(&OrPred{Kids: kids})
+		case *NotPred:
+			return SplitDisjuncts(kid.Kid)
+		default:
+			return []Predicate{p}
+		}
+	default:
+		return []Predicate{p}
+	}
+}

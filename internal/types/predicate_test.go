@@ -1,0 +1,160 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func cmp(col string, idx int, op CmpOp, v Value) *CmpPred {
+	return &CmpPred{Col: col, ColIdx: idx, Op: op, Val: v}
+}
+
+func TestCmpOps(t *testing.T) {
+	r := Row{Int(5)}
+	cases := []struct {
+		op   CmpOp
+		val  int64
+		want bool
+	}{
+		{CmpEq, 5, true}, {CmpEq, 4, false},
+		{CmpNe, 4, true}, {CmpNe, 5, false},
+		{CmpLt, 6, true}, {CmpLt, 5, false},
+		{CmpLe, 5, true}, {CmpLe, 4, false},
+		{CmpGt, 4, true}, {CmpGt, 5, false},
+		{CmpGe, 5, true}, {CmpGe, 6, false},
+	}
+	for _, c := range cases {
+		p := cmp("a", 0, c.op, Int(c.val))
+		if got := p.Eval(r); got != c.want {
+			t.Errorf("5 %s %d = %v, want %v", c.op, c.val, got, c.want)
+		}
+	}
+}
+
+func TestBoolCombinators(t *testing.T) {
+	r := Row{Int(5), Str("NY")}
+	a := cmp("a", 0, CmpGt, Int(3))    // true
+	b := cmp("b", 1, CmpEq, Str("LA")) // false
+
+	and := &AndPred{Kids: []Predicate{a, b}}
+	if and.Eval(r) {
+		t.Error("AND of true,false should be false")
+	}
+	or := &OrPred{Kids: []Predicate{a, b}}
+	if !or.Eval(r) {
+		t.Error("OR of true,false should be true")
+	}
+	not := &NotPred{Kid: b}
+	if !not.Eval(r) {
+		t.Error("NOT false should be true")
+	}
+	if !(TruePred{}).Eval(r) {
+		t.Error("TruePred should match")
+	}
+}
+
+func TestPredicateColumns(t *testing.T) {
+	a := cmp("city", 0, CmpEq, Str("NY"))
+	b := cmp("os", 1, CmpEq, Str("Win7"))
+	and := &AndPred{Kids: []Predicate{a, b, cmp("city", 0, CmpNe, Str("LA"))}}
+	if got := and.Columns().Key(); got != "city,os" {
+		t.Errorf("Columns = %q", got)
+	}
+	not := &NotPred{Kid: and}
+	if got := not.Columns().Key(); got != "city,os" {
+		t.Errorf("NOT Columns = %q", got)
+	}
+	if !(TruePred{}).Columns().Empty() {
+		t.Error("TruePred has no columns")
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	p := &AndPred{Kids: []Predicate{
+		cmp("city", 0, CmpEq, Str("NY")),
+		cmp("n", 1, CmpGe, Int(3)),
+	}}
+	want := "(city = 'NY') AND (n >= 3)"
+	if got := p.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// TestSplitDisjunctsEquivalence property-checks that the OR of the split
+// conjunctive disjuncts matches the original predicate on random rows.
+func TestSplitDisjunctsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Random predicate tree over 3 int columns.
+	var gen func(depth int) Predicate
+	gen = func(depth int) Predicate {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return cmp("c", rng.Intn(3), CmpOp(rng.Intn(6)), Int(int64(rng.Intn(5))))
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return &AndPred{Kids: []Predicate{gen(depth - 1), gen(depth - 1)}}
+		case 1:
+			return &OrPred{Kids: []Predicate{gen(depth - 1), gen(depth - 1)}}
+		default:
+			return &NotPred{Kid: gen(depth - 1)}
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		p := gen(3)
+		ds := SplitDisjuncts(p)
+		if len(ds) == 0 {
+			t.Fatal("split produced no disjuncts")
+		}
+		for row := 0; row < 20; row++ {
+			r := Row{Int(int64(rng.Intn(5))), Int(int64(rng.Intn(5))), Int(int64(rng.Intn(5)))}
+			want := p.Eval(r)
+			got := false
+			for _, d := range ds {
+				if d.Eval(r) {
+					got = true
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("trial %d: split(%s) != original on row %v", trial, p, r)
+			}
+		}
+	}
+}
+
+// TestSplitDisjunctsConjunctiveOnly checks that no disjunct contains an OR.
+func TestSplitDisjunctsConjunctiveOnly(t *testing.T) {
+	p := &AndPred{Kids: []Predicate{
+		&OrPred{Kids: []Predicate{
+			cmp("a", 0, CmpEq, Int(1)),
+			cmp("a", 0, CmpEq, Int(2)),
+		}},
+		cmp("b", 1, CmpGt, Int(0)),
+	}}
+	ds := SplitDisjuncts(p)
+	if len(ds) != 2 {
+		t.Fatalf("want 2 disjuncts, got %d", len(ds))
+	}
+	var hasOr func(Predicate) bool
+	hasOr = func(q Predicate) bool {
+		switch tq := q.(type) {
+		case *OrPred:
+			return true
+		case *AndPred:
+			for _, k := range tq.Kids {
+				if hasOr(k) {
+					return true
+				}
+			}
+		case *NotPred:
+			// NOT over a leaf only at this point.
+			return hasOr(tq.Kid)
+		}
+		return false
+	}
+	for _, d := range ds {
+		if hasOr(d) {
+			t.Errorf("disjunct %s still contains OR", d)
+		}
+	}
+}
