@@ -70,6 +70,12 @@ type Config struct {
 	Nodes int
 	// CoresPerNode (default 8).
 	CoresPerNode int
+	// Workers sizes the executor's scan worker pool. 0 (default) uses
+	// CoresPerNode; 1 restores the old fully sequential executor. Query
+	// results are bit-identical for every value: the executor partitions
+	// block scans deterministically and merges partial aggregates in
+	// block-index order.
+	Workers int
 	// MemCacheGBPerNode (default 60, ≈ the paper's 6 TB aggregate).
 	MemCacheGBPerNode float64
 	// Scale maps stored bytes to logical bytes for latency modelling
@@ -98,6 +104,12 @@ func (c Config) normalize() Config {
 	}
 	if c.CoresPerNode <= 0 {
 		c.CoresPerNode = 8
+	}
+	if c.Workers == 0 {
+		c.Workers = c.CoresPerNode
+	}
+	if c.Workers < 0 {
+		c.Workers = 1
 	}
 	if c.MemCacheGBPerNode <= 0 {
 		c.MemCacheGBPerNode = 60
@@ -139,6 +151,7 @@ func Open(cfg Config) *Engine {
 		Confidence:        cfg.Confidence,
 		Scale:             cfg.Scale,
 		ProbeOverheadOnly: !cfg.FullProbePricing,
+		Workers:           cfg.Workers,
 	})
 	return &Engine{cfg: cfg, cat: cat, clus: clus, rt: rt}
 }

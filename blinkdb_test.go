@@ -3,58 +3,16 @@ package blinkdb
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 )
 
-// demoEngine loads a skewed sessions table and builds samples.
+// demoEngine loads a skewed sessions table and builds samples, with the
+// default worker pool (Workers: 0 → CoresPerNode).
 func demoEngine(t testing.TB, rows int) *Engine {
 	t.Helper()
-	eng := Open(Config{Scale: 1e4, Seed: 7, CacheTables: true})
-	load := eng.CreateTable("sessions",
-		Col("city", String),
-		Col("os", String),
-		Col("genre", String),
-		Col("sessiontime", Float),
-		Col("ended", Bool),
-	)
-	rng := rand.New(rand.NewSource(3))
-	cities := []string{"NY", "SF", "LA", "Austin", "Boise", "Fargo"}
-	weights := []float64{0.5, 0.25, 0.15, 0.06, 0.03, 0.01}
-	oses := []string{"Win7", "OSX", "Linux"}
-	genres := []string{"western", "drama"}
-	pick := func() string {
-		u := rng.Float64()
-		for i, w := range weights {
-			u -= w
-			if u <= 0 {
-				return cities[i]
-			}
-		}
-		return cities[len(cities)-1]
-	}
-	for i := 0; i < rows; i++ {
-		if err := load.Append(
-			pick(), oses[rng.Intn(3)], genres[rng.Intn(2)],
-			rng.ExpFloat64()*100, rng.Float64() < 0.9,
-		); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := load.Close(); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := eng.CreateSamples("sessions", SampleOptions{
-		BudgetFraction: 0.5,
-		K:              2000,
-		Templates: []Template{
-			{Columns: []string{"city"}, Weight: 0.7},
-			{Columns: []string{"os"}, Weight: 0.3},
-		},
-	}); err != nil {
-		t.Fatal(err)
-	}
-	return eng
+	return demoEngineWorkers(t, rows, 0)
 }
 
 func TestEndToEndExactQuery(t *testing.T) {
@@ -113,6 +71,95 @@ func TestEndToEndTimeBoundedQuery(t *testing.T) {
 	}
 	if len(res.Rows) != 3 {
 		t.Errorf("groups = %d, want 3 OSes", len(res.Rows))
+	}
+}
+
+// demoEngineWorkers is demoEngine with an explicit executor pool size.
+func demoEngineWorkers(t testing.TB, rows, workers int) *Engine {
+	t.Helper()
+	eng := Open(Config{Scale: 1e4, Seed: 7, CacheTables: true, Workers: workers})
+	load := eng.CreateTable("sessions",
+		Col("city", String),
+		Col("os", String),
+		Col("genre", String),
+		Col("sessiontime", Float),
+		Col("ended", Bool),
+	)
+	rng := rand.New(rand.NewSource(3))
+	cities := []string{"NY", "SF", "LA", "Austin", "Boise", "Fargo"}
+	weights := []float64{0.5, 0.25, 0.15, 0.06, 0.03, 0.01}
+	oses := []string{"Win7", "OSX", "Linux"}
+	genres := []string{"western", "drama"}
+	pick := func() string {
+		u := rng.Float64()
+		for i, w := range weights {
+			u -= w
+			if u <= 0 {
+				return cities[i]
+			}
+		}
+		return cities[len(cities)-1]
+	}
+	for i := 0; i < rows; i++ {
+		if err := load.Append(
+			pick(), oses[rng.Intn(3)], genres[rng.Intn(2)],
+			rng.ExpFloat64()*100, rng.Float64() < 0.9,
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := load.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.CreateSamples("sessions", SampleOptions{
+		BudgetFraction: 0.5,
+		K:              2000,
+		Templates: []Template{
+			{Columns: []string{"city"}, Weight: 0.7},
+			{Columns: []string{"os"}, Weight: 0.3},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestWorkersEquivalenceEndToEnd pins the public-API contract of the
+// parallel executor: two engines differing only in Config.Workers return
+// bit-identical query results — same groups, same points, same error
+// bars, same plan decisions — for exact, error-bounded, time-bounded,
+// grouped and disjunctive queries.
+func TestWorkersEquivalenceEndToEnd(t *testing.T) {
+	seq := demoEngineWorkers(t, 30000, 1)
+	par := demoEngineWorkers(t, 30000, 8)
+	queries := []string{
+		`SELECT COUNT(*) FROM sessions`,
+		`SELECT AVG(sessiontime), MEDIAN(sessiontime) FROM sessions GROUP BY city`,
+		`SELECT AVG(sessiontime) FROM sessions WHERE city = 'NY' ERROR WITHIN 5% AT CONFIDENCE 95%`,
+		`SELECT COUNT(*) FROM sessions WHERE city = 'SF' GROUP BY os WITHIN 2 SECONDS`,
+		`SELECT SUM(sessiontime) FROM sessions WHERE city = 'NY' OR os = 'Linux' ERROR WITHIN 10%`,
+		`SELECT COUNT(*) FROM sessions WHERE city = 'Atlantis'`,
+	}
+	for _, src := range queries {
+		a, err := seq.Query(src)
+		if err != nil {
+			t.Fatalf("%q (workers=1): %v", src, err)
+		}
+		b, err := par.Query(src)
+		if err != nil {
+			t.Fatalf("%q (workers=8): %v", src, err)
+		}
+		if a.SampleDescription != b.SampleDescription {
+			t.Errorf("%q: plan diverged: %q vs %q", src, a.SampleDescription, b.SampleDescription)
+		}
+		if !reflect.DeepEqual(a.Rows, b.Rows) {
+			t.Errorf("%q: results diverged across worker counts\nworkers=1: %+v\nworkers=8: %+v",
+				src, a.Rows, b.Rows)
+		}
+		if a.RowsScanned != b.RowsScanned || a.RowsMatched != b.RowsMatched {
+			t.Errorf("%q: scan counters diverged: %d/%d vs %d/%d",
+				src, a.RowsScanned, a.RowsMatched, b.RowsScanned, b.RowsMatched)
+		}
 	}
 }
 

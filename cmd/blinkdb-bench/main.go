@@ -8,26 +8,68 @@
 //	blinkdb-bench -run 6c,table5   # run a subset
 //	blinkdb-bench -list            # list experiment names
 //	blinkdb-bench -rows 200000     # override the Conviva row count
+//	blinkdb-bench -json            # also write a BENCH_<date>.json snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"blinkdb/internal/exec"
 	"blinkdb/internal/experiments"
+	"blinkdb/internal/sqlparser"
+	"blinkdb/internal/storage"
+	"blinkdb/internal/types"
 )
+
+// expRecord is one experiment's perf sample in the JSON snapshot.
+type expRecord struct {
+	Name string `json:"name"`
+	// NsOp is the wall-clock nanoseconds of one full regeneration
+	// (dataset + samples + queries), the same unit `go test -bench
+	// -benchtime=1x` reports for the matching Benchmark.
+	NsOp int64 `json:"ns_op"`
+	// RowsPerSec is dataset rows divided by wall-clock — a coarse
+	// throughput number that stays comparable across PRs as long as the
+	// config is fixed (use -quick for the tracked snapshot).
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// execRecord reports the scan-executor micro-benchmark: a filtered
+// grouped aggregation over an in-memory table at several worker counts.
+type execRecord struct {
+	Rows        int                `json:"rows"`
+	Blocks      int                `json:"blocks"`
+	RowsPerSec  map[string]float64 `json:"rows_per_sec_by_workers"`
+	Speedup8vs1 float64            `json:"speedup_8_vs_1"`
+}
+
+// snapshot is the BENCH_<date>.json schema.
+type snapshot struct {
+	Date        string      `json:"date"`
+	Quick       bool        `json:"quick"`
+	GoVersion   string      `json:"go_version"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Experiments []expRecord `json:"experiments"`
+	Executor    execRecord  `json:"executor"`
+}
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "use reduced dataset sizes")
-		run   = flag.String("run", "", "comma-separated experiment names (default: all)")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		rows  = flag.Int("rows", 0, "override Conviva row count")
-		tpch  = flag.Int("tpch-rows", 0, "override TPC-H row count")
-		seed  = flag.Int64("seed", 0, "override random seed")
+		quick    = flag.Bool("quick", false, "use reduced dataset sizes")
+		run      = flag.String("run", "", "comma-separated experiment names (default: all)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		rows     = flag.Int("rows", 0, "override Conviva row count")
+		tpch     = flag.Int("tpch-rows", 0, "override TPC-H row count")
+		seed     = flag.Int64("seed", 0, "override random seed")
+		jsonOut  = flag.Bool("json", false, "write a BENCH_<date>.json perf snapshot")
+		jsonPath = flag.String("json-path", "", "override the snapshot path (implies -json)")
 	)
 	flag.Parse()
 
@@ -59,6 +101,14 @@ func main() {
 		}
 	}
 
+	snap := snapshot{
+		Date:       time.Now().Format("2006-01-02"),
+		Quick:      *quick,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	datasetRows := cfg.TotalDatasetRows()
+
 	failed := 0
 	for _, e := range experiments.All() {
 		if len(names) > 0 && !names[e.Name] {
@@ -66,15 +116,98 @@ func main() {
 		}
 		start := time.Now()
 		tab, err := e.Run(cfg)
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.Name, err)
 			failed++
 			continue
 		}
 		fmt.Println(tab)
-		fmt.Printf("(%s regenerated in %.1fs)\n\n", e.Name, time.Since(start).Seconds())
+		fmt.Printf("(%s regenerated in %.1fs)\n\n", e.Name, elapsed.Seconds())
+		snap.Experiments = append(snap.Experiments, expRecord{
+			Name:       e.Name,
+			NsOp:       elapsed.Nanoseconds(),
+			RowsPerSec: float64(datasetRows) / elapsed.Seconds(),
+		})
+	}
+
+	if *jsonOut || *jsonPath != "" {
+		snap.Executor = executorBench()
+		path := *jsonPath
+		if path == "" {
+			path = "BENCH_" + snap.Date + ".json"
+		}
+		data, err := json.MarshalIndent(&snap, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("perf snapshot written to %s\n", path)
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// executorBench measures the partitioned scan executor in isolation:
+// rows/s of a filtered grouped aggregation at worker counts 1, 2, 4, 8.
+// Results are bit-identical across counts; only throughput differs (and
+// only when GOMAXPROCS > 1 — single-core hosts will report speedup ≈ 1).
+func executorBench() execRecord {
+	const rows = 300000
+	schema := types.NewSchema(
+		types.Column{Name: "city", Kind: types.KindString},
+		types.Column{Name: "code", Kind: types.KindInt},
+		types.Column{Name: "sessiontime", Kind: types.KindFloat},
+	)
+	tab := storage.NewTable("bench", schema)
+	b := storage.NewBuilder(tab, 2048, 4, storage.InMemory)
+	rng := rand.New(rand.NewSource(17))
+	cities := []string{"NY", "SF", "LA", "Austin", "Boise"}
+	for i := 0; i < rows; i++ {
+		b.AppendRow(types.Row{
+			types.Str(cities[rng.Intn(len(cities))]),
+			types.Int(int64(rng.Intn(1000))),
+			types.Float(rng.ExpFloat64() * 100),
+		})
+	}
+	b.Finish()
+	q := `SELECT COUNT(*), SUM(sessiontime), AVG(sessiontime) FROM bench WHERE code < 900 GROUP BY city`
+	plan, err := compileBench(q, schema)
+	if err != nil {
+		panic(err) // static query against a static schema
+	}
+	in := exec.FromTable(tab)
+
+	rec := execRecord{Rows: rows, Blocks: len(tab.Blocks), RowsPerSec: map[string]float64{}}
+	measure := func(workers int) float64 {
+		// Warm up once, then time enough iterations for ≥ ~0.5 s.
+		exec.RunParallel(plan, in, 0.95, workers)
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < 500*time.Millisecond {
+			exec.RunParallel(plan, in, 0.95, workers)
+			iters++
+		}
+		return float64(rows) * float64(iters) / time.Since(start).Seconds()
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		rec.RowsPerSec[fmt.Sprintf("%d", w)] = measure(w)
+	}
+	if base := rec.RowsPerSec["1"]; base > 0 {
+		rec.Speedup8vs1 = rec.RowsPerSec["8"] / base
+	}
+	return rec
+}
+
+func compileBench(q string, schema *types.Schema) (*exec.Plan, error) {
+	parsed, err := sqlparser.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Compile(parsed, schema)
 }

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"blinkdb/internal/catalog"
@@ -111,6 +112,7 @@ func run(dataset string, rows int, budget float64, seed int64, tb float64) error
 	rt := elp.New(cat, clus, elp.Options{
 		Scale:             scale,
 		ProbeOverheadOnly: true,
+		Workers:           runtime.GOMAXPROCS(0),
 	})
 
 	fmt.Printf("\ntable %q ready; pretending it is %.0f TB on a 100-node cluster.\n", data.Table.Name, tb)

@@ -1,0 +1,3 @@
+module blinkdb
+
+go 1.22

@@ -26,11 +26,12 @@ import (
 // FullScan runs the plan exactly over the base table and prices the scan
 // under the given engine profile. memFraction says how much of the data is
 // cache-resident (Shark-with-caching = 1, disk engines = 0). scale maps
-// physical to logical bytes.
+// physical to logical bytes. workers sizes the executor's scan pool
+// (results are identical for any value; ≤1 means sequential).
 func FullScan(clus *cluster.Cluster, prof cluster.EngineProfile, tab *storage.Table,
-	plan *exec.Plan, scale, memFraction float64) (*exec.Result, float64) {
+	plan *exec.Plan, scale, memFraction float64, workers int) (*exec.Result, float64) {
 
-	res := exec.Run(plan, exec.FromTable(tab), 0.95)
+	res := exec.RunParallel(plan, exec.FromTable(tab), 0.95, workers)
 	logical := float64(tab.Bytes()) * scale
 	shuffle := logical * 0.01
 	taskBytes := 256e6

@@ -57,15 +57,15 @@ func TestFullScanEngineOrdering(t *testing.T) {
 	clus := cluster.New(cluster.PaperConfig())
 	scale := 1e5 // pretend multi-TB
 
-	_, hadoop := FullScan(clus, cluster.HiveOnHadoop, tab, plan, scale, 0)
-	_, sharkDisk := FullScan(clus, cluster.SharkNoCache, tab, plan, scale, 0)
-	_, sharkMem := FullScan(clus, cluster.SharkCached, tab, plan, scale, 1)
+	_, hadoop := FullScan(clus, cluster.HiveOnHadoop, tab, plan, scale, 0, 4)
+	_, sharkDisk := FullScan(clus, cluster.SharkNoCache, tab, plan, scale, 0, 4)
+	_, sharkMem := FullScan(clus, cluster.SharkCached, tab, plan, scale, 1, 4)
 	if !(hadoop > sharkDisk && sharkDisk > sharkMem) {
 		t.Errorf("engine ordering wrong: hadoop %.0f, shark-disk %.0f, shark-mem %.0f",
 			hadoop, sharkDisk, sharkMem)
 	}
 	// Answers are exact regardless of engine.
-	res, _ := FullScan(clus, cluster.HiveOnHadoop, tab, plan, scale, 0)
+	res, _ := FullScan(clus, cluster.HiveOnHadoop, tab, plan, scale, 0, 4)
 	for _, g := range res.Groups {
 		if !g.Estimates[0].Exact {
 			t.Error("full scan must be exact")

@@ -58,6 +58,10 @@ type Options struct {
 	// uses the smallest resolution with at least this many rows so the
 	// selectivity estimate carries statistical signal. Default 100.
 	MinProbeRows int64
+	// Workers sizes the executor's scan worker pool (default 1). Results
+	// are bit-identical for any value: the executor folds block-partitioned
+	// partial aggregates in a deterministic order.
+	Workers int
 }
 
 func (o Options) normalize() Options {
@@ -86,6 +90,9 @@ func (o Options) normalize() Options {
 	}
 	if o.MinProbeRows <= 0 {
 		o.MinProbeRows = 100
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -570,7 +577,7 @@ type ProfilePoint struct {
 func (rt *Runtime) Profile(fam *sample.Family, plan *exec.Plan, conf float64) []ProfilePoint {
 	pv := rt.probeView(fam)
 	smallIn, _ := viewInput(pv, plan)
-	probe := exec.Run(plan, smallIn, conf)
+	probe := exec.RunParallel(plan, smallIn, conf, rt.opt.Workers)
 	probeMatched := float64(probe.RowsMatched)
 
 	// Worst-group probe error.
@@ -607,9 +614,9 @@ func (rt *Runtime) Profile(fam *sample.Family, plan *exec.Plan, conf float64) []
 // dimensions).
 func (rt *Runtime) runPlan(plan *exec.Plan, in exec.Input, conf float64, joins []exec.JoinSpec) *exec.Result {
 	if len(joins) == 0 {
-		return exec.Run(plan, in, conf)
+		return exec.RunParallel(plan, in, conf, rt.opt.Workers)
 	}
-	return exec.RunJoin(plan, in, joins, conf)
+	return exec.RunJoinParallel(plan, in, joins, conf, rt.opt.Workers)
 }
 
 // checkJoinAdmissible enforces §2.1's join rules: each join needs either a

@@ -3,6 +3,15 @@
 // matching row contributes with weight 1/rate (its effective sampling
 // rate), producing the unbiased estimates of §4.3; base tables have rate 1
 // everywhere so exact execution is the same code path.
+//
+// Execution is block-partitioned: the block list is split into contiguous
+// ranges (storage.PartitionBlocks), each range is scanned into a mergeable
+// Partial (one group map per range, zone-map pruning applied before any
+// row is touched), and MergePartials folds the partials in block-index
+// order. Because the partition depends only on the block count, the fold
+// order — and hence every floating-point accumulation — is identical for
+// any worker count: RunParallel(…, 8) returns bit-for-bit the same Result
+// as RunParallel(…, 1).
 package exec
 
 import (
@@ -10,6 +19,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"blinkdb/internal/sample"
 	"blinkdb/internal/sqlparser"
@@ -17,6 +28,13 @@ import (
 	"blinkdb/internal/storage"
 	"blinkdb/internal/types"
 )
+
+// maxPartials caps how many block ranges a scan is split into. It is a
+// fixed constant — NOT derived from the worker count — so that partial
+// boundaries, and therefore float summation order, never depend on
+// parallelism. 256 ranges keep 64 workers busy with 4× load-balancing
+// slack while bounding per-range group-map overhead.
+const maxPartials = 256
 
 // Input is a scannable row source with per-row sampling rates.
 type Input struct {
@@ -73,6 +91,37 @@ type Plan struct {
 	GroupNames []string
 	Aggs       []AggPlan
 	Limit      int
+
+	// rt caches the compiled predicate closure and zone-pruning bounds.
+	// It is populated by Compile/WithPred; hand-assembled Plans fall back
+	// to compiling on entry (without mutating the Plan, so sharing a Plan
+	// across goroutines stays race-free).
+	rt *planRuntime
+}
+
+// planRuntime is the precompiled hot-path state derived from Plan.Pred.
+type planRuntime struct {
+	// pred is the compiled predicate closure; nil means "always true".
+	pred func(types.Row) bool
+	// bounds are the conjunctive per-column intervals used for zone-map
+	// pruning inside the scan.
+	bounds map[int]*Bounds
+}
+
+func newPlanRuntime(pred types.Predicate) *planRuntime {
+	if pred == nil {
+		pred = types.TruePred{}
+	}
+	return &planRuntime{pred: types.CompilePredicate(pred), bounds: ColumnBounds(pred)}
+}
+
+// runtime returns the plan's compiled state, compiling a transient copy
+// for plans built without Compile (never mutates p).
+func (p *Plan) runtime() *planRuntime {
+	if p.rt != nil {
+		return p.rt
+	}
+	return newPlanRuntime(p.Pred)
 }
 
 // Compile resolves a parsed query against a schema.
@@ -109,14 +158,17 @@ func Compile(q *sqlparser.Query, schema *types.Schema) (*Plan, error) {
 	if len(p.Aggs) == 0 {
 		return nil, fmt.Errorf("exec: no aggregates")
 	}
+	p.rt = newPlanRuntime(p.Pred)
 	return p, nil
 }
 
-// WithPred returns a copy of the plan with the predicate replaced. Used by
-// the §4.1.2 disjunction rewrite, which runs one sub-query per disjunct.
+// WithPred returns a copy of the plan with the predicate replaced (and the
+// compiled closure/bounds rebuilt). Used by the §4.1.2 disjunction
+// rewrite, which runs one sub-query per disjunct.
 func (p *Plan) WithPred(pred types.Predicate) *Plan {
 	cp := *p
 	cp.Pred = pred
+	cp.rt = newPlanRuntime(pred)
 	return &cp
 }
 
@@ -144,7 +196,8 @@ func (g Group) KeyString() string {
 type Result struct {
 	// Groups are the output rows, sorted by key.
 	Groups []Group
-	// RowsScanned counts every row read from the input.
+	// RowsScanned counts every row read from the input. Blocks eliminated
+	// by zone-map pruning are never read and contribute nothing.
 	RowsScanned int64
 	// RowsMatched counts rows passing the predicate.
 	RowsMatched int64
@@ -156,7 +209,8 @@ type Result struct {
 	// sample resolution whose cap is ≥ this value contains EVERY
 	// matching row — a census, hence an exact answer (§3.1).
 	MaxMatchedStratumFreq int64
-	// BytesScanned is the physical bytes behind the scanned blocks.
+	// BytesScanned is the physical bytes behind the scanned (unpruned)
+	// blocks.
 	BytesScanned int64
 	// Confidence used for the estimates.
 	Confidence float64
@@ -235,8 +289,72 @@ func newGroupState(p *Plan, row types.Row) *groupState {
 	return gs
 }
 
-// addRow feeds one matching row into a group's accumulators.
-func addRow(p *Plan, gs *groupState, row types.Row, rate float64) {
+// keyMatches reports whether the group's key equals the projection of row
+// onto the GROUP BY columns (hash-collision resolution).
+func (gs *groupState) keyMatches(row types.Row, groupBy []int) bool {
+	for ki, ci := range groupBy {
+		if !types.GroupEqual(gs.key[ki], row[ci]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Partial is the mergeable result of scanning one contiguous block range:
+// per-group aggregate states plus the scan counters. Partials from
+// disjoint ranges combine associatively via MergePartials.
+type Partial struct {
+	// RowsScanned, RowsMatched, WeightedMatched, MaxMatchedStratumFreq
+	// and BytesScanned mirror the same fields on Result, restricted to
+	// this partial's block range.
+	RowsScanned           int64
+	RowsMatched           int64
+	WeightedMatched       float64
+	MaxMatchedStratumFreq int64
+	BytesScanned          int64
+
+	// groups buckets group states by hashed GROUP BY key; each bucket
+	// holds the (rare) hash-colliding groups.
+	groups map[uint64][]*groupState
+}
+
+// NumGroups returns the number of distinct groups seen in this partial.
+func (pt *Partial) NumGroups() int {
+	n := 0
+	for _, b := range pt.groups {
+		n += len(b)
+	}
+	return n
+}
+
+// findGroup returns (creating if needed) the group state for row.
+func (pt *Partial) findGroup(p *Plan, row types.Row) *groupState {
+	h := types.HashSeed
+	if len(p.GroupBy) > 0 {
+		h = types.HashRowKey(row, p.GroupBy)
+	}
+	bucket := pt.groups[h]
+	for _, gs := range bucket {
+		if gs.keyMatches(row, p.GroupBy) {
+			return gs
+		}
+	}
+	gs := newGroupState(p, row)
+	pt.groups[h] = append(bucket, gs)
+	return gs
+}
+
+// addMatched feeds one row that already passed the predicate through
+// group → aggregate.
+func (pt *Partial) addMatched(p *Plan, row types.Row, rate float64, stratumFreq int64) {
+	pt.RowsMatched++
+	if rate > 0 {
+		pt.WeightedMatched += 1 / rate
+	}
+	if stratumFreq > pt.MaxMatchedStratumFreq {
+		pt.MaxMatchedStratumFreq = stratumFreq
+	}
+	gs := pt.findGroup(p, row)
 	for ai, a := range p.Aggs {
 		x := 1.0 // COUNT(*)
 		if a.Col >= 0 {
@@ -253,68 +371,237 @@ func addRow(p *Plan, gs *groupState, row types.Row, rate float64) {
 	}
 }
 
-// finalize converts group states into sorted result groups.
-func finalize(p *Plan, res *Result, groups map[string]*groupState) {
-	for _, gs := range groups {
-		g := Group{Key: gs.key, Estimates: make([]stats.Estimate, len(gs.accs))}
-		for i, acc := range gs.accs {
-			g.Estimates[i] = acc.Estimate(res.Confidence)
+// zoneMayMatch reports whether a block's zone maps can intersect the
+// plan's conjunctive bounds. Blocks without zones are conservatively kept.
+func zoneMayMatch(b *storage.Block, bounds map[int]*Bounds) bool {
+	for col, bd := range bounds {
+		if col >= len(b.Zones) || !b.Zones[col].Valid {
+			continue
 		}
-		res.Groups = append(res.Groups, g)
+		z := b.Zones[col]
+		if !bd.overlapsZone(z.Min, z.Max) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunPartial scans blocks [lo, hi) of the input into a mergeable Partial.
+// Zone-map pruning is folded into the scan: blocks whose zones cannot
+// satisfy the predicate's bounds are skipped before any row is read, so
+// they contribute to neither RowsScanned nor BytesScanned.
+func RunPartial(p *Plan, in Input, lo, hi int) *Partial {
+	return runPartial(p, p.runtime(), in, lo, hi, nil)
+}
+
+// runPartial is RunPartial with precompiled plan state and an optional
+// row-expansion hook (joins expand each fact row into zero or more
+// combined rows; nil means identity).
+func runPartial(p *Plan, rt *planRuntime, in Input, lo, hi int,
+	expand func(r types.Row, emit func(types.Row))) *Partial {
+
+	pt := &Partial{groups: make(map[uint64][]*groupState)}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(in.Blocks) {
+		hi = len(in.Blocks)
+	}
+	pred := rt.pred
+	for bi := lo; bi < hi; bi++ {
+		b := in.Blocks[bi]
+		if len(rt.bounds) > 0 && !zoneMayMatch(b, rt.bounds) {
+			continue // pruned: never read, never counted
+		}
+		pt.BytesScanned += b.Bytes
+		if expand == nil {
+			for i, row := range b.Rows {
+				pt.RowsScanned++
+				if pred != nil && !pred(row) {
+					continue
+				}
+				rate := 1.0
+				if in.Rate != nil {
+					rate = in.Rate(b.Meta[i]) // only matched rows pay this
+				}
+				pt.addMatched(p, row, rate, b.Meta[i].StratumFreq)
+			}
+			continue
+		}
+		for i, row := range b.Rows {
+			pt.RowsScanned++
+			rate := 1.0
+			if in.Rate != nil {
+				rate = in.Rate(b.Meta[i])
+			}
+			freq := b.Meta[i].StratumFreq
+			expand(row, func(r types.Row) {
+				if pred != nil && !pred(r) {
+					return
+				}
+				pt.addMatched(p, r, rate, freq)
+			})
+		}
+	}
+	return pt
+}
+
+// MergePartials folds partials — which MUST be ordered by block index —
+// into a Result. Per-group aggregate states merge associatively
+// (stats.Acc.Merge); because the fold order is the partial order, float
+// accumulation is deterministic and independent of how many workers
+// produced the partials. Nil entries (empty ranges) are skipped. The
+// partials themselves are not mutated (group states are cloned before
+// merging), so the same partials may be merged again, e.g. at another
+// confidence level.
+func MergePartials(p *Plan, parts []*Partial, confidence float64) *Result {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	res := &Result{Confidence: confidence}
+	merged := make(map[uint64][]*groupState)
+	for _, pt := range parts {
+		if pt == nil {
+			continue
+		}
+		res.RowsScanned += pt.RowsScanned
+		res.RowsMatched += pt.RowsMatched
+		res.WeightedMatched += pt.WeightedMatched
+		res.BytesScanned += pt.BytesScanned
+		if pt.MaxMatchedStratumFreq > res.MaxMatchedStratumFreq {
+			res.MaxMatchedStratumFreq = pt.MaxMatchedStratumFreq
+		}
+		for h, bucket := range pt.groups {
+			for _, gs := range bucket {
+				dst, fresh := findMerged(merged, h, gs)
+				if fresh {
+					continue // first occurrence: cloned into the fold
+				}
+				for ai, acc := range dst.accs {
+					acc.Merge(gs.accs[ai])
+				}
+			}
+		}
+	}
+	// A global aggregate with zero matches still yields one empty group.
+	if len(p.GroupBy) == 0 && len(merged) == 0 {
+		merged[types.HashSeed] = []*groupState{newGroupState(p, nil)}
+	}
+	finalize(p, res, merged)
+	return res
+}
+
+// findMerged locates the merged group matching gs's key; on first sight
+// it inserts a clone of gs (fresh=true) so the source partial stays
+// untouched.
+func findMerged(merged map[uint64][]*groupState, h uint64, gs *groupState) (dst *groupState, fresh bool) {
+	for _, have := range merged[h] {
+		if groupKeysEqual(have.key, gs.key) {
+			return have, false
+		}
+	}
+	cp := &groupState{key: gs.key, accs: make([]*stats.Acc, len(gs.accs))}
+	for i, acc := range gs.accs {
+		cp.accs[i] = acc.Clone()
+	}
+	merged[h] = append(merged[h], cp)
+	return cp, true
+}
+
+func groupKeysEqual(a, b []types.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !types.GroupEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// finalize converts merged group states into sorted result groups.
+func finalize(p *Plan, res *Result, merged map[uint64][]*groupState) {
+	for _, bucket := range merged {
+		for _, gs := range bucket {
+			g := Group{Key: gs.key, Estimates: make([]stats.Estimate, len(gs.accs))}
+			for i, acc := range gs.accs {
+				g.Estimates[i] = acc.Estimate(res.Confidence)
+			}
+			res.Groups = append(res.Groups, g)
+		}
 	}
 	sort.Slice(res.Groups, func(i, j int) bool {
-		return compareKeys(res.Groups[i].Key, res.Groups[j].Key) < 0
+		if c := compareKeys(res.Groups[i].Key, res.Groups[j].Key); c != 0 {
+			return c < 0
+		}
+		// Distinct keys can still compare equal across kinds (Int(1) vs
+		// Float(1)); break the tie on the encoded key so ordering never
+		// depends on map iteration.
+		return encodeKey(res.Groups[i].Key) < encodeKey(res.Groups[j].Key)
 	})
 	if p.Limit > 0 && len(res.Groups) > p.Limit {
 		res.Groups = res.Groups[:p.Limit]
 	}
 }
 
-// Run executes the plan over the input at the given confidence level.
+func encodeKey(key []types.Value) string {
+	var b strings.Builder
+	for _, v := range key {
+		b.WriteString(v.Key())
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}
+
+// Run executes the plan over the input at the given confidence level with
+// a single worker. It is exactly RunParallel(p, in, confidence, 1).
 func Run(p *Plan, in Input, confidence float64) *Result {
-	if confidence <= 0 || confidence >= 1 {
-		confidence = 0.95
-	}
-	res := &Result{Confidence: confidence}
-	groups := make(map[string]*groupState)
+	return RunParallel(p, in, confidence, 1)
+}
 
-	for _, b := range in.Blocks {
-		res.BytesScanned += b.Bytes
-		for i, row := range b.Rows {
-			res.RowsScanned++
-			if !p.Pred.Eval(row) {
-				continue
-			}
-			res.RowsMatched++
-			rate := 1.0
-			if in.Rate != nil {
-				rate = in.Rate(b.Meta[i])
-			}
-			if rate > 0 {
-				res.WeightedMatched += 1 / rate
-			}
-			if f := b.Meta[i].StratumFreq; f > res.MaxMatchedStratumFreq {
-				res.MaxMatchedStratumFreq = f
-			}
-			key := ""
-			if len(p.GroupBy) > 0 {
-				key = types.RowKey(row, p.GroupBy)
-			}
-			gs, ok := groups[key]
-			if !ok {
-				gs = newGroupState(p, row)
-				groups[key] = gs
-			}
-			addRow(p, gs, row, rate)
+// RunParallel executes the plan over the input using up to workers
+// goroutines. The block list is split into contiguous ranges whose
+// boundaries depend only on the block count; each range produces one
+// Partial, and MergePartials folds them in block order — so the Result is
+// bit-identical for every workers value (1, 8, or more workers than
+// blocks).
+func RunParallel(p *Plan, in Input, confidence float64, workers int) *Result {
+	return runRanges(p, p.runtime(), in, confidence, workers, nil)
+}
+
+// runRanges is the shared scan driver for plain and join execution.
+func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers int,
+	expand func(r types.Row, emit func(types.Row))) *Result {
+
+	ranges := storage.PartitionBlocks(len(in.Blocks), maxPartials)
+	parts := make([]*Partial, len(ranges))
+	if workers > len(ranges) {
+		workers = len(ranges)
+	}
+	if workers <= 1 {
+		for i, r := range ranges {
+			parts[i] = runPartial(p, rt, in, r.Lo, r.Hi, expand)
 		}
+		return MergePartials(p, parts, confidence)
 	}
-
-	// A global aggregate with zero matches still yields one empty group.
-	if len(p.GroupBy) == 0 && len(groups) == 0 {
-		groups[""] = newGroupState(p, nil)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ranges) {
+					return
+				}
+				parts[i] = runPartial(p, rt, in, ranges[i].Lo, ranges[i].Hi, expand)
+			}
+		}()
 	}
-	finalize(p, res, groups)
-	return res
+	wg.Wait()
+	return MergePartials(p, parts, confidence)
 }
 
 func compareKeys(a, b []types.Value) int {

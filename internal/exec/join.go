@@ -110,11 +110,20 @@ func buildJoinIndex(spec JoinSpec) *joinIndex {
 	return idx
 }
 
-// RunJoin executes the plan over fact ⋈ dims: the fact side streams from
-// `in` (a base table or a sample view — rates carry through unchanged,
-// since dimensions are unsampled, §2.1); dimension rows are hash-joined
-// in memory. plan must be compiled against the combined schema.
+// RunJoin executes the plan over fact ⋈ dims with a single worker. It is
+// exactly RunJoinParallel(p, in, joins, confidence, 1).
 func RunJoin(p *Plan, in Input, joins []JoinSpec, confidence float64) *Result {
+	return RunJoinParallel(p, in, joins, confidence, 1)
+}
+
+// RunJoinParallel executes the plan over fact ⋈ dims: the fact side
+// streams from `in` (a base table or a sample view — rates carry through
+// unchanged, since dimensions are unsampled, §2.1); dimension rows are
+// hash-joined in memory. plan must be compiled against the combined
+// schema. The join indexes are built once up front and then shared
+// read-only across the scan workers; like RunParallel, the Result is
+// bit-identical for every workers value.
+func RunJoinParallel(p *Plan, in Input, joins []JoinSpec, confidence float64, workers int) *Result {
 	idxs := make([]*joinIndex, len(joins))
 	for i, j := range joins {
 		idxs[i] = buildJoinIndex(j)
@@ -124,10 +133,11 @@ func RunJoin(p *Plan, in Input, joins []JoinSpec, confidence float64) *Result {
 		Blocks: in.Blocks,
 		Rate:   in.Rate,
 	}
-	// Wrap execution: expand each fact row through the join chain.
-	return runExpanded(p, joined, confidence, func(fact types.Row, emit func(types.Row)) {
-		expandJoins(fact, idxs, 0, emit)
-	})
+	// Expand each fact row through the join chain inside the scan.
+	return runRanges(p, p.runtime(), joined, confidence, workers,
+		func(fact types.Row, emit func(types.Row)) {
+			expandJoins(fact, idxs, 0, emit)
+		})
 }
 
 func expandJoins(left types.Row, idxs []*joinIndex, depth int, emit func(types.Row)) {
@@ -143,62 +153,4 @@ func expandJoins(left types.Row, idxs []*joinIndex, depth int, emit func(types.R
 		combined = append(combined, dimRow...)
 		expandJoins(combined, idxs, depth+1, emit)
 	}
-}
-
-// runExpanded is Run with a row-expansion hook (used by joins): each
-// scanned row may produce zero or more logical rows that flow through the
-// predicate/group/aggregate pipeline with the source row's sampling rate.
-func runExpanded(p *Plan, in Input, confidence float64,
-	expand func(r types.Row, emit func(types.Row))) *Result {
-
-	if confidence <= 0 || confidence >= 1 {
-		confidence = 0.95
-	}
-	res := &Result{Confidence: confidence}
-	groups := make(map[string]*groupState)
-
-	process := func(row types.Row, rate float64) {
-		if !p.Pred.Eval(row) {
-			return
-		}
-		res.RowsMatched++
-		if rate > 0 {
-			res.WeightedMatched += 1 / rate
-		}
-		key := ""
-		if len(p.GroupBy) > 0 {
-			key = types.RowKey(row, p.GroupBy)
-		}
-		gs, ok := groups[key]
-		if !ok {
-			gs = newGroupState(p, row)
-			groups[key] = gs
-		}
-		addRow(p, gs, row, rate)
-	}
-
-	for _, b := range in.Blocks {
-		res.BytesScanned += b.Bytes
-		for i, r := range b.Rows {
-			res.RowsScanned++
-			rate := 1.0
-			if in.Rate != nil {
-				rate = in.Rate(b.Meta[i])
-			}
-			meta := b.Meta[i]
-			expand(r, func(row types.Row) {
-				before := res.RowsMatched
-				process(row, rate)
-				if res.RowsMatched > before && meta.StratumFreq > res.MaxMatchedStratumFreq {
-					res.MaxMatchedStratumFreq = meta.StratumFreq
-				}
-			})
-		}
-	}
-
-	if len(p.GroupBy) == 0 && len(groups) == 0 {
-		groups[""] = newGroupState(p, nil)
-	}
-	finalize(p, res, groups)
-	return res
 }

@@ -102,18 +102,7 @@ func PruneBlocks(blocks []*storage.Block, bounds map[int]*Bounds) ([]*storage.Bl
 	var total, keptBytes int64
 	for _, blk := range blocks {
 		total += blk.Bytes
-		keep := true
-		for col, b := range bounds {
-			if col >= len(blk.Zones) || !blk.Zones[col].Valid {
-				continue
-			}
-			z := blk.Zones[col]
-			if !b.overlapsZone(z.Min, z.Max) {
-				keep = false
-				break
-			}
-		}
-		if keep {
+		if zoneMayMatch(blk, bounds) {
 			kept = append(kept, blk)
 			keptBytes += blk.Bytes
 		}

@@ -22,10 +22,10 @@ func AblationDeltaReuse(cfg Config) (*Table, error) {
 	}
 	on, off := true, false
 	rtOn := elp.New(env.Catalog[MultiDim], env.Clus, elp.Options{
-		Scale: env.Scale, ProbeOverheadOnly: true, DeltaReuse: &on,
+		Scale: env.Scale, ProbeOverheadOnly: true, DeltaReuse: &on, Workers: env.Cfg.Workers,
 	})
 	rtOff := elp.New(env.Catalog[MultiDim], env.Clus, elp.Options{
-		Scale: env.Scale, ProbeOverheadOnly: true, DeltaReuse: &off,
+		Scale: env.Scale, ProbeOverheadOnly: true, DeltaReuse: &off, Workers: env.Cfg.Workers,
 	})
 	tab := &Table{
 		Title:  "Ablation (§4.4): intermediate-data (delta block) reuse",
@@ -71,10 +71,10 @@ func AblationProbeAll(cfg Config) (*Table, error) {
 	}
 	all, subset := true, false
 	rtAll := elp.New(env.Catalog[MultiDim], env.Clus, elp.Options{
-		Scale: env.Scale, ProbeOverheadOnly: true, ProbeAll: &all,
+		Scale: env.Scale, ProbeOverheadOnly: true, ProbeAll: &all, Workers: env.Cfg.Workers,
 	})
 	rtSub := elp.New(env.Catalog[MultiDim], env.Clus, elp.Options{
-		Scale: env.Scale, ProbeOverheadOnly: true, ProbeAll: &subset,
+		Scale: env.Scale, ProbeOverheadOnly: true, ProbeAll: &subset, Workers: env.Cfg.Workers,
 	})
 	tab := &Table{
 		Title:  "Ablation (§4.1.1): probe all families vs only column-sharing families",

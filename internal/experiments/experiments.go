@@ -19,6 +19,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 
 	"blinkdb/internal/catalog"
@@ -46,6 +47,10 @@ type Config struct {
 	Instances int
 	// Nodes in the simulated cluster (default 100).
 	Nodes int
+	// Workers sizes the executor's scan worker pool for every query the
+	// experiments run (default GOMAXPROCS). Results are bit-identical for
+	// any value, so experiment outputs don't depend on the host.
+	Workers int
 }
 
 func (c Config) normalize() Config {
@@ -64,7 +69,18 @@ func (c Config) normalize() Config {
 	if c.Nodes <= 0 {
 		c.Nodes = 100
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	return c
+}
+
+// TotalDatasetRows returns the Conviva + TPC-H row counts this config
+// generates after defaulting — the denominator for coarse rows/s
+// throughput metrics (cmd/blinkdb-bench's JSON snapshot).
+func (c Config) TotalDatasetRows() int {
+	c = c.normalize()
+	return c.ConvivaRows + c.TPCHRows
 }
 
 // Quick returns a reduced configuration for fast test runs.
@@ -268,6 +284,7 @@ func (e *Env) Runtime(st Strategy) *elp.Runtime {
 		// treats them as "very fast". Pricing them at job overhead keeps
 		// the probe economics of the paper's scale.
 		ProbeOverheadOnly: true,
+		Workers:           e.Cfg.Workers,
 	})
 }
 
@@ -296,7 +313,7 @@ func (e *Env) GroundTruth(sql string) (*exec.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exec.Run(plan, exec.FromTable(e.Data.Table), 0.95), nil
+	return exec.RunParallel(plan, exec.FromTable(e.Data.Table), 0.95, e.Cfg.Workers), nil
 }
 
 // MeasuredRelErr compares an approximate result against ground truth:

@@ -150,7 +150,15 @@ func (a *Acc) Add(x, rate float64) {
 	}
 }
 
-// Merge folds other into a (parallel partial aggregation).
+// Merge folds other into a (parallel partial aggregation). Every estimator
+// state is a set of moment sums (Σw, Σw², Σwx, Σwx², …), so combining is
+// associative addition — the Chan et al. parallel-merge formulation of
+// mean/variance expressed over raw moments. Quantile value buffers
+// concatenate; weightedQuantile sorts with a total order, so the estimate
+// depends only on the merged multiset, not the merge schedule. Callers who
+// need bit-identical floating-point results across worker counts must
+// additionally fold partials in a deterministic order (see
+// exec.MergePartials).
 func (a *Acc) Merge(other *Acc) {
 	a.rows += other.rows
 	a.sumW += other.sumW
@@ -161,6 +169,17 @@ func (a *Acc) Merge(other *Acc) {
 	a.sumWW1X += other.sumWW1X
 	a.allOne = a.allOne && other.allOne
 	a.vals = append(a.vals, other.vals...)
+}
+
+// Clone returns an independent copy of the accumulator (the quantile
+// value buffer is copied, not aliased), so merging into the clone leaves
+// the original usable.
+func (a *Acc) Clone() *Acc {
+	cp := *a
+	if a.vals != nil {
+		cp.vals = append(make([]weightedVal, 0, len(a.vals)), a.vals...)
+	}
+	return &cp
 }
 
 // Rows returns the number of matching rows added.
@@ -238,7 +257,15 @@ func (a *Acc) weightedQuantile(p float64) float64 {
 	if len(a.vals) == 0 {
 		return 0
 	}
-	sort.Slice(a.vals, func(i, j int) bool { return a.vals[i].x < a.vals[j].x })
+	// Total order (x, then w): ties between equal values with different
+	// weights resolve identically however the buffer was assembled, so
+	// merged partials quantile the same as a sequential scan.
+	sort.Slice(a.vals, func(i, j int) bool {
+		if a.vals[i].x != a.vals[j].x {
+			return a.vals[i].x < a.vals[j].x
+		}
+		return a.vals[i].w < a.vals[j].w
+	})
 	if p <= 0 {
 		return a.vals[0].x
 	}

@@ -134,6 +134,46 @@ func (t *Table) Scan(fn func(r types.Row, m RowMeta) bool) {
 	}
 }
 
+// BlockRange is a half-open range [Lo, Hi) of positions in a block list —
+// the unit of work the parallel executor hands to one worker.
+type BlockRange struct {
+	Lo, Hi int
+}
+
+// Len returns the number of blocks in the range.
+func (r BlockRange) Len() int { return r.Hi - r.Lo }
+
+// PartitionBlocks splits n blocks into at most maxParts contiguous,
+// near-equal ranges. The partition depends only on n and maxParts — never
+// on how many workers will consume it — so an executor that folds
+// per-range partial aggregates in range order produces bit-identical
+// results for any worker count (floating-point accumulation order is
+// fixed by the partition, not the scheduling).
+func PartitionBlocks(n, maxParts int) []BlockRange {
+	if n <= 0 {
+		return nil
+	}
+	parts := maxParts
+	if parts <= 0 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]BlockRange, 0, parts)
+	base, rem := n/parts, n%parts
+	lo := 0
+	for i := 0; i < parts; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		out = append(out, BlockRange{Lo: lo, Hi: lo + sz})
+		lo += sz
+	}
+	return out
+}
+
 // EstimateRowBytes computes the approximate serialized size of a row:
 // 8 bytes per numeric value, len+2 per string, 1 per bool/null. The cost
 // model only needs relative sizes, so this is deliberately simple.

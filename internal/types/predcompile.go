@@ -1,0 +1,185 @@
+package types
+
+// CompilePredicate lowers a predicate tree into a single closure, removing
+// the per-row interface dispatch of Predicate.Eval from the executor's hot
+// loop. Comparison leaves are specialised on the constant's kind so the
+// common case (row value of the same kind) is a direct field comparison;
+// mixed-kind rows fall back to Compare, keeping the semantics identical to
+// the interpreted tree.
+//
+// A nil return means the predicate is trivially true (no filtering needed);
+// callers skip the call entirely.
+func CompilePredicate(p Predicate) func(Row) bool {
+	switch t := p.(type) {
+	case TruePred:
+		return nil
+	case *CmpPred:
+		return compileCmp(t.ColIdx, t.Op, t.Val)
+	case *AndPred:
+		kids := make([]func(Row) bool, 0, len(t.Kids))
+		for _, k := range t.Kids {
+			if f := CompilePredicate(k); f != nil {
+				kids = append(kids, f)
+			}
+		}
+		switch len(kids) {
+		case 0:
+			return nil
+		case 1:
+			return kids[0]
+		case 2:
+			a, b := kids[0], kids[1]
+			return func(r Row) bool { return a(r) && b(r) }
+		default:
+			return func(r Row) bool {
+				for _, f := range kids {
+					if !f(r) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+	case *OrPred:
+		if len(t.Kids) == 0 {
+			// Matches OrPred.Eval: an empty disjunction is false.
+			return func(Row) bool { return false }
+		}
+		kids := make([]func(Row) bool, 0, len(t.Kids))
+		for _, k := range t.Kids {
+			f := CompilePredicate(k)
+			if f == nil {
+				return nil // OR with TRUE is TRUE
+			}
+			kids = append(kids, f)
+		}
+		switch len(kids) {
+		case 1:
+			return kids[0]
+		case 2:
+			a, b := kids[0], kids[1]
+			return func(r Row) bool { return a(r) || b(r) }
+		default:
+			return func(r Row) bool {
+				for _, f := range kids {
+					if f(r) {
+						return true
+					}
+				}
+				return false
+			}
+		}
+	case *NotPred:
+		f := CompilePredicate(t.Kid)
+		if f == nil {
+			return func(Row) bool { return false }
+		}
+		return func(r Row) bool { return !f(r) }
+	default:
+		return p.Eval
+	}
+}
+
+// compileCmp builds a closure for one comparison leaf. The three booleans
+// record whether a row satisfying v < c, v = c, v > c passes the operator,
+// so every operator shares the same comparison body.
+func compileCmp(idx int, op CmpOp, val Value) func(Row) bool {
+	var lt, eq, gt bool
+	switch op {
+	case CmpEq:
+		eq = true
+	case CmpNe:
+		lt, gt = true, true
+	case CmpLt:
+		lt = true
+	case CmpLe:
+		lt, eq = true, true
+	case CmpGt:
+		gt = true
+	case CmpGe:
+		eq, gt = true, true
+	}
+	switch val.Kind {
+	case KindInt:
+		c := val.I
+		cf := float64(c)
+		return func(r Row) bool {
+			v := r[idx]
+			switch v.Kind {
+			case KindInt:
+				if v.I < c {
+					return lt
+				}
+				if v.I > c {
+					return gt
+				}
+				return eq
+			case KindFloat:
+				if v.F < cf {
+					return lt
+				}
+				if v.F > cf {
+					return gt
+				}
+				return eq
+			}
+			return signOK(Compare(v, val), lt, eq, gt)
+		}
+	case KindFloat:
+		c := val.F
+		return func(r Row) bool {
+			v := r[idx]
+			switch v.Kind {
+			case KindFloat:
+				if v.F < c {
+					return lt
+				}
+				if v.F > c {
+					return gt
+				}
+				return eq
+			case KindInt:
+				f := float64(v.I)
+				if f < c {
+					return lt
+				}
+				if f > c {
+					return gt
+				}
+				return eq
+			}
+			return signOK(Compare(v, val), lt, eq, gt)
+		}
+	case KindString:
+		c := val.S
+		return func(r Row) bool {
+			v := r[idx]
+			if v.Kind == KindString {
+				if v.S < c {
+					return lt
+				}
+				if v.S > c {
+					return gt
+				}
+				return eq
+			}
+			return signOK(Compare(v, val), lt, eq, gt)
+		}
+	default:
+		// NULL and boolean constants are rare; the generic comparison is
+		// already cheap there.
+		return func(r Row) bool {
+			return signOK(Compare(r[idx], val), lt, eq, gt)
+		}
+	}
+}
+
+func signOK(c int, lt, eq, gt bool) bool {
+	if c < 0 {
+		return lt
+	}
+	if c > 0 {
+		return gt
+	}
+	return eq
+}
