@@ -54,6 +54,25 @@ const (
 	Bool
 )
 
+// Layout selects the physical block layout for base tables and samples.
+type Layout uint8
+
+const (
+	// LayoutColumnar — the default — stores every block as per-column
+	// typed slices with null bitmaps plus per-block sampling-metadata
+	// arrays (internal/colstore). The executor then evaluates predicates
+	// into selection bitmaps and runs aggregation over contiguous
+	// float64/int64 slices, which is what lets cached samples be scanned
+	// at memory bandwidth (§5). Zone maps, sampling, planning and results
+	// are identical to the row layout — bit for bit, for any worker
+	// count — so the knob is purely physical.
+	LayoutColumnar Layout = iota
+	// LayoutRow stores blocks as []Row of tagged values — the original
+	// representation, kept as a fallback and as the reference for the
+	// row-vs-columnar equivalence tests.
+	LayoutRow
+)
+
 // ColumnDef declares one table column.
 type ColumnDef struct {
 	Name string
@@ -89,6 +108,11 @@ type Config struct {
 	// blocks are auto-sized so one block represents ≈256 MB of logical
 	// data at the configured Scale (HDFS-style blocks).
 	RowsPerBlock int
+	// Layout is the physical block layout for tables and samples built
+	// by this engine. The zero value is LayoutColumnar (vectorized
+	// scans); LayoutRow restores the row-oriented store. Query results
+	// are bit-identical across layouts.
+	Layout Layout
 	// CacheTables places base tables in simulated cluster memory.
 	CacheTables bool
 	// FullProbePricing charges ELP probe runs like any other sample
@@ -124,6 +148,14 @@ func (c Config) normalize() Config {
 		c.Seed = 1
 	}
 	return c
+}
+
+// storageLayout maps the public knob to the storage-level enum.
+func (c Config) storageLayout() storage.Layout {
+	if c.Layout == LayoutRow {
+		return storage.RowLayout
+	}
+	return storage.ColumnarLayout
 }
 
 // Engine is a BlinkDB instance: a catalog of tables and samples plus the
@@ -196,7 +228,7 @@ func (e *Engine) CreateTable(name string, cols ...ColumnDef) *Loader {
 	return &Loader{
 		eng:     e,
 		table:   tab,
-		builder: storage.NewBuilder(tab, provisional, e.cfg.Nodes, place),
+		builder: storage.NewBuilderLayout(tab, provisional, e.cfg.Nodes, place, e.cfg.storageLayout()),
 		schema:  schema,
 		place:   place,
 	}
@@ -237,11 +269,8 @@ func (l *Loader) Close() error {
 	if l.eng.cfg.RowsPerBlock <= 0 && l.table.NumRows() > 0 {
 		target := l.eng.blockRows(l.table)
 		rechunked := storage.NewTable(l.table.Name, l.schema)
-		b := storage.NewBuilder(rechunked, target, l.eng.cfg.Nodes, l.place)
-		l.table.Scan(func(r types.Row, m storage.RowMeta) bool {
-			b.Append(r, m)
-			return true
-		})
+		b := storage.NewBuilderLayout(rechunked, target, l.eng.cfg.Nodes, l.place, l.eng.cfg.storageLayout())
+		b.AppendTable(l.table)
 		b.Finish()
 		l.table = rechunked
 	}
@@ -382,10 +411,12 @@ func (e *Engine) CreateSamples(table string, opts SampleOptions) (*SampleReport,
 		MaxColumns:  opts.MaxColumns,
 		BudgetBytes: int64(float64(entry.Table.Bytes()) * opts.BudgetFraction),
 		ChurnFrac:   opts.ChurnFraction,
+		Workers:     e.cfg.Workers,
 		Build: sample.BuildConfig{
 			RowsPerBlock: blockRows,
 			Nodes:        e.cfg.Nodes,
 			Place:        storage.InMemory, // samples live in the cache
+			Layout:       e.cfg.storageLayout(),
 			Seed:         e.cfg.Seed,
 		},
 	}
@@ -544,6 +575,7 @@ func (e *Engine) RefreshSamples(table string) (columns []string, ok bool, err er
 		RowsPerBlock: e.blockRows(entry.Table),
 		Nodes:        e.cfg.Nodes,
 		Place:        storage.InMemory,
+		Layout:       e.cfg.storageLayout(),
 		Seed:         e.cfg.Seed + 7717,
 	})
 	phi, ok, err := r.RefreshNext()
@@ -626,10 +658,12 @@ func (e *Engine) Maintain(table string, opts MaintainOptions) (*MaintainReport, 
 		Resolutions: opts.Resolutions,
 		BudgetBytes: int64(float64(entry.Table.Bytes()) * opts.BudgetFraction),
 		ChurnFrac:   opts.ChurnFraction,
+		Workers:     e.cfg.Workers,
 		Build: sample.BuildConfig{
 			RowsPerBlock: e.blockRows(entry.Table),
 			Nodes:        e.cfg.Nodes,
 			Place:        storage.InMemory,
+			Layout:       e.cfg.storageLayout(),
 			Seed:         e.cfg.Seed + 31,
 		},
 	}

@@ -77,7 +77,13 @@ func TestEndToEndTimeBoundedQuery(t *testing.T) {
 // demoEngineWorkers is demoEngine with an explicit executor pool size.
 func demoEngineWorkers(t testing.TB, rows, workers int) *Engine {
 	t.Helper()
-	eng := Open(Config{Scale: 1e4, Seed: 7, CacheTables: true, Workers: workers})
+	return demoEngineLayout(t, rows, workers, LayoutColumnar)
+}
+
+// demoEngineLayout is demoEngineWorkers with an explicit block layout.
+func demoEngineLayout(t testing.TB, rows, workers int, layout Layout) *Engine {
+	t.Helper()
+	eng := Open(Config{Scale: 1e4, Seed: 7, CacheTables: true, Workers: workers, Layout: layout})
 	load := eng.CreateTable("sessions",
 		Col("city", String),
 		Col("os", String),
@@ -407,5 +413,42 @@ func TestMaintainEndToEnd(t *testing.T) {
 	}
 	if _, err := eng.Maintain("sessions", MaintainOptions{}); err == nil {
 		t.Error("missing templates should error")
+	}
+}
+
+// TestLayoutEquivalenceEndToEnd pins the public-API contract of the
+// columnar store: two engines differing only in Config.Layout (and in
+// worker count, to compose both axes) return bit-identical query results
+// — same groups, points, error bars, plan decisions, scan counters and
+// simulated latencies — for exact, error-bounded, time-bounded, grouped,
+// disjunctive and zero-match queries.
+func TestLayoutEquivalenceEndToEnd(t *testing.T) {
+	row := demoEngineLayout(t, 30000, 1, LayoutRow)
+	col := demoEngineLayout(t, 30000, 1, LayoutColumnar)
+	colPar := demoEngineLayout(t, 30000, 8, LayoutColumnar)
+	queries := []string{
+		`SELECT COUNT(*) FROM sessions`,
+		`SELECT AVG(sessiontime), MEDIAN(sessiontime) FROM sessions GROUP BY city`,
+		`SELECT AVG(sessiontime) FROM sessions WHERE city = 'NY' ERROR WITHIN 5% AT CONFIDENCE 95%`,
+		`SELECT COUNT(*) FROM sessions WHERE city = 'SF' GROUP BY os WITHIN 2 SECONDS`,
+		`SELECT SUM(sessiontime) FROM sessions WHERE city = 'NY' OR os = 'Linux' ERROR WITHIN 10%`,
+		`SELECT QUANTILE(sessiontime, 0.9) FROM sessions WHERE ended = 1 GROUP BY genre ERROR WITHIN 15%`,
+		`SELECT COUNT(*) FROM sessions WHERE city = 'Atlantis'`,
+	}
+	for _, src := range queries {
+		want, err := row.Query(src)
+		if err != nil {
+			t.Fatalf("%q (row): %v", src, err)
+		}
+		for name, eng := range map[string]*Engine{"columnar/1": col, "columnar/8": colPar} {
+			got, err := eng.Query(src)
+			if err != nil {
+				t.Fatalf("%q (%s): %v", src, name, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%q: %s diverged from row layout\nrow:      %+v\ncolumnar: %+v",
+					src, name, want, got)
+			}
+		}
 	}
 }

@@ -42,12 +42,22 @@ type expRecord struct {
 }
 
 // execRecord reports the scan-executor micro-benchmark: a filtered
-// grouped aggregation over an in-memory table at several worker counts.
+// grouped aggregation over the same in-memory table in BOTH block
+// layouts at several worker counts. The row/columnar pairing tracks the
+// vectorized-scan speedup over time; results are bit-identical across
+// layouts and worker counts, only throughput differs.
 type execRecord struct {
-	Rows        int                `json:"rows"`
-	Blocks      int                `json:"blocks"`
-	RowsPerSec  map[string]float64 `json:"rows_per_sec_by_workers"`
-	Speedup8vs1 float64            `json:"speedup_8_vs_1"`
+	Rows   int `json:"rows"`
+	Blocks int `json:"blocks"`
+	// RowsPerSec is the row-layout throughput by worker count (field
+	// name kept stable for cross-PR comparison).
+	RowsPerSec map[string]float64 `json:"rows_per_sec_by_workers"`
+	// ColumnarRowsPerSec is the columnar-layout (vectorized) throughput.
+	ColumnarRowsPerSec map[string]float64 `json:"columnar_rows_per_sec_by_workers"`
+	// ColumnarSpeedup1 is columnar/row throughput at 1 worker — the
+	// single-thread layout speedup.
+	ColumnarSpeedup1 float64 `json:"columnar_speedup_1_worker"`
+	Speedup8vs1      float64 `json:"speedup_8_vs_1"`
 }
 
 // snapshot is the BENCH_<date>.json schema.
@@ -154,9 +164,12 @@ func main() {
 }
 
 // executorBench measures the partitioned scan executor in isolation:
-// rows/s of a filtered grouped aggregation at worker counts 1, 2, 4, 8.
-// Results are bit-identical across counts; only throughput differs (and
-// only when GOMAXPROCS > 1 — single-core hosts will report speedup ≈ 1).
+// rows/s of a filtered grouped aggregation at worker counts 1, 2, 4, 8,
+// over the same data in the row layout and the columnar (vectorized)
+// layout. Results are bit-identical across layouts and counts; only
+// throughput differs (worker scaling additionally needs GOMAXPROCS > 1 —
+// single-core hosts report speedup_8_vs_1 ≈ 1, but the layout speedup is
+// visible even there).
 func executorBench() execRecord {
 	const rows = 300000
 	schema := types.NewSchema(
@@ -164,27 +177,27 @@ func executorBench() execRecord {
 		types.Column{Name: "code", Kind: types.KindInt},
 		types.Column{Name: "sessiontime", Kind: types.KindFloat},
 	)
-	tab := storage.NewTable("bench", schema)
-	b := storage.NewBuilder(tab, 2048, 4, storage.InMemory)
-	rng := rand.New(rand.NewSource(17))
-	cities := []string{"NY", "SF", "LA", "Austin", "Boise"}
-	for i := 0; i < rows; i++ {
-		b.AppendRow(types.Row{
-			types.Str(cities[rng.Intn(len(cities))]),
-			types.Int(int64(rng.Intn(1000))),
-			types.Float(rng.ExpFloat64() * 100),
-		})
+	build := func(layout storage.Layout) *storage.Table {
+		tab := storage.NewTable("bench", schema)
+		b := storage.NewBuilderLayout(tab, 2048, 4, storage.InMemory, layout)
+		rng := rand.New(rand.NewSource(17))
+		cities := []string{"NY", "SF", "LA", "Austin", "Boise"}
+		for i := 0; i < rows; i++ {
+			b.AppendRow(types.Row{
+				types.Str(cities[rng.Intn(len(cities))]),
+				types.Int(int64(rng.Intn(1000))),
+				types.Float(rng.ExpFloat64() * 100),
+			})
+		}
+		return b.Finish()
 	}
-	b.Finish()
 	q := `SELECT COUNT(*), SUM(sessiontime), AVG(sessiontime) FROM bench WHERE code < 900 GROUP BY city`
 	plan, err := compileBench(q, schema)
 	if err != nil {
 		panic(err) // static query against a static schema
 	}
-	in := exec.FromTable(tab)
 
-	rec := execRecord{Rows: rows, Blocks: len(tab.Blocks), RowsPerSec: map[string]float64{}}
-	measure := func(workers int) float64 {
+	measure := func(in exec.Input, workers int) float64 {
 		// Warm up once, then time enough iterations for ≥ ~0.5 s.
 		exec.RunParallel(plan, in, 0.95, workers)
 		iters := 0
@@ -195,11 +208,20 @@ func executorBench() execRecord {
 		}
 		return float64(rows) * float64(iters) / time.Since(start).Seconds()
 	}
+	rowTab := build(storage.RowLayout)
+	colTab := build(storage.ColumnarLayout)
+	rec := execRecord{
+		Rows: rows, Blocks: len(rowTab.Blocks),
+		RowsPerSec:         map[string]float64{},
+		ColumnarRowsPerSec: map[string]float64{},
+	}
 	for _, w := range []int{1, 2, 4, 8} {
-		rec.RowsPerSec[fmt.Sprintf("%d", w)] = measure(w)
+		rec.RowsPerSec[fmt.Sprintf("%d", w)] = measure(exec.FromTable(rowTab), w)
+		rec.ColumnarRowsPerSec[fmt.Sprintf("%d", w)] = measure(exec.FromTable(colTab), w)
 	}
 	if base := rec.RowsPerSec["1"]; base > 0 {
 		rec.Speedup8vs1 = rec.RowsPerSec["8"] / base
+		rec.ColumnarSpeedup1 = rec.ColumnarRowsPerSec["1"] / base
 	}
 	return rec
 }

@@ -13,6 +13,8 @@ package baseline
 import (
 	"math"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"blinkdb/internal/cluster"
 	"blinkdb/internal/exec"
@@ -111,7 +113,7 @@ func OLA(clus *cluster.Cluster, tab *storage.Table, plan *exec.Plan, cfg OLAConf
 	type loc struct{ b, r int32 }
 	locs := make([]loc, 0, tab.NumRows())
 	for bi, b := range tab.Blocks {
-		for ri := range b.Rows {
+		for ri, n := 0, b.NumRows(); ri < n; ri++ {
 			locs = append(locs, loc{int32(bi), int32(ri)})
 		}
 	}
@@ -152,6 +154,15 @@ func OLA(clus *cluster.Cluster, tab *storage.Table, plan *exec.Plan, cfg OLAConf
 			res.Groups = append(res.Groups, g)
 			res.RowsMatched += gs.accs[0].n
 		}
+		// Sort by encoded key (computed once per group) so output order
+		// never depends on map iteration. Note this is a deterministic
+		// lexicographic order, not exec.finalize's value order —
+		// baseline results are compared by key, never positionally.
+		enc := make([]string, len(res.Groups))
+		for i, g := range res.Groups {
+			enc[i] = encodeGroupKey(g.Key)
+		}
+		sort.Sort(&groupsByKey{groups: res.Groups, keys: enc})
 		res.BytesScanned = int64(float64(consumed) * bytesPerRow)
 		return res
 	}
@@ -164,7 +175,7 @@ func OLA(clus *cluster.Cluster, tab *storage.Table, plan *exec.Plan, cfg OLAConf
 		}
 		for _, l := range locs[start:end] {
 			consumed++
-			row := tab.Blocks[l.b].Rows[l.r]
+			row := tab.Blocks[l.b].RowAt(int(l.r))
 			if !plan.Pred.Eval(row) {
 				continue
 			}
@@ -233,6 +244,28 @@ func OLA(clus *cluster.Cluster, tab *storage.Table, plan *exec.Plan, cfg OLAConf
 		Latency:      latencyAt(consumed),
 		Converged:    converged,
 	}
+}
+
+func encodeGroupKey(key []types.Value) string {
+	var b strings.Builder
+	for _, v := range key {
+		b.WriteString(v.Key())
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}
+
+// groupsByKey sorts groups and their precomputed encoded keys together.
+type groupsByKey struct {
+	groups []exec.Group
+	keys   []string
+}
+
+func (s *groupsByKey) Len() int           { return len(s.groups) }
+func (s *groupsByKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *groupsByKey) Swap(i, j int) {
+	s.groups[i], s.groups[j] = s.groups[j], s.groups[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // UniformOnly builds the §6.3 "random samples" strategy: a single uniform

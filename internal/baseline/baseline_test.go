@@ -3,6 +3,7 @@ package baseline
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"blinkdb/internal/cluster"
@@ -18,13 +19,18 @@ import (
 
 func testTable(t testing.TB, rows int) *storage.Table {
 	t.Helper()
+	return testTableLayout(t, rows, storage.ColumnarLayout)
+}
+
+func testTableLayout(t testing.TB, rows int, layout storage.Layout) *storage.Table {
+	t.Helper()
 	schema := types.NewSchema(
 		types.Column{Name: "city", Kind: types.KindString},
 		types.Column{Name: "os", Kind: types.KindString},
 		types.Column{Name: "time", Kind: types.KindFloat},
 	)
 	tab := storage.NewTable("sessions", schema)
-	b := storage.NewBuilder(tab, 512, 100, storage.OnDisk)
+	b := storage.NewBuilderLayout(tab, 512, 100, storage.OnDisk, layout)
 	rng := rand.New(rand.NewSource(13))
 	cityGen := zipf.NewGeneratorCDF(rng, 1.4, 100)
 	oses := []string{"Win7", "OSX", "Linux"}
@@ -271,5 +277,40 @@ func BenchmarkOLA(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		OLA(clus, tab, plan, OLAConfig{TargetRelErr: 0.05, Seed: int64(i)})
+	}
+}
+
+// TestBaselineLayoutEquivalence pins the comparison systems to the same
+// row-vs-columnar contract as the main engine: FullScan (any worker
+// count) and OLA return bit-identical results and simulated latencies on
+// both layouts.
+func TestBaselineLayoutEquivalence(t *testing.T) {
+	row := testTableLayout(t, 20000, storage.RowLayout)
+	col := testTableLayout(t, 20000, storage.ColumnarLayout)
+	clus := cluster.New(cluster.PaperConfig())
+	for _, src := range []string{
+		`SELECT AVG(time) FROM sessions GROUP BY city`,
+		`SELECT COUNT(*), SUM(time) FROM sessions WHERE os = 'Linux' GROUP BY city`,
+	} {
+		plan := compile(t, src, row.Schema)
+		wantRes, wantLat := FullScan(clus, cluster.SharkCached, row, plan, 1e5, 1, 1)
+		for _, w := range []int{1, 8} {
+			gotRes, gotLat := FullScan(clus, cluster.SharkCached, col, plan, 1e5, 1, w)
+			if !reflect.DeepEqual(wantRes, gotRes) || wantLat != gotLat {
+				t.Errorf("%q workers=%d: FullScan diverged across layouts", src, w)
+			}
+		}
+
+		cfg := OLAConfig{TargetRelErr: 0.05, Seed: 11, Scale: 1e5}
+		wantOLA := OLA(clus, row, plan, cfg)
+		gotOLA := OLA(clus, col, plan, cfg)
+		if wantOLA.RowsConsumed != gotOLA.RowsConsumed || wantOLA.Converged != gotOLA.Converged ||
+			wantOLA.Latency != gotOLA.Latency || wantOLA.Fraction != gotOLA.Fraction {
+			t.Errorf("%q: OLA stopping behaviour diverged across layouts: %+v vs %+v",
+				src, wantOLA, gotOLA)
+		}
+		if !reflect.DeepEqual(wantOLA.Result.Groups, gotOLA.Result.Groups) {
+			t.Errorf("%q: OLA estimates diverged across layouts", src)
+		}
 	}
 }

@@ -1,0 +1,161 @@
+package colstore
+
+import "blinkdb/internal/types"
+
+// Builder accumulates one block's rows and encodes them into a Data. It
+// mirrors storage.Builder's per-block accumulation: Append rows (with
+// their sampling metadata), then Finish to freeze the columnar payload.
+// Encoding decisions are made at Finish time from the values actually
+// seen, so a column degrades gracefully (typed slice → verbatim values)
+// instead of ever rejecting a row.
+type Builder struct {
+	cols  [][]types.Value
+	rates []float64
+	freqs []int64
+}
+
+// NewBuilder creates a builder for blocks of numCols columns.
+func NewBuilder(numCols int) *Builder {
+	return &Builder{cols: make([][]types.Value, numCols)}
+}
+
+// Len returns the number of rows appended so far.
+func (b *Builder) Len() int { return len(b.rates) }
+
+// Append adds one row. len(r) must equal the builder's column count;
+// short rows are padded with NULLs (mirroring how the row layout treats
+// missing trailing values on read).
+func (b *Builder) Append(r types.Row, rate float64, freq int64) {
+	for c := range b.cols {
+		v := types.Null()
+		if c < len(r) {
+			v = r[c]
+		}
+		b.cols[c] = append(b.cols[c], v)
+	}
+	b.rates = append(b.rates, rate)
+	b.freqs = append(b.freqs, freq)
+}
+
+// Finish encodes the accumulated rows into a Data and resets the builder
+// for the next block.
+func (b *Builder) Finish() *Data {
+	n := len(b.rates)
+	d := &Data{N: n, Cols: make([]Column, len(b.cols))}
+	for c := range b.cols {
+		d.Cols[c] = encodeColumn(b.cols[c])
+		b.cols[c] = nil
+	}
+	d.Rates, d.UniformRate = compressFloats(b.rates)
+	d.Freqs, d.UniformFreq = compressInts(b.freqs)
+	b.rates, b.freqs = nil, nil
+	return d
+}
+
+// FromRows encodes a complete block in one call.
+func FromRows(numCols int, rows []types.Row, rates []float64, freqs []int64) *Data {
+	b := NewBuilder(numCols)
+	for i, r := range rows {
+		b.Append(r, rates[i], freqs[i])
+	}
+	return b.Finish()
+}
+
+// compressFloats drops the array when every element is equal, returning
+// the shared value.
+func compressFloats(xs []float64) ([]float64, float64) {
+	if len(xs) == 0 {
+		return nil, 1
+	}
+	for _, x := range xs[1:] {
+		if x != xs[0] {
+			return xs, 0
+		}
+	}
+	return nil, xs[0]
+}
+
+func compressInts(xs []int64) ([]int64, int64) {
+	if len(xs) == 0 {
+		return nil, 0
+	}
+	for _, x := range xs[1:] {
+		if x != xs[0] {
+			return xs, 0
+		}
+	}
+	return nil, xs[0]
+}
+
+// encodeColumn picks the tightest lossless encoding for one column.
+func encodeColumn(vals []types.Value) Column {
+	kind := types.KindNull
+	mixed := false
+	hasNull := false
+	for _, v := range vals {
+		if v.Kind == types.KindNull {
+			hasNull = true
+			continue
+		}
+		if kind == types.KindNull {
+			kind = v.Kind
+		} else if v.Kind != kind {
+			mixed = true
+			break
+		}
+	}
+	if mixed {
+		return Column{Enc: EncValue, Values: vals}
+	}
+
+	var nulls []uint64
+	if hasNull {
+		nulls = make([]uint64, (len(vals)+63)/64)
+		for i, v := range vals {
+			if v.Kind == types.KindNull {
+				nulls[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	}
+	switch kind {
+	case types.KindFloat:
+		xs := make([]float64, len(vals))
+		for i, v := range vals {
+			xs[i] = v.F
+		}
+		return Column{Enc: EncFloat, Floats: xs, Nulls: nulls}
+	case types.KindInt:
+		xs := make([]int64, len(vals))
+		for i, v := range vals {
+			xs[i] = v.I
+		}
+		return Column{Enc: EncInt, Ints: xs, Nulls: nulls}
+	case types.KindBool:
+		xs := make([]int64, len(vals))
+		for i, v := range vals {
+			xs[i] = v.I
+		}
+		return Column{Enc: EncBool, Ints: xs, Nulls: nulls}
+	case types.KindString:
+		codes := make([]uint32, len(vals))
+		var dict []string
+		lookup := map[string]uint32{}
+		for i, v := range vals {
+			if v.Kind == types.KindNull {
+				continue
+			}
+			code, ok := lookup[v.S]
+			if !ok {
+				code = uint32(len(dict))
+				lookup[v.S] = code
+				dict = append(dict, v.S)
+			}
+			codes[i] = code
+		}
+		return Column{Enc: EncDict, Codes: codes, Dict: dict, Nulls: nulls}
+	default:
+		// Every value NULL: any typed encoding with a full null bitmap
+		// reconstructs it; pick float.
+		return Column{Enc: EncFloat, Floats: make([]float64, len(vals)), Nulls: nulls}
+	}
+}

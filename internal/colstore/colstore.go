@@ -1,0 +1,236 @@
+// Package colstore implements the columnar block layout underlying
+// BlinkDB-Go's vectorized scan path. A Data holds one storage block's rows
+// decomposed into per-column typed slices — []float64, []int64,
+// dictionary-encoded strings — plus a null bitmap per column and per-block
+// rate/stratum-frequency arrays (the sampling metadata storage.RowMeta
+// carries row-by-row in the row layout).
+//
+// The layout is the paper's §5 speed argument made physical: cached sample
+// blocks are scanned at memory bandwidth because the executor's compiled
+// predicates and aggregate kernels run over contiguous machine-typed
+// slices instead of chasing one tagged value at a time.
+//
+// Encoding is LOSSLESS with respect to the row layout: Value(col, i)
+// reconstructs exactly the types.Value that was appended (kind included),
+// so a columnar scan produces bit-identical results to a row scan. A
+// column whose non-null values mix kinds falls back to a verbatim
+// []types.Value encoding — still contiguous, never wrong.
+package colstore
+
+import (
+	"math/bits"
+
+	"blinkdb/internal/types"
+)
+
+// Encoding says how one column's values are physically stored.
+type Encoding uint8
+
+const (
+	// EncFloat stores KindFloat values in Floats (0 at null positions).
+	EncFloat Encoding = iota
+	// EncInt stores KindInt values in Ints.
+	EncInt
+	// EncBool stores KindBool payloads in Ints (0/1).
+	EncBool
+	// EncDict stores KindString values as Codes into Dict (first-appearance
+	// order, so encoding is deterministic for a given row sequence).
+	EncDict
+	// EncValue stores values verbatim — the fallback for columns whose
+	// non-null values mix kinds. Nulls is not used; Values holds them.
+	EncValue
+)
+
+// String renders the encoding name.
+func (e Encoding) String() string {
+	switch e {
+	case EncFloat:
+		return "float"
+	case EncInt:
+		return "int"
+	case EncBool:
+		return "bool"
+	case EncDict:
+		return "dict"
+	default:
+		return "value"
+	}
+}
+
+// Column is one column of a block in columnar form. Exactly the payload
+// fields selected by Enc are meaningful. Nulls is a little-endian bitmap
+// (bit i set ⇒ row i is NULL); nil means the column has no nulls. EncValue
+// columns keep nulls inline in Values and leave Nulls nil.
+type Column struct {
+	Enc    Encoding
+	Floats []float64
+	Ints   []int64
+	Codes  []uint32
+	Dict   []string
+	Values []types.Value
+	Nulls  []uint64
+}
+
+// Len returns the column's row count as implied by its payload slice.
+func (c *Column) Len() int {
+	switch c.Enc {
+	case EncFloat:
+		return len(c.Floats)
+	case EncInt, EncBool:
+		return len(c.Ints)
+	case EncDict:
+		return len(c.Codes)
+	default:
+		return len(c.Values)
+	}
+}
+
+// IsNull reports whether row i of the column is NULL.
+func (c *Column) IsNull(i int) bool {
+	if c.Enc == EncValue {
+		return c.Values[i].IsNull()
+	}
+	return c.Nulls != nil && c.Nulls[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Value reconstructs row i's value exactly as it was appended.
+func (c *Column) Value(i int) types.Value {
+	switch c.Enc {
+	case EncValue:
+		return c.Values[i]
+	default:
+		if c.IsNull(i) {
+			return types.Null()
+		}
+	}
+	switch c.Enc {
+	case EncFloat:
+		return types.Float(c.Floats[i])
+	case EncInt:
+		return types.Int(c.Ints[i])
+	case EncBool:
+		return types.Value{Kind: types.KindBool, I: c.Ints[i]}
+	default: // EncDict
+		return types.Str(c.Dict[c.Codes[i]])
+	}
+}
+
+// NumNulls counts the NULL rows (n is the column length, needed to mask
+// the bitmap's tail word).
+func (c *Column) NumNulls(n int) int {
+	if c.Enc == EncValue {
+		count := 0
+		for i := range c.Values {
+			if c.Values[i].IsNull() {
+				count++
+			}
+		}
+		return count
+	}
+	if c.Nulls == nil {
+		return 0
+	}
+	count := 0
+	for wi, w := range c.Nulls {
+		if rem := n - wi*64; rem < 64 {
+			w &= (1 << uint(rem)) - 1
+		}
+		count += bits.OnesCount64(w)
+	}
+	return count
+}
+
+// MinMax returns the smallest and largest non-NULL value of the column
+// under types.Compare, and false when every row is NULL. Note this is a
+// summary helper (tests use it to cross-check encodings), NOT the source
+// of block zone maps: storage.Builder extends zones from every appended
+// value — NULLs included — identically in both layouts, so zone-based
+// pruning stays bit-identical across layouts.
+func (c *Column) MinMax(n int) (min, max types.Value, ok bool) {
+	for i := 0; i < n; i++ {
+		if c.IsNull(i) {
+			continue
+		}
+		v := c.Value(i)
+		if !ok {
+			min, max, ok = v, v, true
+			continue
+		}
+		if types.Compare(v, min) < 0 {
+			min = v
+		}
+		if types.Compare(v, max) > 0 {
+			max = v
+		}
+	}
+	return min, max, ok
+}
+
+// Data is the columnar payload of one block: every column plus the per-row
+// sampling metadata. When every row shares the same (rate, stratum
+// frequency) pair — base tables, uniform samples, single-stratum sample
+// blocks — the arrays are dropped and the shared pair is stored once,
+// which is what lets the executor hoist rate math out of its inner loop.
+type Data struct {
+	// N is the row count.
+	N int
+	// Cols holds one entry per schema column.
+	Cols []Column
+	// Rates[i] is row i's effective sampling rate; nil when uniform.
+	Rates []float64
+	// Freqs[i] is row i's stratum frequency; nil when uniform.
+	Freqs []int64
+	// UniformRate is every row's rate when Rates is nil.
+	UniformRate float64
+	// UniformFreq is every row's stratum frequency when Freqs is nil.
+	UniformFreq int64
+}
+
+// Uniform reports whether every row shares one (rate, freq) pair.
+func (d *Data) Uniform() bool { return d.Rates == nil && d.Freqs == nil }
+
+// RateAt returns row i's sampling rate.
+func (d *Data) RateAt(i int) float64 {
+	if d.Rates == nil {
+		return d.UniformRate
+	}
+	return d.Rates[i]
+}
+
+// FreqAt returns row i's stratum frequency.
+func (d *Data) FreqAt(i int) int64 {
+	if d.Freqs == nil {
+		return d.UniformFreq
+	}
+	return d.Freqs[i]
+}
+
+// Row materialises row i as a fresh types.Row (safe to retain).
+func (d *Data) Row(i int) types.Row {
+	return d.RowInto(make(types.Row, len(d.Cols)), i)
+}
+
+// RowInto materialises row i into buf (which must have len(d.Cols)) and
+// returns it. The scan paths reuse one buffer per block with this.
+func (d *Data) RowInto(buf types.Row, i int) types.Row {
+	for c := range d.Cols {
+		buf[c] = d.Cols[c].Value(i)
+	}
+	return buf
+}
+
+// RowKey renders the projection of row i onto the given column indices,
+// byte-identical to types.RowKey over the materialised row.
+func (d *Data) RowKey(i int, idx []int) string {
+	if len(idx) == 1 {
+		return d.Cols[idx[0]].Value(i).Key()
+	}
+	buf := make([]byte, 0, 16*len(idx))
+	for k, j := range idx {
+		if k > 0 {
+			buf = append(buf, '\x1f')
+		}
+		buf = append(buf, d.Cols[j].Value(i).Key()...)
+	}
+	return string(buf)
+}

@@ -272,6 +272,12 @@ func (r *Result) MinGroupRows() int64 {
 type groupState struct {
 	key  []types.Value
 	accs []*stats.Acc
+
+	// batchRows/batchRates stage this group's selected rows while one
+	// columnar block is scanned (vector.go); they are drained and reset
+	// before the scan moves to the next block.
+	batchRows  []int32
+	batchRates []float64
 }
 
 // newGroupState initialises a group for the given (possibly nil) first row.
@@ -391,14 +397,16 @@ func zoneMayMatch(b *storage.Block, bounds map[int]*Bounds) bool {
 // satisfy the predicate's bounds are skipped before any row is read, so
 // they contribute to neither RowsScanned nor BytesScanned.
 func RunPartial(p *Plan, in Input, lo, hi int) *Partial {
-	return runPartial(p, p.runtime(), in, lo, hi, nil)
+	return runPartial(p, p.runtime(), in, lo, hi, nil, nil)
 }
 
-// runPartial is RunPartial with precompiled plan state and an optional
+// runPartial is RunPartial with precompiled plan state, an optional
 // row-expansion hook (joins expand each fact row into zero or more
-// combined rows; nil means identity).
+// combined rows; nil means identity) and an optional columnar-scan
+// scratch to reuse across the ranges one worker processes (nil allocates
+// on demand).
 func runPartial(p *Plan, rt *planRuntime, in Input, lo, hi int,
-	expand func(r types.Row, emit func(types.Row))) *Partial {
+	expand func(r types.Row, emit func(types.Row)), sc *colScratch) *Partial {
 
 	pt := &Partial{groups: make(map[uint64][]*groupState)}
 	if lo < 0 {
@@ -414,6 +422,19 @@ func runPartial(p *Plan, rt *planRuntime, in Input, lo, hi int,
 			continue // pruned: never read, never counted
 		}
 		pt.BytesScanned += b.Bytes
+		if d := b.Col; d != nil {
+			// Columnar block: vectorized kernels (bit-identical to the
+			// row loops below — see vector.go's contract).
+			if sc == nil {
+				sc = &colScratch{} // direct RunPartial calls
+			}
+			if expand == nil {
+				pt.scanColumnar(p, rt, in, d, sc)
+			} else {
+				pt.scanColumnarExpand(p, rt, in, d, sc, expand)
+			}
+			continue
+		}
 		if expand == nil {
 			for i, row := range b.Rows {
 				pt.RowsScanned++
@@ -580,8 +601,9 @@ func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers i
 		workers = len(ranges)
 	}
 	if workers <= 1 {
+		sc := &colScratch{}
 		for i, r := range ranges {
-			parts[i] = runPartial(p, rt, in, r.Lo, r.Hi, expand)
+			parts[i] = runPartial(p, rt, in, r.Lo, r.Hi, expand, sc)
 		}
 		return MergePartials(p, parts, confidence)
 	}
@@ -591,12 +613,13 @@ func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := &colScratch{} // per-worker: buffers are not shared
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(ranges) {
 					return
 				}
-				parts[i] = runPartial(p, rt, in, ranges[i].Lo, ranges[i].Hi, expand)
+				parts[i] = runPartial(p, rt, in, ranges[i].Lo, ranges[i].Hi, expand, sc)
 			}
 		}()
 	}

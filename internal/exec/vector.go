@@ -1,0 +1,739 @@
+package exec
+
+import (
+	"math/bits"
+
+	"blinkdb/internal/colstore"
+	"blinkdb/internal/stats"
+	"blinkdb/internal/storage"
+	"blinkdb/internal/types"
+)
+
+// This file implements the vectorized scan path over columnar blocks
+// (internal/colstore): predicates are evaluated column-at-a-time into a
+// selection bitmap, then grouping and aggregation run over the selected
+// rows using contiguous typed slices — no types.Row is materialised and
+// no per-row interface dispatch happens.
+//
+// BIT-IDENTITY CONTRACT: for any block, the columnar scan must produce
+// exactly the state the row scan would: the same rows selected, the same
+// groups created, and — because floating-point addition is not
+// associative — every per-group accumulator fed the same (x, rate) pairs
+// in the same row order, and WeightedMatched summed in row order. The
+// kernels below therefore reorder work only in ways invisible to IEEE
+// arithmetic (hoisting loop-invariant weight math, batching per-group
+// accumulation without changing each group's row order).
+
+// colScratch holds buffers reused across the columnar blocks of one
+// RunPartial call, so steady-state scanning allocates nothing.
+type colScratch struct {
+	sel     []uint64   // selection bitmap
+	free    [][]uint64 // temp bitmaps for AND/OR subtrees
+	idxs    []int32    // selected row indices, ascending
+	passTab []bool     // per-dictionary-code predicate outcomes
+	xs      []float64  // gathered aggregate inputs
+	rs      []float64  // gathered per-row rates
+	keybuf  []types.Value
+	rowbuf  types.Row
+	codeGS  []*groupState // per-dictionary-code group cache
+	touched []*groupState // groups staged during the current block
+
+	// rowPool/ratePool recycle the per-group staging buffers across
+	// blocks and partials (group states die with their partial; their
+	// buffers shouldn't).
+	rowPool  [][]int32
+	ratePool [][]float64
+}
+
+func (sc *colScratch) getBatchBufs() ([]int32, []float64) {
+	var rows []int32
+	var rates []float64
+	if k := len(sc.rowPool); k > 0 {
+		rows = sc.rowPool[k-1]
+		sc.rowPool = sc.rowPool[:k-1]
+	} else {
+		rows = make([]int32, 0, 64)
+	}
+	if k := len(sc.ratePool); k > 0 {
+		rates = sc.ratePool[k-1]
+		sc.ratePool = sc.ratePool[:k-1]
+	} else {
+		rates = make([]float64, 0, 64)
+	}
+	return rows, rates
+}
+
+func (sc *colScratch) putBatchBufs(rows []int32, rates []float64) {
+	sc.rowPool = append(sc.rowPool, rows[:0])
+	sc.ratePool = append(sc.ratePool, rates[:0])
+}
+
+func (sc *colScratch) bitmap(n int) []uint64 {
+	words := (n + 63) / 64
+	if cap(sc.sel) < words {
+		sc.sel = make([]uint64, words)
+	}
+	return sc.sel[:words]
+}
+
+func (sc *colScratch) acquireTemp(words int) []uint64 {
+	if k := len(sc.free); k > 0 {
+		t := sc.free[k-1]
+		sc.free = sc.free[:k-1]
+		if cap(t) >= words {
+			return t[:words]
+		}
+	}
+	return make([]uint64, words)
+}
+
+func (sc *colScratch) releaseTemp(t []uint64) { sc.free = append(sc.free, t) }
+
+func (sc *colScratch) rowBuf(w int) types.Row {
+	if cap(sc.rowbuf) < w {
+		sc.rowbuf = make(types.Row, w)
+	}
+	return sc.rowbuf[:w]
+}
+
+// ---- bitmap primitives ----
+
+func bitmapFill(dst []uint64, n int, b bool) {
+	if !b {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = ^uint64(0)
+	}
+	maskTail(dst, n)
+}
+
+// maskTail clears bits ≥ n in the last word.
+func maskTail(dst []uint64, n int) {
+	if rem := n & 63; rem != 0 && len(dst) > 0 {
+		dst[len(dst)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+func bitmapAnd(dst, src []uint64) {
+	for i := range dst {
+		dst[i] &= src[i]
+	}
+}
+
+func bitmapOr(dst, src []uint64) {
+	for i := range dst {
+		dst[i] |= src[i]
+	}
+}
+
+func bitmapNot(dst []uint64, n int) {
+	for i := range dst {
+		dst[i] = ^dst[i]
+	}
+	maskTail(dst, n)
+}
+
+// patchNulls forces the selection outcome of every NULL row to b. Null
+// bitmaps never set bits past the row count, so no tail masking is needed.
+func patchNulls(dst, nulls []uint64, b bool) {
+	if nulls == nil {
+		return
+	}
+	if b {
+		bitmapOr(dst, nulls)
+		return
+	}
+	for i := range dst {
+		dst[i] &^= nulls[i]
+	}
+}
+
+// cmpPass mirrors types.signOK: whether a comparison outcome c passes an
+// operator decomposed into (lt, eq, gt) acceptance flags.
+func cmpPass(c int, lt, eq, gt bool) bool {
+	if c < 0 {
+		return lt
+	}
+	if c > 0 {
+		return gt
+	}
+	return eq
+}
+
+func opFlags(op types.CmpOp) (lt, eq, gt bool) {
+	switch op {
+	case types.CmpEq:
+		eq = true
+	case types.CmpNe:
+		lt, gt = true, true
+	case types.CmpLt:
+		lt = true
+	case types.CmpLe:
+		lt, eq = true, true
+	case types.CmpGt:
+		gt = true
+	case types.CmpGe:
+		eq, gt = true, true
+	}
+	return
+}
+
+// ---- predicate → selection bitmap ----
+
+// evalPred fills dst with pred's selection over the block; bits ≥ n stay
+// clear. Boolean combination over bitmaps is exact boolean algebra, so the
+// result equals per-row Predicate.Eval for every row.
+func evalPred(pred types.Predicate, d *colstore.Data, dst []uint64, n int, sc *colScratch) {
+	switch t := pred.(type) {
+	case types.TruePred:
+		bitmapFill(dst, n, true)
+	case *types.CmpPred:
+		evalCmp(t, d, dst, n, sc)
+	case *types.AndPred:
+		if len(t.Kids) == 0 {
+			bitmapFill(dst, n, true) // empty AND is true, as in Eval
+			return
+		}
+		evalPred(t.Kids[0], d, dst, n, sc)
+		for _, k := range t.Kids[1:] {
+			tmp := sc.acquireTemp(len(dst))
+			evalPred(k, d, tmp, n, sc)
+			bitmapAnd(dst, tmp)
+			sc.releaseTemp(tmp)
+		}
+	case *types.OrPred:
+		if len(t.Kids) == 0 {
+			bitmapFill(dst, n, false) // empty OR is false, as in Eval
+			return
+		}
+		evalPred(t.Kids[0], d, dst, n, sc)
+		for _, k := range t.Kids[1:] {
+			tmp := sc.acquireTemp(len(dst))
+			evalPred(k, d, tmp, n, sc)
+			bitmapOr(dst, tmp)
+			sc.releaseTemp(tmp)
+		}
+	case *types.NotPred:
+		evalPred(t.Kid, d, dst, n, sc)
+		bitmapNot(dst, n)
+	default:
+		// Unknown predicate implementation: materialise rows and defer to
+		// Eval (the row path's own fallback).
+		buf := sc.rowBuf(len(d.Cols))
+		bitmapFill(dst, n, false)
+		for i := 0; i < n; i++ {
+			if pred.Eval(d.RowInto(buf, i)) {
+				dst[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	}
+}
+
+// evalCmp evaluates one comparison leaf. Fast paths cover typed columns
+// against same-class constants; every mixed case falls back to
+// types.Compare, which is exactly what the row path's compiled closures
+// do for kind mismatches.
+func evalCmp(t *types.CmpPred, d *colstore.Data, dst []uint64, n int, sc *colScratch) {
+	lt, eq, gt := opFlags(t.Op)
+	col := &d.Cols[t.ColIdx]
+	val := t.Val
+
+	numericConst := val.Kind == types.KindInt || val.Kind == types.KindFloat || val.Kind == types.KindBool
+	switch col.Enc {
+	case colstore.EncFloat:
+		switch {
+		case numericConst:
+			c := val.AsFloat()
+			cmpFloats(col.Floats[:n], c, dst, lt, eq, gt)
+			patchNulls(dst, col.Nulls, lt) // NULL sorts before numerics
+		case val.Kind == types.KindString:
+			bitmapFill(dst, n, lt) // numerics and NULL sort before strings
+		default: // NULL constant
+			bitmapFill(dst, n, gt)
+			patchNulls(dst, col.Nulls, eq)
+		}
+	case colstore.EncInt:
+		switch {
+		case val.Kind == types.KindInt:
+			cmpInts(col.Ints[:n], val.I, dst, lt, eq, gt)
+			patchNulls(dst, col.Nulls, lt)
+		case numericConst:
+			c := val.AsFloat()
+			cmpIntsAsFloat(col.Ints[:n], c, dst, lt, eq, gt)
+			patchNulls(dst, col.Nulls, lt)
+		case val.Kind == types.KindString:
+			bitmapFill(dst, n, lt)
+		default:
+			bitmapFill(dst, n, gt)
+			patchNulls(dst, col.Nulls, eq)
+		}
+	case colstore.EncBool:
+		switch {
+		case numericConst:
+			// Bool vs Int/Float/Bool constants compare as floats under
+			// types.Compare (only the Int–Int pair compares integrally).
+			c := val.AsFloat()
+			cmpIntsAsFloat(col.Ints[:n], c, dst, lt, eq, gt)
+			patchNulls(dst, col.Nulls, lt)
+		case val.Kind == types.KindString:
+			bitmapFill(dst, n, lt)
+		default:
+			bitmapFill(dst, n, gt)
+			patchNulls(dst, col.Nulls, eq)
+		}
+	case colstore.EncDict:
+		switch {
+		case val.Kind == types.KindString:
+			// One comparison per distinct value, then a table lookup per
+			// row.
+			if cap(sc.passTab) < len(col.Dict) {
+				sc.passTab = make([]bool, len(col.Dict))
+			}
+			tab := sc.passTab[:len(col.Dict)]
+			c := val.S
+			for j, s := range col.Dict {
+				b := eq
+				if s < c {
+					b = lt
+				} else if s > c {
+					b = gt
+				}
+				tab[j] = b
+			}
+			codes := col.Codes[:n]
+			for base := 0; base < n; base += 64 {
+				var w uint64
+				m := n - base
+				if m > 64 {
+					m = 64
+				}
+				for k := 0; k < m; k++ {
+					if tab[codes[base+k]] {
+						w |= 1 << uint(k)
+					}
+				}
+				dst[base>>6] = w
+			}
+			patchNulls(dst, col.Nulls, lt) // NULL sorts before strings
+		case numericConst:
+			bitmapFill(dst, n, gt) // strings sort after numerics
+			patchNulls(dst, col.Nulls, lt)
+		default: // NULL constant
+			bitmapFill(dst, n, gt)
+			patchNulls(dst, col.Nulls, eq)
+		}
+	default: // EncValue: mixed kinds, generic comparison per row
+		vals := col.Values[:n]
+		for base := 0; base < n; base += 64 {
+			var w uint64
+			m := n - base
+			if m > 64 {
+				m = 64
+			}
+			for k := 0; k < m; k++ {
+				if cmpPass(types.Compare(vals[base+k], val), lt, eq, gt) {
+					w |= 1 << uint(k)
+				}
+			}
+			dst[base>>6] = w
+		}
+	}
+}
+
+// cmpFloats compares a float column against c. The (lt,eq,gt) selection
+// matches the row path's compiled closure exactly, including NaN (no
+// ordered comparison holds, so the eq flag decides).
+func cmpFloats(xs []float64, c float64, dst []uint64, lt, eq, gt bool) {
+	n := len(xs)
+	for base := 0; base < n; base += 64 {
+		var w uint64
+		m := n - base
+		if m > 64 {
+			m = 64
+		}
+		for k := 0; k < m; k++ {
+			v := xs[base+k]
+			b := eq
+			if v < c {
+				b = lt
+			} else if v > c {
+				b = gt
+			}
+			if b {
+				w |= 1 << uint(k)
+			}
+		}
+		dst[base>>6] = w
+	}
+}
+
+func cmpInts(xs []int64, c int64, dst []uint64, lt, eq, gt bool) {
+	n := len(xs)
+	for base := 0; base < n; base += 64 {
+		var w uint64
+		m := n - base
+		if m > 64 {
+			m = 64
+		}
+		for k := 0; k < m; k++ {
+			v := xs[base+k]
+			b := eq
+			if v < c {
+				b = lt
+			} else if v > c {
+				b = gt
+			}
+			if b {
+				w |= 1 << uint(k)
+			}
+		}
+		dst[base>>6] = w
+	}
+}
+
+func cmpIntsAsFloat(xs []int64, c float64, dst []uint64, lt, eq, gt bool) {
+	n := len(xs)
+	for base := 0; base < n; base += 64 {
+		var w uint64
+		m := n - base
+		if m > 64 {
+			m = 64
+		}
+		for k := 0; k < m; k++ {
+			v := float64(xs[base+k])
+			b := eq
+			if v < c {
+				b = lt
+			} else if v > c {
+				b = gt
+			}
+			if b {
+				w |= 1 << uint(k)
+			}
+		}
+		dst[base>>6] = w
+	}
+}
+
+// ---- grouping + aggregation over selected rows ----
+
+// findGroupVals mirrors Partial.findGroup for keys extracted directly
+// from columns (vals is the projection onto the GROUP BY columns; h its
+// HashRowKey-compatible hash).
+func (pt *Partial) findGroupVals(p *Plan, vals []types.Value, h uint64) *groupState {
+	bucket := pt.groups[h]
+	for _, gs := range bucket {
+		ok := true
+		for ki := range vals {
+			if !types.GroupEqual(gs.key[ki], vals[ki]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return gs
+		}
+	}
+	gs := &groupState{accs: make([]*stats.Acc, len(p.Aggs))}
+	for ai, a := range p.Aggs {
+		gs.accs[ai] = stats.NewAcc(a.Kind, a.P)
+	}
+	if len(vals) > 0 {
+		gs.key = make([]types.Value, len(vals))
+		copy(gs.key, vals)
+	}
+	pt.groups[h] = append(bucket, gs)
+	return gs
+}
+
+// scanColumnar scans one columnar block into the partial: selection
+// bitmap, then a row-order pass that maintains the scan counters and
+// stages each selected row on its group, then per-group batched
+// aggregation. See the bit-identity contract at the top of the file.
+func (pt *Partial) scanColumnar(p *Plan, rt *planRuntime, in Input, d *colstore.Data, sc *colScratch) {
+	n := d.N
+	pt.RowsScanned += int64(n)
+	if n == 0 {
+		return
+	}
+
+	// 1. Selection.
+	var sel []uint64
+	if rt.pred != nil {
+		sel = sc.bitmap(n)
+		evalPred(p.Pred, d, sel, n, sc)
+	}
+	if cap(sc.idxs) < n {
+		sc.idxs = make([]int32, 0, n)
+	}
+	idxs := sc.idxs[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			idxs = append(idxs, int32(i))
+		}
+	} else {
+		for wi, w := range sel {
+			base := int32(wi << 6)
+			for w != 0 {
+				idxs = append(idxs, base+int32(bits.TrailingZeros64(w)))
+				w &= w - 1
+			}
+		}
+	}
+	if len(idxs) == 0 {
+		return
+	}
+
+	// 2. Per-row pass in row order: sampling rate, scan counters, group
+	// staging. With uniform block metadata the rate (and its reciprocal)
+	// is computed once — the same value the row path derives per row.
+	uniform := d.Uniform()
+	var urate, uinv float64
+	if uniform {
+		urate = 1.0
+		if in.Rate != nil {
+			urate = in.Rate(storage.RowMeta{Rate: d.UniformRate, StratumFreq: d.UniformFreq})
+		}
+		if urate > 0 {
+			uinv = 1 / urate
+		}
+		if d.UniformFreq > pt.MaxMatchedStratumFreq {
+			pt.MaxMatchedStratumFreq = d.UniformFreq
+		}
+	}
+
+	// Group resolution mode for this block.
+	var dictCol *colstore.Column
+	var codeGS []*groupState
+	if len(p.GroupBy) == 1 {
+		if c := &d.Cols[p.GroupBy[0]]; c.Enc == colstore.EncDict && c.Nulls == nil {
+			dictCol = c
+			if cap(sc.codeGS) < len(c.Dict) {
+				sc.codeGS = make([]*groupState, len(c.Dict))
+			}
+			codeGS = sc.codeGS[:len(c.Dict)]
+			for i := range codeGS {
+				codeGS[i] = nil
+			}
+		}
+	}
+	if cap(sc.keybuf) < len(p.GroupBy) {
+		sc.keybuf = make([]types.Value, len(p.GroupBy))
+	}
+	keybuf := sc.keybuf[:len(p.GroupBy)]
+	var globalGS *groupState
+
+	pt.RowsMatched += int64(len(idxs))
+	// Even when block metadata varies, the derived rates often don't
+	// (e.g. a base table whose stratum frequencies differ but whose rates
+	// are all 1). Track that: constant rates let aggregation hoist the
+	// weight math exactly as in the metadata-uniform case.
+	ratesEqual := true
+	firstRate := 0.0
+	for ii, i32 := range idxs {
+		i := int(i32)
+		rate := urate
+		if uniform {
+			if rate > 0 {
+				pt.WeightedMatched += uinv
+			}
+		} else {
+			rate = 1.0
+			if in.Rate != nil {
+				rate = in.Rate(storage.RowMeta{Rate: d.RateAt(i), StratumFreq: d.FreqAt(i)})
+			}
+			if rate > 0 {
+				pt.WeightedMatched += 1 / rate
+			}
+			if f := d.FreqAt(i); f > pt.MaxMatchedStratumFreq {
+				pt.MaxMatchedStratumFreq = f
+			}
+			if ii == 0 {
+				firstRate = rate
+			} else if rate != firstRate {
+				ratesEqual = false
+			}
+		}
+
+		var gs *groupState
+		switch {
+		case dictCol != nil:
+			code := dictCol.Codes[i]
+			gs = codeGS[code]
+			if gs == nil {
+				v := types.Str(dictCol.Dict[code])
+				keybuf[0] = v
+				gs = pt.findGroupVals(p, keybuf, v.HashInto(types.HashSeed))
+				codeGS[code] = gs
+			}
+		case len(p.GroupBy) == 0:
+			if globalGS == nil {
+				globalGS = pt.findGroupVals(p, nil, types.HashSeed)
+			}
+			gs = globalGS
+		default:
+			h := types.HashSeed
+			for ki, ci := range p.GroupBy {
+				v := d.Cols[ci].Value(i)
+				keybuf[ki] = v
+				h = v.HashInto(h)
+			}
+			gs = pt.findGroupVals(p, keybuf, h)
+		}
+		if gs.batchRows == nil {
+			gs.batchRows, gs.batchRates = sc.getBatchBufs()
+			sc.touched = append(sc.touched, gs)
+		}
+		gs.batchRows = append(gs.batchRows, i32)
+		if !uniform {
+			gs.batchRates = append(gs.batchRates, rate)
+		}
+	}
+
+	// 3. Batched per-group aggregation. Each group's rows are fed to its
+	// accumulators in row order, so every Acc sees exactly the sequence
+	// the row path would produce. A block whose derived rates turned out
+	// constant uses the hoisted-weight path with that shared rate — the
+	// per-row weights are the same values either way.
+	if !uniform && ratesEqual {
+		uniform, urate = true, firstRate
+	}
+	for _, gs := range sc.touched {
+		pt.accumulateBatch(p, d, gs, uniform, urate, sc)
+		sc.putBatchBufs(gs.batchRows, gs.batchRates)
+		gs.batchRows, gs.batchRates = nil, nil
+	}
+	sc.touched = sc.touched[:0]
+	sc.idxs = idxs[:0]
+}
+
+// accumulateBatch feeds one group's staged rows through every aggregate.
+func (pt *Partial) accumulateBatch(p *Plan, d *colstore.Data, gs *groupState, uniform bool, urate float64, sc *colScratch) {
+	rows := gs.batchRows
+	for ai := range p.Aggs {
+		a := &p.Aggs[ai]
+		acc := gs.accs[ai]
+		if a.Col < 0 {
+			// COUNT(*): every staged row contributes x = 1.
+			if uniform {
+				acc.AddBatch(nil, nil, len(rows), urate)
+			} else {
+				acc.AddBatch(nil, gs.batchRates, len(rows), 0)
+			}
+			continue
+		}
+		col := &d.Cols[a.Col]
+		isCount := a.Kind == stats.AggCount
+
+		// Fast path: no NULLs and rates already aligned with the batch.
+		if col.Nulls == nil && col.Enc != colstore.EncValue {
+			rates, ur := gs.batchRates, urate
+			if uniform {
+				rates = nil
+			}
+			if isCount {
+				acc.AddBatch(nil, rates, len(rows), ur)
+				continue
+			}
+			xs := growFloats(&sc.xs, len(rows))
+			switch col.Enc {
+			case colstore.EncFloat:
+				src := col.Floats
+				for j, ri := range rows {
+					xs[j] = src[ri]
+				}
+			case colstore.EncInt, colstore.EncBool:
+				src := col.Ints
+				for j, ri := range rows {
+					xs[j] = float64(src[ri])
+				}
+			default: // EncDict: strings aggregate as 0 (Value.AsFloat)
+				for j := range rows {
+					xs[j] = 0
+				}
+			}
+			acc.AddBatch(xs, rates, len(rows), ur)
+			continue
+		}
+
+		// NULL-skipping gather (SQL semantics: NULLs are ignored, and the
+		// row drops out of this aggregate only).
+		xs := growFloats(&sc.xs, len(rows))[:0]
+		var rs []float64
+		if !uniform {
+			rs = growFloats(&sc.rs, len(rows))[:0]
+		}
+		for j, ri := range rows {
+			i := int(ri)
+			var x float64
+			if col.Enc == colstore.EncValue {
+				v := col.Values[i]
+				if v.IsNull() {
+					continue
+				}
+				x = v.AsFloat()
+			} else {
+				if col.IsNull(i) {
+					continue
+				}
+				switch col.Enc {
+				case colstore.EncFloat:
+					x = col.Floats[i]
+				case colstore.EncInt, colstore.EncBool:
+					x = float64(col.Ints[i])
+				default: // EncDict
+					x = 0
+				}
+			}
+			if isCount {
+				x = 1
+			}
+			xs = append(xs, x)
+			if !uniform {
+				rs = append(rs, gs.batchRates[j])
+			}
+		}
+		if isCount {
+			acc.AddBatch(nil, rs, len(xs), urate)
+		} else {
+			acc.AddBatch(xs, rs, len(xs), urate)
+		}
+	}
+}
+
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+// scanColumnarExpand is the join path over a columnar block: rows are
+// materialised into a reused buffer and expanded exactly like the row
+// scan (the expansion output, not the fact row, is what downstream code
+// retains).
+func (pt *Partial) scanColumnarExpand(p *Plan, rt *planRuntime, in Input, d *colstore.Data,
+	sc *colScratch, expand func(r types.Row, emit func(types.Row))) {
+
+	pred := rt.pred
+	buf := sc.rowBuf(len(d.Cols))
+	for i := 0; i < d.N; i++ {
+		pt.RowsScanned++
+		rate := 1.0
+		if in.Rate != nil {
+			rate = in.Rate(storage.RowMeta{Rate: d.RateAt(i), StratumFreq: d.FreqAt(i)})
+		}
+		freq := d.FreqAt(i)
+		row := d.RowInto(buf, i)
+		expand(row, func(r types.Row) {
+			if pred != nil && !pred(r) {
+				return
+			}
+			pt.addMatched(p, r, rate, freq)
+		})
+	}
+}

@@ -1,0 +1,321 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"blinkdb/internal/stats"
+	"blinkdb/internal/storage"
+	"blinkdb/internal/types"
+)
+
+func newAccForTest(name string) *stats.Acc {
+	switch name {
+	case "count":
+		return stats.NewAcc(stats.AggCount, 0)
+	case "sum":
+		return stats.NewAcc(stats.AggSum, 0)
+	case "avg":
+		return stats.NewAcc(stats.AggAvg, 0)
+	default:
+		return stats.NewAcc(stats.AggQuantile, 0.5)
+	}
+}
+
+// columnarClone rebuilds a table in the columnar layout with identical
+// block boundaries, striping and placement, so the two tables are the
+// same physical design in two representations.
+func columnarClone(t testing.TB, tab *storage.Table, rowsPerBlock, nodes int) *storage.Table {
+	t.Helper()
+	out := storage.NewTable(tab.Name, tab.Schema)
+	b := storage.NewBuilderLayout(out, rowsPerBlock, nodes, storage.InMemory, storage.ColumnarLayout)
+	tab.Scan(func(r types.Row, m storage.RowMeta) bool { b.Append(r, m); return true })
+	b.Finish()
+	if len(out.Blocks) != len(tab.Blocks) || out.Bytes() != tab.Bytes() {
+		t.Fatalf("columnar clone shape mismatch: %d/%d blocks, %d/%d bytes",
+			len(out.Blocks), len(tab.Blocks), out.Bytes(), tab.Bytes())
+	}
+	for _, blk := range out.Blocks {
+		if !blk.IsColumnar() {
+			t.Fatalf("clone produced a non-columnar block")
+		}
+	}
+	return out
+}
+
+// TestColumnarEquivalence is the acceptance criterion of the columnar
+// subsystem: for every seed, query shape, input kind and worker count,
+// the vectorized scan over columnar blocks returns a Result that is
+// bit-for-bit identical to the row scan.
+func TestColumnarEquivalence(t *testing.T) {
+	workerCounts := []int{1, 3, 8, 1 << 10}
+	for _, seed := range []int64{1, 2, 3} {
+		for _, rowsPerBlock := range []int{64, 509} {
+			row := randomWeightedTable(t, seed, 6000, rowsPerBlock)
+			col := columnarClone(t, row, rowsPerBlock, 4)
+			for _, src := range equivalenceQueries {
+				p := compile(t, src, row.Schema)
+				for ii, inputs := range [][2]Input{
+					{FromTable(row), FromTable(col)},
+					{FromBlocks(row.Schema, row.Blocks, 400), FromBlocks(col.Schema, col.Blocks, 400)},
+				} {
+					want := RunParallel(p, inputs[0], 0.95, 1)
+					for _, w := range workerCounts {
+						got := RunParallel(p, inputs[1], 0.95, w)
+						if !reflect.DeepEqual(want, got) {
+							t.Fatalf("seed=%d rpb=%d input=%d workers=%d query=%q: columnar result diverged\nwant %+v\ngot  %+v",
+								seed, rowsPerBlock, ii, w, src, want, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// mixedKindTable builds a table that defeats every typed fast path:
+// NULLs in the GROUP BY string column (dict null fallback), a column
+// mixing Int and Float values (EncValue fallback), bool and all-null
+// columns.
+func mixedKindTable(t testing.TB, layout storage.Layout) *storage.Table {
+	t.Helper()
+	schema := types.NewSchema(
+		types.Column{Name: "city", Kind: types.KindString},
+		types.Column{Name: "mixed", Kind: types.KindFloat},
+		types.Column{Name: "flag", Kind: types.KindBool},
+		types.Column{Name: "dead", Kind: types.KindFloat},
+		types.Column{Name: "v", Kind: types.KindFloat},
+	)
+	tab := storage.NewTable("mixed", schema)
+	b := storage.NewBuilderLayout(tab, 32, 3, storage.InMemory, layout)
+	rng := rand.New(rand.NewSource(42))
+	cities := []string{"NY", "SF", "LA"}
+	freqs := []int64{0, 40, 900}
+	for i := 0; i < 1200; i++ {
+		city := types.Str(cities[rng.Intn(3)])
+		if rng.Intn(9) == 0 {
+			city = types.Null()
+		}
+		var mixed types.Value
+		switch rng.Intn(3) {
+		case 0:
+			mixed = types.Int(int64(rng.Intn(100)))
+		case 1:
+			mixed = types.Float(rng.NormFloat64() * 10)
+		default:
+			mixed = types.Null()
+		}
+		b.Append(types.Row{
+			city,
+			mixed,
+			types.Bool(rng.Intn(2) == 0),
+			types.Null(),
+			types.Float(rng.ExpFloat64() * 50),
+		}, storage.RowMeta{Rate: 1, StratumFreq: freqs[rng.Intn(3)]})
+	}
+	return b.Finish()
+}
+
+// TestColumnarEquivalenceMixedKinds drives the EncValue and null-group
+// fallbacks through the same bit-identity contract.
+func TestColumnarEquivalenceMixedKinds(t *testing.T) {
+	row := mixedKindTable(t, storage.RowLayout)
+	col := mixedKindTable(t, storage.ColumnarLayout)
+	queries := []string{
+		`SELECT COUNT(*), SUM(v) FROM mixed GROUP BY city`,
+		`SELECT COUNT(*) FROM mixed WHERE mixed > 5 GROUP BY city`,
+		`SELECT AVG(mixed), MEDIAN(mixed) FROM mixed WHERE city = 'NY' OR flag = 1`,
+		`SELECT SUM(mixed) FROM mixed WHERE NOT (mixed <= 5)`,
+		`SELECT COUNT(dead), SUM(dead) FROM mixed GROUP BY flag`,
+		`SELECT AVG(v) FROM mixed WHERE city > 'K' GROUP BY city, flag`,
+		`SELECT COUNT(city) FROM mixed WHERE v < 30`,
+	}
+	for _, src := range queries {
+		p := compile(t, src, row.Schema)
+		want := RunParallel(p, FromTable(row), 0.95, 1)
+		for _, w := range []int{1, 4, 64} {
+			got := RunParallel(p, FromTable(col), 0.95, w)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("workers=%d query=%q: mixed-kind columnar diverged\nwant %+v\ngot  %+v", w, src, want, got)
+			}
+		}
+		// Weighted-input variant exercises per-row rate staging.
+		wantW := RunParallel(p, FromBlocks(row.Schema, row.Blocks, 100), 0.95, 1)
+		gotW := RunParallel(p, FromBlocks(col.Schema, col.Blocks, 100), 0.95, 2)
+		if !reflect.DeepEqual(wantW, gotW) {
+			t.Fatalf("weighted query=%q: diverged", src)
+		}
+	}
+}
+
+// TestEvalPredMatchesRowEval cross-checks the bitmap kernels against the
+// interpreted predicate row by row, including hand-built predicates with
+// cross-kind and NULL constants that the parser never emits.
+func TestEvalPredMatchesRowEval(t *testing.T) {
+	tab := mixedKindTable(t, storage.ColumnarLayout)
+	var preds []types.Predicate
+	for _, src := range []string{
+		`SELECT COUNT(*) FROM mixed WHERE city = 'NY'`,
+		`SELECT COUNT(*) FROM mixed WHERE city <> 'SF' AND v >= 20`,
+		`SELECT COUNT(*) FROM mixed WHERE mixed > 5 OR v < 10`,
+		`SELECT COUNT(*) FROM mixed WHERE NOT (city = 'LA' OR mixed < 50)`,
+		`SELECT COUNT(*) FROM mixed WHERE city < 'SF' AND flag = 1`,
+	} {
+		preds = append(preds, compile(t, src, tab.Schema).Pred)
+	}
+	// Cross-kind and NULL-constant leaves on every encoding.
+	for col := 0; col < tab.Schema.Len(); col++ {
+		name := tab.Schema.Columns[col].Name
+		for _, val := range []types.Value{
+			types.Int(3), types.Float(2.5), types.Str("NY"), types.Bool(true), types.Null(),
+		} {
+			for _, op := range []types.CmpOp{types.CmpLt, types.CmpEq, types.CmpGe, types.CmpNe} {
+				preds = append(preds, &types.CmpPred{Col: name, ColIdx: col, Op: op, Val: val})
+			}
+		}
+	}
+	sc := &colScratch{}
+	for pi, pred := range preds {
+		for _, blk := range tab.Blocks {
+			d := blk.Col
+			dst := sc.bitmap(d.N)
+			evalPred(pred, d, dst, d.N, sc)
+			for i := 0; i < d.N; i++ {
+				got := dst[i>>6]&(1<<uint(i&63)) != 0
+				want := pred.Eval(blk.RowAt(i))
+				if got != want {
+					t.Fatalf("pred %d (%s) block %d row %d: bitmap=%v eval=%v (row %v)",
+						pi, pred, blk.ID, i, got, want, blk.RowAt(i))
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarJoinEquivalence pins the join path over columnar fact
+// blocks against the row layout for every worker count.
+func TestColumnarJoinEquivalence(t *testing.T) {
+	row := randomWeightedTable(t, 11, 3000, 101)
+	col := columnarClone(t, row, 101, 4)
+	dimSchema := types.NewSchema(
+		types.Column{Name: "name", Kind: types.KindString},
+		types.Column{Name: "region", Kind: types.KindString},
+	)
+	for _, dimLayout := range []storage.Layout{storage.RowLayout, storage.ColumnarLayout} {
+		dim := storage.NewTable("cities", dimSchema)
+		db := storage.NewBuilderLayout(dim, 16, 1, storage.InMemory, dimLayout)
+		for _, r := range [][2]string{
+			{"NY", "east"}, {"SF", "west"}, {"LA", "west"}, {"Austin", "south"},
+		} {
+			db.AppendRow(types.Row{types.Str(r[0]), types.Str(r[1])})
+		}
+		db.Finish()
+
+		combined, _, err := JoinedSchema(row.Schema, []*storage.Table{dim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := compile(t, `SELECT COUNT(*), AVG(sessiontime) FROM sessions WHERE code < 700 GROUP BY region`, combined)
+		spec := JoinSpec{Dim: dim, LeftCol: 0, RightCol: 0}
+		want := RunJoinParallel(p, FromTable(row), []JoinSpec{spec}, 0.95, 1)
+		for _, w := range []int{1, 2, 8} {
+			got := RunJoinParallel(p, FromTable(col), []JoinSpec{spec}, 0.95, w)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("dim=%s workers=%d: columnar join diverged", dimLayout, w)
+			}
+		}
+	}
+}
+
+// TestColumnarZonePruning checks that pruning works identically on
+// columnar blocks (zones are built the same way in both layouts).
+func TestColumnarZonePruning(t *testing.T) {
+	schema := types.NewSchema(
+		types.Column{Name: "day", Kind: types.KindInt},
+		types.Column{Name: "v", Kind: types.KindFloat},
+	)
+	tab := storage.NewTable("clustered", schema)
+	b := storage.NewBuilderLayout(tab, 100, 1, storage.InMemory, storage.ColumnarLayout)
+	for i := 0; i < 1000; i++ {
+		b.AppendRow(types.Row{types.Int(int64(i)), types.Float(float64(i % 7))})
+	}
+	b.Finish()
+	p := compile(t, `SELECT COUNT(*), SUM(v) FROM clustered WHERE day >= 450 AND day < 550`, schema)
+	res := RunParallel(p, FromTable(tab), 0.95, 2)
+	if res.RowsScanned != 200 {
+		t.Errorf("RowsScanned = %d, want 200 (pruned columnar blocks must not be read)", res.RowsScanned)
+	}
+	if res.RowsMatched != 100 {
+		t.Errorf("RowsMatched = %d, want 100", res.RowsMatched)
+	}
+	if got := res.Groups[0].Estimates[0].Point; got != 100 {
+		t.Errorf("COUNT = %g, want 100", got)
+	}
+}
+
+// TestAddBatchMatchesAdd pins the stats contract the batched kernels rely
+// on: AddBatch must leave the accumulator bit-identical to per-row Add.
+func TestAddBatchMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 257
+	xs := make([]float64, n)
+	rates := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 100
+		rates[i] = 1 / float64(1+rng.Intn(5))
+	}
+	for _, kindName := range []string{"count", "sum", "avg", "quantile"} {
+		for _, mode := range []string{"varying", "uniform", "count-uniform", "count-varying"} {
+			a := newAccForTest(kindName)
+			b := newAccForTest(kindName)
+			switch mode {
+			case "varying":
+				for i := range xs {
+					a.Add(xs[i], rates[i])
+				}
+				b.AddBatch(xs, rates, n, 0)
+			case "uniform":
+				for i := range xs {
+					a.Add(xs[i], 0.25)
+				}
+				b.AddBatch(xs, nil, n, 0.25)
+			case "count-uniform":
+				for range xs {
+					a.Add(1, 0.5)
+				}
+				b.AddBatch(nil, nil, n, 0.5)
+			case "count-varying":
+				for i := range xs {
+					a.Add(1, rates[i])
+				}
+				b.AddBatch(nil, rates, n, 0)
+			}
+			ea, eb := a.Estimate(0.95), b.Estimate(0.95)
+			if !reflect.DeepEqual(ea, eb) {
+				t.Fatalf("%s/%s: AddBatch diverged from Add: %+v vs %+v", kindName, mode, ea, eb)
+			}
+			if math.IsNaN(ea.Point) {
+				t.Fatalf("%s/%s: NaN point", kindName, mode)
+			}
+		}
+	}
+}
+
+func BenchmarkRunParallelColumnar(b *testing.B) {
+	row := randomWeightedTable(b, 9, 200000, 2048)
+	col := columnarClone(b, row, 2048, 4)
+	p := compile(b, `SELECT COUNT(*), SUM(sessiontime), AVG(sessiontime) FROM sessions WHERE code < 900 GROUP BY city`, row.Schema)
+	in := FromTable(col)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				RunParallel(p, in, 0.95, w)
+			}
+			b.SetBytes(int64(col.Bytes()))
+		})
+	}
+}

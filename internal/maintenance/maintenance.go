@@ -55,12 +55,14 @@ func TakeSnapshot(tab *storage.Table, columns []string, templates []optimizer.Te
 		idxs = append(idxs, i)
 		s.ColumnHists[c] = map[string]int64{}
 	}
-	tab.Scan(func(r types.Row, _ storage.RowMeta) bool {
-		for k, i := range idxs {
-			s.ColumnHists[columns[k]][r[i].Key()]++
+	// Per-column histograms read values straight out of either layout.
+	for _, b := range tab.Blocks {
+		for ri, n := 0, b.NumRows(); ri < n; ri++ {
+			for k, i := range idxs {
+				s.ColumnHists[columns[k]][b.ValueAt(ri, i).Key()]++
+			}
 		}
-		return true
-	})
+	}
 	for c := range s.ColumnHists {
 		s.ColumnHists[c] = truncateHist(s.ColumnHists[c], TopK)
 	}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"blinkdb/internal/milp"
 	"blinkdb/internal/sample"
@@ -95,6 +97,13 @@ type Config struct {
 	BudgetBytes int64
 	// ChurnFrac is r for constraint (5); negative disables.
 	ChurnFrac float64
+	// Workers sizes the worker pool used for per-candidate statistics
+	// collection and physical family construction, which are independent
+	// units of work (the executor's pool pattern applied to the offline
+	// pipeline). ≤1 (default) is sequential; results are identical for
+	// any value, since each unit is internally deterministic and output
+	// slots are indexed.
+	Workers int
 	// Existing lists column sets already built (δⱼ inputs).
 	Existing []types.ColumnSet
 	// Skew is the non-uniformity metric (default TailCount).
@@ -207,15 +216,22 @@ func BuildMILP(tab *storage.Table, templates []TemplateSpec, cfg Config) (*milp.
 		existing[e.Key()] = true
 	}
 
-	// 2. Statistics per candidate.
+	// 2. Statistics per candidate. Each candidate's frequency histogram
+	// is an independent scan of the base table, so the collection fans
+	// out over the worker pool; output slots are indexed, keeping the
+	// assembled problem identical for any worker count.
 	avgRow := avgRowBytes(tab)
-	cands := make([]Candidate, 0, len(keys))
-	for _, key := range keys {
-		phi := seen[key]
+	cands := make([]Candidate, len(keys))
+	candFreqs := make([][]int64, len(keys))
+	errs := make([]error, len(keys))
+	parallelFor(len(keys), cfg.Workers, func(i int) {
+		phi := seen[keys[i]]
 		freqs, err := frequencies(tab, phi)
 		if err != nil {
-			return nil, nil, err
+			errs[i] = err
+			return
 		}
+		candFreqs[i] = freqs
 		var storeRows int64
 		for _, f := range freqs {
 			if f < cfg.K {
@@ -224,14 +240,23 @@ func BuildMILP(tab *storage.Table, templates []TemplateSpec, cfg Config) (*milp.
 				storeRows += cfg.K
 			}
 		}
-		cands = append(cands, Candidate{
+		cands[i] = Candidate{
 			Phi:          phi,
 			Distinct:     int64(len(freqs)),
 			Delta:        cfg.Skew(freqs, cfg.K),
 			StorageRows:  storeRows,
 			StorageBytes: int64(float64(storeRows) * avgRow),
-			Exists:       existing[key],
-		})
+			Exists:       existing[keys[i]],
+		}
+	})
+	if err := firstError(errs); err != nil {
+		return nil, nil, err
+	}
+	// Candidate histograms double as a cache for the template pass (a
+	// template whose column set is itself a candidate re-scans nothing).
+	freqCache := make(map[string][]int64, len(keys))
+	for i, key := range keys {
+		freqCache[key] = candFreqs[i]
 	}
 
 	// 3. Template statistics + MILP assembly.
@@ -248,11 +273,20 @@ func BuildMILP(tab *storage.Table, templates []TemplateSpec, cfg Config) (*milp.
 			prob.Exists[j] = c.Exists
 		}
 	}
-	for _, t := range templates {
-		freqs, err := frequencies(tab, t.Columns)
-		if err != nil {
-			return nil, nil, err
+	tmplFreqs := make([][]int64, len(templates))
+	errs = make([]error, len(templates))
+	parallelFor(len(templates), cfg.Workers, func(i int) {
+		if f, ok := freqCache[templates[i].Columns.Key()]; ok {
+			tmplFreqs[i] = f // cache is read-only here: safe concurrently
+			return
 		}
+		tmplFreqs[i], errs[i] = frequencies(tab, templates[i].Columns)
+	})
+	if err := firstError(errs); err != nil {
+		return nil, nil, err
+	}
+	for ti, t := range templates {
+		freqs := tmplFreqs[ti]
 		mt := milp.Template{
 			Weight: t.Weight,
 			Delta:  cfg.Skew(freqs, cfg.K),
@@ -271,6 +305,46 @@ func BuildMILP(tab *storage.Table, templates []TemplateSpec, cfg Config) (*milp.
 	}
 
 	return prob, cands, nil
+}
+
+// parallelFor runs fn(0..n-1) on up to workers goroutines (sequentially
+// when workers ≤ 1), mirroring the executor's atomic-counter pool. fn
+// must write only to its own index's output slots.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // planFromSolution converts a solver output into a Plan, pruning selected
@@ -309,28 +383,34 @@ func planFromSolution(prob *milp.Problem, cands []Candidate, sol *milp.Solution)
 // a uniform family sized at uniformFraction of the base table (spread over
 // the same resolution count). The uniform family is always present: it
 // serves templates with near-uniform distributions (§2.2.1).
+//
+// Family builds are independent (each reads the immutable base table and
+// draws from its own seeded RNG), so they fan out over cfg.Workers; the
+// result order — chosen families, then uniform — and every family's
+// contents are identical for any worker count.
 func BuildFamilies(tab *storage.Table, plan *Plan, cfg Config, uniformFraction float64) ([]*sample.Family, error) {
 	cfg = cfg.normalize()
 	caps := sample.GeometricCaps(cfg.K, cfg.CapRatio, cfg.Resolutions, cfg.MinCap)
-	var fams []*sample.Family
-	for _, ch := range plan.Chosen {
-		f, err := sample.Build(tab, ch.Phi, caps, cfg.Build)
-		if err != nil {
-			return nil, err
-		}
-		fams = append(fams, f)
-	}
+	total := len(plan.Chosen)
 	if uniformFraction > 0 {
+		total++
+	}
+	fams := make([]*sample.Family, total)
+	errs := make([]error, total)
+	parallelFor(total, cfg.Workers, func(i int) {
+		if i < len(plan.Chosen) {
+			fams[i], errs[i] = sample.Build(tab, plan.Chosen[i].Phi, caps, cfg.Build)
+			return
+		}
 		target := int64(float64(tab.NumRows()) * uniformFraction)
 		if target < 1 {
 			target = 1
 		}
 		sizes := sample.GeometricCaps(target, cfg.CapRatio, cfg.Resolutions, 1)
-		uf, err := sample.BuildUniform(tab, sizes, cfg.Build)
-		if err != nil {
-			return nil, err
-		}
-		fams = append(fams, uf)
+		fams[i], errs[i] = sample.BuildUniform(tab, sizes, cfg.Build)
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	return fams, nil
 }
@@ -345,11 +425,14 @@ func frequencies(tab *storage.Table, phi types.ColumnSet) ([]int64, error) {
 		}
 		idx = append(idx, i)
 	}
+	// Block.RowKey projects the key from either layout, so columnar base
+	// tables are profiled without materialising rows.
 	counts := map[string]int64{}
-	tab.Scan(func(r types.Row, _ storage.RowMeta) bool {
-		counts[types.RowKey(r, idx)]++
-		return true
-	})
+	for _, b := range tab.Blocks {
+		for i, n := 0, b.NumRows(); i < n; i++ {
+			counts[b.RowKey(i, idx)]++
+		}
+	}
 	out := make([]int64, 0, len(counts))
 	for _, c := range counts {
 		out = append(out, c)

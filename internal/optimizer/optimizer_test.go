@@ -2,6 +2,7 @@ package optimizer
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"blinkdb/internal/sample"
@@ -308,4 +309,93 @@ func BenchmarkChooseSamples(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// TestParallelBuildDeterminism pins the satellite contract of the
+// parallel offline pipeline: BuildMILP and BuildFamilies produce
+// identical output for any Workers value (indexed output slots, per-unit
+// RNGs), and under -race this also proves the fan-out is data-race free.
+func TestParallelBuildDeterminism(t *testing.T) {
+	tab := buildTestTable(t, 6000)
+	templates := []TemplateSpec{
+		{Columns: types.NewColumnSet("city"), Weight: 0.5},
+		{Columns: types.NewColumnSet("city", "genre"), Weight: 0.3},
+		{Columns: types.NewColumnSet("os", "genre"), Weight: 0.2},
+	}
+	base := Config{
+		K: 200, BudgetBytes: tab.Bytes(),
+		Build: sample.BuildConfig{RowsPerBlock: 256, Nodes: 4, Seed: 7,
+			Layout: storage.ColumnarLayout},
+	}
+	seq := base
+	seq.Workers = 1
+	par := base
+	par.Workers = 8
+
+	probSeq, candsSeq, err := BuildMILP(tab, templates, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probPar, candsPar, err := BuildMILP(tab, templates, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(probSeq, probPar) {
+		t.Fatalf("MILP problem depends on worker count:\nseq %+v\npar %+v", probSeq, probPar)
+	}
+	if !reflect.DeepEqual(candsSeq, candsPar) {
+		t.Fatalf("candidates depend on worker count")
+	}
+
+	planSeq, err := ChooseSamples(tab, templates, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	famsSeq, err := BuildFamilies(tab, planSeq, seq, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	famsPar, err := BuildFamilies(tab, planSeq, par, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(famsSeq) != len(famsPar) || len(famsSeq) < 2 {
+		t.Fatalf("family counts differ: %d vs %d", len(famsSeq), len(famsPar))
+	}
+	for i := range famsSeq {
+		a, b := famsSeq[i], famsPar[i]
+		if !a.Phi.Equal(b.Phi) || a.StorageRows() != b.StorageRows() || a.StorageBytes() != b.StorageBytes() {
+			t.Fatalf("family %d differs across worker counts: %s/%d vs %s/%d",
+				i, a, a.StorageRows(), b, b.StorageRows())
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("family %d invalid: %v", i, err)
+		}
+		// Contents, not just sizes: rows drawn must be identical.
+		for li := range a.Deltas {
+			var rowsA, rowsB []string
+			idx := allCols(a.Schema())
+			for _, blk := range a.Deltas[li].Blocks {
+				for ri := 0; ri < blk.NumRows(); ri++ {
+					rowsA = append(rowsA, blk.RowKey(ri, idx))
+				}
+			}
+			for _, blk := range b.Deltas[li].Blocks {
+				for ri := 0; ri < blk.NumRows(); ri++ {
+					rowsB = append(rowsB, blk.RowKey(ri, idx))
+				}
+			}
+			if !reflect.DeepEqual(rowsA, rowsB) {
+				t.Fatalf("family %d delta %d contents differ across worker counts", i, li)
+			}
+		}
+	}
+}
+
+func allCols(s *types.Schema) []int {
+	idx := make([]int, s.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
 }

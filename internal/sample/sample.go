@@ -32,6 +32,10 @@ type BuildConfig struct {
 	Nodes int
 	// Place is the storage tier for the blocks.
 	Place storage.Placement
+	// Layout is the physical block representation (row or columnar).
+	// Sampling is layout-transparent: the same seed draws the same rows
+	// either way, and query results are bit-identical across layouts.
+	Layout storage.Layout
 	// Seed makes sampling deterministic.
 	Seed int64
 }
@@ -203,8 +207,8 @@ func (v View) Scan(fn func(r types.Row, rate float64) bool) {
 	cap := v.Cap()
 	for i := 0; i <= v.Level; i++ {
 		for _, b := range v.Family.Deltas[i].Blocks {
-			for j, r := range b.Rows {
-				if !fn(r, RateForCap(b.Meta[j], cap)) {
+			for j, n := 0, b.NumRows(); j < n; j++ {
+				if !fn(b.RowAt(j), RateForCap(b.MetaAt(j), cap)) {
 					return
 				}
 			}
@@ -271,17 +275,17 @@ func Build(base *storage.Table, phi types.ColumnSet, caps []int64, cfg BuildConf
 		idx = append(idx, i)
 	}
 
-	// Pass 1: group row locators by stratum key.
+	// Pass 1: group row locators by stratum key. Block.RowKey projects
+	// the key directly from either layout (no row materialisation for
+	// columnar bases).
 	type loc struct{ block, row int32 }
 	strata := make(map[string][]loc)
 	var keys []string
 	for bi, b := range base.Blocks {
-		for ri := range b.Rows {
+		for ri, n := 0, b.NumRows(); ri < n; ri++ {
 			var key string
-			if len(idx) == 0 {
-				key = ""
-			} else {
-				key = types.RowKey(b.Rows[ri], idx)
+			if len(idx) > 0 {
+				key = b.RowKey(ri, idx)
 			}
 			if _, seen := strata[key]; !seen {
 				keys = append(keys, key)
@@ -306,7 +310,7 @@ func Build(base *storage.Table, phi types.ColumnSet, caps []int64, cfg BuildConf
 	builders := make([]*storage.Builder, len(caps))
 	for i := range caps {
 		t := storage.NewTable(fmt.Sprintf("%s@K%d", phi.Key(), caps[i]), base.Schema)
-		builders[i] = storage.NewBuilder(t, cfg.RowsPerBlock, cfg.Nodes, cfg.Place)
+		builders[i] = storage.NewBuilderLayout(t, cfg.RowsPerBlock, cfg.Nodes, cfg.Place, cfg.Layout)
 		fam.Deltas = append(fam.Deltas, t)
 	}
 	for _, key := range keys {
@@ -323,7 +327,7 @@ func Build(base *storage.Table, phi types.ColumnSet, caps []int64, cfg BuildConf
 				take = cap
 			}
 			for _, l := range locs[prev:take] {
-				r := base.Blocks[l.block].Rows[l.row]
+				r := base.Blocks[l.block].RowAt(int(l.row))
 				builders[li].Append(r, storage.RowMeta{Rate: 1, StratumFreq: f})
 			}
 			if take > prev {
@@ -369,13 +373,13 @@ func (f *Family) Validate() error {
 	for li, d := range f.Deltas {
 		cap := f.Caps[li]
 		for _, b := range d.Blocks {
-			for j, r := range b.Rows {
+			for j, n := 0, b.NumRows(); j < n; j++ {
 				key := ""
 				if len(idx) > 0 {
-					key = types.RowKey(r, idx)
+					key = b.RowKey(j, idx)
 				}
 				counts[key]++
-				m := b.Meta[j]
+				m := b.MetaAt(j)
 				if prev, ok := freq[key]; ok && prev != m.StratumFreq {
 					return fmt.Errorf("stratum %q: inconsistent freq %d vs %d", key, prev, m.StratumFreq)
 				}

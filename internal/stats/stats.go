@@ -150,6 +150,79 @@ func (a *Acc) Add(x, rate float64) {
 	}
 }
 
+// AddBatch records n matching rows at once, identically — operation for
+// operation, in order — to calling Add for each row, so batch and scalar
+// accumulation produce bit-identical state. xs holds the per-row values
+// (nil means every x is 1, the COUNT path; otherwise len(xs) == n). rates
+// holds the per-row sampling rates (nil means every row shares rate;
+// otherwise len(rates) == n). The batch forms exist for the vectorized
+// columnar scan: with a shared rate the weight terms w, w² and w(w−1) are
+// loop-invariant and the moment sums stay in registers across the batch.
+func (a *Acc) AddBatch(xs, rates []float64, n int, rate float64) {
+	if n == 0 {
+		return
+	}
+	if rates != nil {
+		// Varying rates: per-row weight math is unavoidable; reuse Add so
+		// the operation sequence stays trivially identical.
+		if xs == nil {
+			for _, r := range rates[:n] {
+				a.Add(1, r)
+			}
+		} else {
+			for j, x := range xs[:n] {
+				a.Add(x, rates[j])
+			}
+		}
+		return
+	}
+	if rate <= 0 || rate > 1 {
+		rate = 1
+	}
+	w := 1 / rate
+	w2, ww1 := w*w, w*(w-1)
+	sumW, sumW2, sumWX, sumWX2 := a.sumW, a.sumW2, a.sumWX, a.sumWX2
+	sumWW1, sumWW1X := a.sumWW1, a.sumWW1X
+	if xs == nil {
+		// x = 1 throughout: w·x = w, w·x·x = w, w(w−1)x² = w(w−1), all
+		// exactly (IEEE multiplication by 1 is the identity).
+		for j := 0; j < n; j++ {
+			sumW += w
+			sumW2 += w2
+			sumWX += w
+			sumWX2 += w
+			sumWW1 += ww1
+			sumWW1X += ww1
+		}
+	} else {
+		for _, x := range xs[:n] {
+			sumW += w
+			sumW2 += w2
+			sumWX += w * x
+			sumWX2 += w * x * x
+			sumWW1 += ww1
+			sumWW1X += ww1 * x * x
+		}
+	}
+	a.sumW, a.sumW2, a.sumWX, a.sumWX2 = sumW, sumW2, sumWX, sumWX2
+	a.sumWW1, a.sumWW1X = sumWW1, sumWW1X
+	a.rows += int64(n)
+	if w != 1 {
+		a.allOne = false
+	}
+	if a.kind.NeedsValues() {
+		if xs == nil {
+			for j := 0; j < n; j++ {
+				a.vals = append(a.vals, weightedVal{x: 1, w: w})
+			}
+		} else {
+			for _, x := range xs[:n] {
+				a.vals = append(a.vals, weightedVal{x: x, w: w})
+			}
+		}
+	}
+}
+
 // Merge folds other into a (parallel partial aggregation). Every estimator
 // state is a set of moment sums (Σw, Σw², Σwx, Σwx², …), so combining is
 // associative addition — the Chan et al. parallel-merge formulation of

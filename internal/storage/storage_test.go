@@ -153,3 +153,165 @@ func TestBuilderDefaults(t *testing.T) {
 		t.Error("defaults broken")
 	}
 }
+
+// buildTableLayout mirrors buildTable with an explicit layout and mixed
+// value kinds (nulls, strings, floats) to exercise every encoding.
+func buildTableLayout(t *testing.T, layout Layout, n, rowsPerBlock, nodes int) *Table {
+	t.Helper()
+	schema := types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "city", Kind: types.KindString},
+		types.Column{Name: "v", Kind: types.KindFloat},
+	)
+	tab := NewTable("t", schema)
+	b := NewBuilderLayout(tab, rowsPerBlock, nodes, OnDisk, layout)
+	cities := []string{"NY", "SF", "LA"}
+	for i := 0; i < n; i++ {
+		v := types.Float(float64(i) * 1.5)
+		if i%11 == 0 {
+			v = types.Null()
+		}
+		b.Append(types.Row{types.Int(int64(i)), types.Str(cities[i%3]), v},
+			RowMeta{Rate: 1, StratumFreq: int64(i % 4 * 100)})
+	}
+	b.Finish()
+	if err := Validate(tab, nodes); err != nil {
+		t.Fatalf("invalid %s table: %v", layout, err)
+	}
+	return tab
+}
+
+// TestColumnarBuilderMatchesRowBuilder pins that the two layouts produce
+// tables with identical logical content: same block boundaries, nodes,
+// zones, bytes, rows and metadata.
+func TestColumnarBuilderMatchesRowBuilder(t *testing.T) {
+	row := buildTableLayout(t, RowLayout, 230, 16, 4)
+	col := buildTableLayout(t, ColumnarLayout, 230, 16, 4)
+	if len(row.Blocks) != len(col.Blocks) || row.NumRows() != col.NumRows() || row.Bytes() != col.Bytes() {
+		t.Fatalf("shape mismatch: %d/%d blocks, %d/%d rows, %d/%d bytes",
+			len(row.Blocks), len(col.Blocks), row.NumRows(), col.NumRows(), row.Bytes(), col.Bytes())
+	}
+	for bi, rb := range row.Blocks {
+		cb := col.Blocks[bi]
+		if !cb.IsColumnar() || cb.IsColumnar() == rb.IsColumnar() {
+			t.Fatalf("block %d layouts wrong", bi)
+		}
+		if rb.Node != cb.Node || rb.Place != cb.Place || rb.Bytes != cb.Bytes || rb.NumRows() != cb.NumRows() {
+			t.Fatalf("block %d physical mismatch", bi)
+		}
+		if len(rb.Zones) != len(cb.Zones) {
+			t.Fatalf("block %d zone widths differ", bi)
+		}
+		for zi := range rb.Zones {
+			rz, cz := rb.Zones[zi], cb.Zones[zi]
+			if rz.Valid != cz.Valid || types.Compare(rz.Min, cz.Min) != 0 || types.Compare(rz.Max, cz.Max) != 0 {
+				t.Fatalf("block %d zone %d differs: %+v vs %+v", bi, zi, rz, cz)
+			}
+		}
+		for i := 0; i < rb.NumRows(); i++ {
+			if rb.MetaAt(i) != cb.MetaAt(i) {
+				t.Fatalf("block %d row %d meta differs", bi, i)
+			}
+			rr, cr := rb.RowAt(i), cb.RowAt(i)
+			for ci := range rr {
+				if !types.GroupEqual(rr[ci], cr[ci]) || rr[ci].Kind != cr[ci].Kind {
+					t.Fatalf("block %d row %d col %d: %v vs %v", bi, i, ci, rr[ci], cr[ci])
+				}
+				if rb.ValueAt(i, ci) != rr[ci] || cb.ValueAt(i, ci).Kind != rr[ci].Kind {
+					t.Fatalf("ValueAt mismatch at block %d row %d col %d", bi, i, ci)
+				}
+			}
+			if rb.RowKey(i, []int{1, 0}) != cb.RowKey(i, []int{1, 0}) {
+				t.Fatalf("RowKey mismatch at block %d row %d", bi, i)
+			}
+		}
+	}
+}
+
+// TestColumnarScanMatchesRowScan checks Table.Scan parity across layouts,
+// including early stop.
+func TestColumnarScanMatchesRowScan(t *testing.T) {
+	row := buildTableLayout(t, RowLayout, 120, 32, 2)
+	col := buildTableLayout(t, ColumnarLayout, 120, 32, 2)
+	var rowSeen, colSeen []types.Row
+	row.Scan(func(r types.Row, m RowMeta) bool { rowSeen = append(rowSeen, r.Clone()); return len(rowSeen) < 70 })
+	col.Scan(func(r types.Row, m RowMeta) bool { colSeen = append(colSeen, r); return len(colSeen) < 70 })
+	if len(rowSeen) != len(colSeen) {
+		t.Fatalf("scan lengths differ: %d vs %d", len(rowSeen), len(colSeen))
+	}
+	for i := range rowSeen {
+		for ci := range rowSeen[i] {
+			if rowSeen[i][ci] != colSeen[i][ci] {
+				t.Fatalf("scan row %d col %d: %v vs %v", i, ci, rowSeen[i][ci], colSeen[i][ci])
+			}
+		}
+	}
+}
+
+// TestZoneSizingFromSchema is the regression test for the zone-sizing
+// bug: a narrow first row used to size curZones, silently disabling zone
+// maintenance for trailing columns of later (full-width) rows.
+func TestZoneSizingFromSchema(t *testing.T) {
+	for _, layout := range []Layout{RowLayout, ColumnarLayout} {
+		tab := NewTable("z", testSchema()) // (id INT, city STRING)
+		b := NewBuilderLayout(tab, 8, 1, OnDisk, layout)
+		b.AppendRow(types.Row{types.Int(5)}) // narrow row first
+		b.AppendRow(types.Row{types.Int(1), types.Str("AA")})
+		b.AppendRow(types.Row{types.Int(9), types.Str("ZZ")})
+		b.Finish()
+		blk := tab.Blocks[0]
+		if len(blk.Zones) != 2 {
+			t.Fatalf("%s: zones sized %d from first row, want 2 (schema width)", layout, len(blk.Zones))
+		}
+		z := blk.Zones[1]
+		if !z.Valid || z.Min.S != "AA" || z.Max.S != "ZZ" {
+			t.Fatalf("%s: trailing column zone not maintained: %+v", layout, z)
+		}
+		if z0 := blk.Zones[0]; !z0.Valid || z0.Min.I != 1 || z0.Max.I != 9 {
+			t.Fatalf("%s: leading zone wrong: %+v", layout, z0)
+		}
+	}
+}
+
+// TestAppendTableRechunk pins the re-chunking copy across every layout
+// pairing: contents, metadata and totals survive, and the columnar →
+// columnar path (which reuses a decode buffer) matches a fresh build.
+func TestAppendTableRechunk(t *testing.T) {
+	for _, srcLayout := range []Layout{RowLayout, ColumnarLayout} {
+		for _, dstLayout := range []Layout{RowLayout, ColumnarLayout} {
+			src := buildTableLayout(t, srcLayout, 230, 16, 4)
+			dst := NewTable("t", src.Schema)
+			b := NewBuilderLayout(dst, 64, 2, OnDisk, dstLayout)
+			b.AppendTable(src)
+			b.Finish()
+			if dst.NumRows() != src.NumRows() || dst.Bytes() != src.Bytes() {
+				t.Fatalf("%s->%s: totals changed: %d/%d rows, %d/%d bytes",
+					srcLayout, dstLayout, dst.NumRows(), src.NumRows(), dst.Bytes(), src.Bytes())
+			}
+			if err := Validate(dst, 2); err != nil {
+				t.Fatalf("%s->%s: %v", srcLayout, dstLayout, err)
+			}
+			want := buildTableLayout(t, srcLayout, 230, 16, 4) // reference contents
+			ri, bi := 0, 0
+			want.Scan(func(r types.Row, m RowMeta) bool {
+				blk := dst.Blocks[bi]
+				if ri >= blk.NumRows() {
+					bi, ri = bi+1, 0
+					blk = dst.Blocks[bi]
+				}
+				if blk.MetaAt(ri) != m {
+					t.Fatalf("%s->%s: meta diverged at block %d row %d", srcLayout, dstLayout, bi, ri)
+				}
+				got := blk.RowAt(ri)
+				for ci := range r {
+					if got[ci] != r[ci] {
+						t.Fatalf("%s->%s: row diverged at block %d row %d col %d: %v vs %v",
+							srcLayout, dstLayout, bi, ri, ci, got[ci], r[ci])
+					}
+				}
+				ri++
+				return true
+			})
+		}
+	}
+}
