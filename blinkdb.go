@@ -7,6 +7,13 @@
 // workload, and at runtime selects the sample family and resolution that
 // satisfy a query's ERROR WITHIN / WITHIN ... SECONDS bounds.
 //
+// Execution is shard-affine by default (Config.Affinity): blocks are
+// striped over the simulated cluster's nodes, scan workers each own one
+// node's shard, and the cluster model prices data placement — straggler
+// nodes bound the scan, and merging partial aggregates across nodes pays
+// a network fan-in. Results are bit-identical whether affinity is on or
+// off (AffinityBlind), for any worker count and block layout.
+//
 // A minimal session:
 //
 //	eng := blinkdb.Open(blinkdb.Config{})
@@ -73,6 +80,28 @@ const (
 	LayoutRow
 )
 
+// Affinity selects how the executor's scan workers are scheduled over
+// the simulated cluster's block placement.
+type Affinity uint8
+
+const (
+	// AffinityNode — the default — schedules scans shard-affine: the
+	// deterministic block partition is grouped by the node each range's
+	// blocks live on, and one worker owns one node's shard (the paper's
+	// §2.2.1 layout of samples striped as many small blocks across the
+	// cluster, scanned node-locally). Query results are bit-identical to
+	// AffinityBlind — the partition and merge order never change — and
+	// the cluster model prices block placement either way: data piled on
+	// one node pays a straggler-bound scan, data striped across nodes
+	// pays a cross-node partial-merge fan-in.
+	AffinityNode Affinity = iota
+	// AffinityBlind restores the node-blind scheduler: workers claim scan
+	// ranges round-robin regardless of block placement. Kept as the
+	// reference for the affinity equivalence tests and for A/B
+	// throughput comparisons (blinkdb-bench reports both modes).
+	AffinityBlind
+)
+
 // ColumnDef declares one table column.
 type ColumnDef struct {
 	Name string
@@ -113,6 +142,11 @@ type Config struct {
 	// scans); LayoutRow restores the row-oriented store. Query results
 	// are bit-identical across layouts.
 	Layout Layout
+	// Affinity is the scan scheduling mode. The zero value is
+	// AffinityNode (shard-affine: one worker per simulated node's
+	// blocks); AffinityBlind restores node-blind range scheduling. Query
+	// results are bit-identical across modes.
+	Affinity Affinity
 	// CacheTables places base tables in simulated cluster memory.
 	CacheTables bool
 	// FullProbePricing charges ELP probe runs like any other sample
@@ -179,11 +213,13 @@ func Open(cfg Config) *Engine {
 		MemCacheBytesPerNode: cfg.MemCacheGBPerNode * 1e9,
 	})
 	cat := catalog.New()
+	affine := cfg.Affinity != AffinityBlind
 	rt := elp.New(cat, clus, elp.Options{
 		Confidence:        cfg.Confidence,
 		Scale:             cfg.Scale,
 		ProbeOverheadOnly: !cfg.FullProbePricing,
 		Workers:           cfg.Workers,
+		Affine:            &affine,
 	})
 	return &Engine{cfg: cfg, cat: cat, clus: clus, rt: rt}
 }

@@ -83,7 +83,14 @@ func demoEngineWorkers(t testing.TB, rows, workers int) *Engine {
 // demoEngineLayout is demoEngineWorkers with an explicit block layout.
 func demoEngineLayout(t testing.TB, rows, workers int, layout Layout) *Engine {
 	t.Helper()
-	eng := Open(Config{Scale: 1e4, Seed: 7, CacheTables: true, Workers: workers, Layout: layout})
+	return demoEngineCfg(t, rows, Config{Scale: 1e4, Seed: 7, CacheTables: true, Workers: workers, Layout: layout})
+}
+
+// demoEngineCfg loads the standard demo dataset into an engine with an
+// arbitrary configuration (affinity/layout/worker sweeps).
+func demoEngineCfg(t testing.TB, rows int, cfg Config) *Engine {
+	t.Helper()
+	eng := Open(cfg)
 	load := eng.CreateTable("sessions",
 		Col("city", String),
 		Col("os", String),

@@ -54,6 +54,16 @@ type execRecord struct {
 	RowsPerSec map[string]float64 `json:"rows_per_sec_by_workers"`
 	// ColumnarRowsPerSec is the columnar-layout (vectorized) throughput.
 	ColumnarRowsPerSec map[string]float64 `json:"columnar_rows_per_sec_by_workers"`
+	// AffinityOnRowsPerSec / AffinityOffRowsPerSec pair the columnar
+	// throughput under the node-affine shard scheduler against the
+	// node-blind one (results are bit-identical; only worker→range
+	// assignment differs).
+	AffinityOnRowsPerSec  map[string]float64 `json:"affinity_on_rows_per_sec_by_workers"`
+	AffinityOffRowsPerSec map[string]float64 `json:"affinity_off_rows_per_sec_by_workers"`
+	// LocalityHitRate is the fraction of the bench table's bytes the
+	// node-affine schedule reads on the owning node (1.0 when every scan
+	// range is a single block).
+	LocalityHitRate float64 `json:"locality_hit_rate"`
 	// ColumnarSpeedup1 is columnar/row throughput at 1 worker — the
 	// single-thread layout speedup.
 	ColumnarSpeedup1 float64 `json:"columnar_speedup_1_worker"`
@@ -197,13 +207,13 @@ func executorBench() execRecord {
 		panic(err) // static query against a static schema
 	}
 
-	measure := func(in exec.Input, workers int) float64 {
+	measure := func(in exec.Input, workers int, sched exec.Sched) float64 {
 		// Warm up once, then time enough iterations for ≥ ~0.5 s.
-		exec.RunParallel(plan, in, 0.95, workers)
+		exec.RunParallelSched(plan, in, 0.95, workers, sched)
 		iters := 0
 		start := time.Now()
 		for time.Since(start) < 500*time.Millisecond {
-			exec.RunParallel(plan, in, 0.95, workers)
+			exec.RunParallelSched(plan, in, 0.95, workers, sched)
 			iters++
 		}
 		return float64(rows) * float64(iters) / time.Since(start).Seconds()
@@ -212,12 +222,19 @@ func executorBench() execRecord {
 	colTab := build(storage.ColumnarLayout)
 	rec := execRecord{
 		Rows: rows, Blocks: len(rowTab.Blocks),
-		RowsPerSec:         map[string]float64{},
-		ColumnarRowsPerSec: map[string]float64{},
+		RowsPerSec:            map[string]float64{},
+		ColumnarRowsPerSec:    map[string]float64{},
+		AffinityOnRowsPerSec:  map[string]float64{},
+		AffinityOffRowsPerSec: map[string]float64{},
 	}
+	_, shards := exec.ScanShards(colTab.Blocks)
+	rec.LocalityHitRate = storage.LocalityHitRate(shards)
 	for _, w := range []int{1, 2, 4, 8} {
-		rec.RowsPerSec[fmt.Sprintf("%d", w)] = measure(exec.FromTable(rowTab), w)
-		rec.ColumnarRowsPerSec[fmt.Sprintf("%d", w)] = measure(exec.FromTable(colTab), w)
+		key := fmt.Sprintf("%d", w)
+		rec.RowsPerSec[key] = measure(exec.FromTable(rowTab), w, exec.SchedNodeAffine)
+		rec.ColumnarRowsPerSec[key] = measure(exec.FromTable(colTab), w, exec.SchedNodeAffine)
+		rec.AffinityOnRowsPerSec[key] = rec.ColumnarRowsPerSec[key]
+		rec.AffinityOffRowsPerSec[key] = measure(exec.FromTable(colTab), w, exec.SchedBlind)
 	}
 	if base := rec.RowsPerSec["1"]; base > 0 {
 		rec.Speedup8vs1 = rec.RowsPerSec["8"] / base

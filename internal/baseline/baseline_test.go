@@ -63,15 +63,15 @@ func TestFullScanEngineOrdering(t *testing.T) {
 	clus := cluster.New(cluster.PaperConfig())
 	scale := 1e5 // pretend multi-TB
 
-	_, hadoop := FullScan(clus, cluster.HiveOnHadoop, tab, plan, scale, 0, 4)
-	_, sharkDisk := FullScan(clus, cluster.SharkNoCache, tab, plan, scale, 0, 4)
-	_, sharkMem := FullScan(clus, cluster.SharkCached, tab, plan, scale, 1, 4)
+	_, hadoop := FullScan(clus, cluster.HiveOnHadoop, tab, plan, scale, 0, 4, exec.SchedNodeAffine)
+	_, sharkDisk := FullScan(clus, cluster.SharkNoCache, tab, plan, scale, 0, 4, exec.SchedNodeAffine)
+	_, sharkMem := FullScan(clus, cluster.SharkCached, tab, plan, scale, 1, 4, exec.SchedBlind)
 	if !(hadoop > sharkDisk && sharkDisk > sharkMem) {
 		t.Errorf("engine ordering wrong: hadoop %.0f, shark-disk %.0f, shark-mem %.0f",
 			hadoop, sharkDisk, sharkMem)
 	}
 	// Answers are exact regardless of engine.
-	res, _ := FullScan(clus, cluster.HiveOnHadoop, tab, plan, scale, 0, 4)
+	res, _ := FullScan(clus, cluster.HiveOnHadoop, tab, plan, scale, 0, 4, exec.SchedNodeAffine)
 	for _, g := range res.Groups {
 		if !g.Estimates[0].Exact {
 			t.Error("full scan must be exact")
@@ -293,9 +293,9 @@ func TestBaselineLayoutEquivalence(t *testing.T) {
 		`SELECT COUNT(*), SUM(time) FROM sessions WHERE os = 'Linux' GROUP BY city`,
 	} {
 		plan := compile(t, src, row.Schema)
-		wantRes, wantLat := FullScan(clus, cluster.SharkCached, row, plan, 1e5, 1, 1)
+		wantRes, wantLat := FullScan(clus, cluster.SharkCached, row, plan, 1e5, 1, 1, exec.SchedBlind)
 		for _, w := range []int{1, 8} {
-			gotRes, gotLat := FullScan(clus, cluster.SharkCached, col, plan, 1e5, 1, w)
+			gotRes, gotLat := FullScan(clus, cluster.SharkCached, col, plan, 1e5, 1, w, exec.SchedNodeAffine)
 			if !reflect.DeepEqual(wantRes, gotRes) || wantLat != gotLat {
 				t.Errorf("%q workers=%d: FullScan diverged across layouts", src, w)
 			}

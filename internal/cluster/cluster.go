@@ -98,8 +98,11 @@ var (
 // Work describes a single data-parallel job to be costed.
 type Work struct {
 	// DiskBytesPerNode and MemBytesPerNode give logical bytes scanned on
-	// each node from each tier. Lengths must equal Config.Nodes (or be
-	// nil for zero).
+	// each node from each tier. Lengths usually equal Config.Nodes (nil
+	// means zero); LONGER slices are legal — they describe data placed on
+	// more physical nodes than the cluster is configured with (a table
+	// built with a larger striping width) and every entry is charged, the
+	// straggler bound included.
 	DiskBytesPerNode []float64
 	MemBytesPerNode  []float64
 	// Tasks is the number of independent scan tasks (≈ blocks).
@@ -107,6 +110,19 @@ type Work struct {
 	// ShuffleBytes is the total bytes repartitioned over the network
 	// (GROUP BY / JOIN exchange).
 	ShuffleBytes float64
+	// RemoteBytes is the portion of the scanned bytes read across the
+	// network because the scanning task was not co-located with its
+	// blocks (a node-blind or straddling schedule); it rides the
+	// aggregate network like shuffle traffic.
+	RemoteBytes float64
+	// MergeNodes is the number of distinct nodes producing partial
+	// aggregates for this job. Merging them is a cross-node fan-in tree
+	// of depth ceil(log2(MergeNodes)); 0 or 1 means the merge is
+	// node-local and free of network cost.
+	MergeNodes int
+	// MergeBytes is the serialized size of one node's partial-aggregate
+	// state, shipped over a single node link once per fan-in round.
+	MergeBytes float64
 	// RandomOrder marks random-access streaming (OLA); disk reads then
 	// pay the profile's RandomIOPenalty.
 	RandomOrder bool
@@ -134,9 +150,20 @@ func (c *Cluster) Config() Config { return c.cfg }
 // Latency returns the simulated wall-clock seconds for the job under the
 // given engine profile.
 func (c *Cluster) Latency(p EngineProfile, w Work) float64 {
-	// Per-node scan time: the straggler node bounds the job.
+	// Per-node scan time: the straggler node bounds the job. The loop
+	// covers every per-node entry, not just cfg.Nodes — data placed on
+	// more nodes than the cluster is configured with must still be
+	// charged (silently dropping trailing entries under-charged such jobs
+	// before).
+	nodes := c.cfg.Nodes
+	if len(w.DiskBytesPerNode) > nodes {
+		nodes = len(w.DiskBytesPerNode)
+	}
+	if len(w.MemBytesPerNode) > nodes {
+		nodes = len(w.MemBytesPerNode)
+	}
 	maxScan := 0.0
-	for n := 0; n < c.cfg.Nodes; n++ {
+	for n := 0; n < nodes; n++ {
 		var disk, mem float64
 		if n < len(w.DiskBytesPerNode) {
 			disk = w.DiskBytesPerNode[n]
@@ -166,10 +193,22 @@ func (c *Cluster) Latency(p EngineProfile, w Work) float64 {
 		waves = 0
 	}
 
-	// Shuffle: all-to-all over aggregate network bandwidth.
-	shuffle := w.ShuffleBytes / (float64(c.cfg.Nodes) * p.NetworkMBps * 1e6)
+	// Shuffle and remote (non-local) scan traffic: all-to-all over
+	// aggregate network bandwidth.
+	shuffle := (w.ShuffleBytes + w.RemoteBytes) / (float64(c.cfg.Nodes) * p.NetworkMBps * 1e6)
 
-	return p.JobOverheadSec + waves*p.TaskOverheadSec + maxScan + shuffle
+	// Cross-node partial merge: a fan-in tree over the nodes that
+	// produced partials. Each round halves the partial count and ships
+	// one partial state per node link; the rounds serialize, so merging
+	// k nodes' partials costs ceil(log2 k) link transfers end to end.
+	// Jobs whose input sits on one node (k ≤ 1) merge locally for free —
+	// the flip side of their straggler-bound scan.
+	merge := 0.0
+	if w.MergeNodes > 1 && w.MergeBytes > 0 {
+		merge = math.Ceil(math.Log2(float64(w.MergeNodes))) * w.MergeBytes / (p.NetworkMBps * 1e6)
+	}
+
+	return p.JobOverheadSec + waves*p.TaskOverheadSec + maxScan + shuffle + merge
 }
 
 // UniformWork builds a Work whose totalBytes are spread evenly over the
@@ -192,6 +231,8 @@ func (c *Cluster) UniformWork(totalBytes, memFraction, shuffleBytes, taskBytes f
 		MemBytesPerNode:  mem,
 		Tasks:            int(math.Ceil(totalBytes / taskBytes)),
 		ShuffleBytes:     shuffleBytes,
+		MergeNodes:       n,
+		MergeBytes:       shuffleBytes / float64(n),
 	}
 }
 
@@ -217,31 +258,58 @@ func (c *Cluster) SkewedWork(totalBytes, memFraction, shuffleBytes, taskBytes fl
 		MemBytesPerNode:  mem,
 		Tasks:            int(math.Ceil(totalBytes / taskBytes)),
 		ShuffleBytes:     shuffleBytes,
+		MergeNodes:       span,
+		MergeBytes:       shuffleBytes / float64(span),
 	}
 }
 
 // WorkFromBlocks derives a Work from physical sample blocks, scaling
-// physical bytes by scale (logical bytes per stored byte) and mapping
-// block node assignments modulo the cluster size. rowsScanned lets callers
-// charge only the fraction of each block actually read.
-func (c *Cluster) WorkFromBlocks(blocks []*storage.Block, scale float64, shuffleBytes float64) Work {
-	disk := make([]float64, c.cfg.Nodes)
-	mem := make([]float64, c.cfg.Nodes)
+// physical bytes by scale (logical bytes per stored byte). Every block is
+// attributed to its OWN node: blocks on nodes beyond the configured
+// cluster size extend the per-node slices rather than silently aliasing
+// onto node b.Node % Nodes (which used to pile two physical nodes' bytes
+// onto one simulated node when a table was striped wider than the
+// cluster). A block with a negative node id is a storage-invariant
+// violation and returns an error. MergeNodes/MergeBytes charge the
+// cross-node fan-in that combines the per-node partial aggregates.
+func (c *Cluster) WorkFromBlocks(blocks []*storage.Block, scale float64, shuffleBytes float64) (Work, error) {
+	width := c.cfg.Nodes
 	for _, b := range blocks {
-		n := b.Node % c.cfg.Nodes
+		if b.Node < 0 {
+			return Work{}, fmt.Errorf("cluster: block %d has negative node %d", b.ID, b.Node)
+		}
+		if b.Node >= width {
+			width = b.Node + 1
+		}
+	}
+	disk := make([]float64, width)
+	mem := make([]float64, width)
+	for _, b := range blocks {
 		bytes := float64(b.Bytes) * scale
 		if b.Place == storage.InMemory {
-			mem[n] += bytes
+			mem[b.Node] += bytes
 		} else {
-			disk[n] += bytes
+			disk[b.Node] += bytes
 		}
+	}
+	mergeNodes := 0
+	for n := 0; n < width; n++ {
+		if disk[n] > 0 || mem[n] > 0 {
+			mergeNodes++
+		}
+	}
+	mergeBytes := 0.0
+	if mergeNodes > 0 {
+		mergeBytes = shuffleBytes / float64(mergeNodes)
 	}
 	return Work{
 		DiskBytesPerNode: disk,
 		MemBytesPerNode:  mem,
 		Tasks:            len(blocks),
 		ShuffleBytes:     shuffleBytes,
-	}
+		MergeNodes:       mergeNodes,
+		MergeBytes:       mergeBytes,
+	}, nil
 }
 
 // String summarises the config.

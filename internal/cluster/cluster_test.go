@@ -125,19 +125,140 @@ func TestWorkFromBlocks(t *testing.T) {
 	blocks := []*storage.Block{
 		{Node: 0, Place: storage.OnDisk, Bytes: 100},
 		{Node: 1, Place: storage.InMemory, Bytes: 200},
-		{Node: 5, Place: storage.OnDisk, Bytes: 50}, // wraps to node 1
+		{Node: 5, Place: storage.OnDisk, Bytes: 50}, // wider than the cluster
 	}
-	w := c.WorkFromBlocks(blocks, 10, 7)
+	w, err := c.WorkFromBlocks(blocks, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if w.DiskBytesPerNode[0] != 1000 {
 		t.Errorf("node0 disk = %g", w.DiskBytesPerNode[0])
 	}
-	if w.MemBytesPerNode[1] != 2000 || w.DiskBytesPerNode[1] != 500 {
+	if w.MemBytesPerNode[1] != 2000 || w.DiskBytesPerNode[1] != 0 {
 		t.Errorf("node1 = mem %g disk %g", w.MemBytesPerNode[1], w.DiskBytesPerNode[1])
 	}
 	if w.Tasks != 3 || w.ShuffleBytes != 7 {
 		t.Errorf("tasks=%d shuffle=%g", w.Tasks, w.ShuffleBytes)
 	}
 	_ = types.Row{} // keep import for parallel edits
+}
+
+// TestWorkFromBlocksNoAliasing pins the node-aliasing fix: a table striped
+// over more nodes than the simulated cluster must keep each physical
+// node's bytes separate — the old b.Node % Nodes wrap piled node 5's bytes
+// onto node 1, halving that node's apparent scan time.
+func TestWorkFromBlocksNoAliasing(t *testing.T) {
+	c := New(Config{Nodes: 2, CoresPerNode: 2, MemCacheBytesPerNode: 1e12})
+	blocks := []*storage.Block{
+		{ID: 0, Node: 1, Place: storage.OnDisk, Bytes: 100},
+		{ID: 1, Node: 5, Place: storage.OnDisk, Bytes: 100},
+	}
+	w, err := c.WorkFromBlocks(blocks, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.DiskBytesPerNode) != 6 {
+		t.Fatalf("per-node slice len = %d, want 6 (nodes 0..5)", len(w.DiskBytesPerNode))
+	}
+	if w.DiskBytesPerNode[1] != 100 || w.DiskBytesPerNode[5] != 100 {
+		t.Errorf("bytes aliased: node1=%g node5=%g, want 100 each",
+			w.DiskBytesPerNode[1], w.DiskBytesPerNode[5])
+	}
+	if w.MergeNodes != 2 {
+		t.Errorf("MergeNodes = %d, want 2", w.MergeNodes)
+	}
+
+	// And the straggler bound must charge the out-of-range node: the same
+	// bytes aliased onto one node would look twice as slow, dropped
+	// entries half as slow. Two nodes × 100 B must scan in the time of
+	// 100 B, not 200 B and not 0.
+	one, err := c.WorkFromBlocks(blocks[:1], 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lTwo := c.Latency(SharkNoCache, w)
+	lOne := c.Latency(SharkNoCache, one)
+	if math.Abs(lTwo-lOne) > 1e-12 {
+		t.Errorf("parallel nodes should bound equally: %g vs %g", lTwo, lOne)
+	}
+
+	if _, err := c.WorkFromBlocks([]*storage.Block{{Node: -1, Bytes: 10}}, 1, 0); err == nil {
+		t.Error("negative node id should be rejected")
+	}
+}
+
+// TestLatencyChargesNodesBeyondConfig pins the under-charging fix:
+// per-node byte entries beyond cfg.Nodes used to be silently ignored.
+func TestLatencyChargesNodesBeyondConfig(t *testing.T) {
+	c := New(Config{Nodes: 2, CoresPerNode: 2, MemCacheBytesPerNode: 1e12})
+	disk := make([]float64, 6)
+	disk[5] = 4e9 // straggler lives beyond the configured cluster
+	l := c.Latency(SharkNoCache, Work{DiskBytesPerNode: disk, Tasks: 1})
+	want := SharkNoCache.JobOverheadSec + SharkNoCache.TaskOverheadSec + 4e9/(SharkNoCache.DiskMBps*1e6)
+	if math.Abs(l-want) > 1e-9 {
+		t.Errorf("latency = %g, want %g (node 5 must be charged)", l, want)
+	}
+
+	mem := make([]float64, 6)
+	mem[5] = 4e9
+	lm := c.Latency(SharkNoCache, Work{MemBytesPerNode: mem, Tasks: 1})
+	wantMem := SharkNoCache.JobOverheadSec + SharkNoCache.TaskOverheadSec + 4e9/(SharkNoCache.MemMBps*1e6)
+	if math.Abs(lm-wantMem) > 1e-9 {
+		t.Errorf("mem latency = %g, want %g", lm, wantMem)
+	}
+}
+
+// TestMergeFanInPricing: merging partials from more nodes costs more
+// (log2 fan-in depth), and single-node jobs merge for free.
+func TestMergeFanInPricing(t *testing.T) {
+	c := New(PaperConfig())
+	base := Work{Tasks: 1, MergeBytes: 1e9}
+	prev := -1.0
+	for _, k := range []int{1, 2, 16, 100} {
+		w := base
+		w.MergeNodes = k
+		l := c.Latency(BlinkDBEngine, w)
+		if k == 1 {
+			if math.Abs(l-(BlinkDBEngine.JobOverheadSec+BlinkDBEngine.TaskOverheadSec)) > 1e-9 {
+				t.Errorf("single-node merge should be free, got %g", l)
+			}
+		} else if l <= prev {
+			t.Errorf("merge cost not increasing with fan-in: k=%d gives %g after %g", k, l, prev)
+		}
+		prev = l
+	}
+}
+
+// TestSkewedPlacementStrictlySlower is the tentpole's cluster-model
+// acceptance check: the SAME blocks piled on one node must price strictly
+// higher than striped over the cluster — the straggler term dwarfs the
+// striped layout's cross-node merge fan-in.
+func TestSkewedPlacementStrictlySlower(t *testing.T) {
+	c := New(Config{Nodes: 10, CoresPerNode: 2, MemCacheBytesPerNode: 1e12})
+	const nBlocks, blockBytes = 40, 64e6
+	striped := make([]*storage.Block, nBlocks)
+	skewed := make([]*storage.Block, nBlocks)
+	for i := range striped {
+		striped[i] = &storage.Block{ID: i, Node: i % 10, Place: storage.OnDisk, Bytes: blockBytes}
+		skewed[i] = &storage.Block{ID: i, Node: 0, Place: storage.OnDisk, Bytes: blockBytes}
+	}
+	shuffle := float64(nBlocks) * blockBytes * 0.01
+	wStriped, err := c.WorkFromBlocks(striped, 1, shuffle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wSkewed, err := c.WorkFromBlocks(skewed, 1, shuffle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wStriped.MergeNodes != 10 || wSkewed.MergeNodes != 1 {
+		t.Fatalf("merge nodes = %d/%d, want 10/1", wStriped.MergeNodes, wSkewed.MergeNodes)
+	}
+	lStriped := c.Latency(BlinkDBEngine, wStriped)
+	lSkewed := c.Latency(BlinkDBEngine, wSkewed)
+	if lSkewed <= lStriped {
+		t.Errorf("skewed placement (%g s) must be strictly slower than striped (%g s)", lSkewed, lStriped)
+	}
 }
 
 func TestMoreNodesFaster(t *testing.T) {

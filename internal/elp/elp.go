@@ -12,6 +12,7 @@ package elp
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"blinkdb/internal/catalog"
 	"blinkdb/internal/cluster"
@@ -22,6 +23,10 @@ import (
 	"blinkdb/internal/storage"
 	"blinkdb/internal/types"
 )
+
+// DefaultShuffleFraction is Options.ShuffleFraction's default: shuffle
+// (GROUP BY exchange) volume approximated as 1% of bytes scanned.
+const DefaultShuffleFraction = 0.01
 
 // Options tune the runtime. Zero values select paper-default behaviour.
 type Options struct {
@@ -47,7 +52,7 @@ type Options struct {
 	// Profile is the engine cost profile (default BlinkDBEngine).
 	Profile cluster.EngineProfile
 	// ShuffleFraction approximates shuffle volume as a fraction of bytes
-	// scanned (GROUP BY exchange). Default 0.01.
+	// scanned (GROUP BY exchange). Default DefaultShuffleFraction.
 	ShuffleFraction float64
 	// ProbeOverheadOnly prices probe runs at job overhead alone,
 	// reflecting §4.1.1's assumption that the smallest samples fit in
@@ -62,6 +67,14 @@ type Options struct {
 	// are bit-identical for any value: the executor folds block-partitioned
 	// partial aggregates in a deterministic order.
 	Workers int
+	// Affine, when true (default), schedules scan workers node-affine:
+	// each worker owns one simulated node's shard of the block list
+	// (exec.SchedNodeAffine). False restores the node-blind round-robin
+	// scheduler. Results are bit-identical either way — the partition and
+	// merge order never change — and latency attribution always prices
+	// the affine schedule's locality: which bytes are node-local is a
+	// property of block placement and the partition, not of the knob.
+	Affine *bool
 }
 
 func (o Options) normalize() Options {
@@ -86,13 +99,17 @@ func (o Options) normalize() Options {
 		o.Profile = cluster.BlinkDBEngine
 	}
 	if o.ShuffleFraction <= 0 {
-		o.ShuffleFraction = 0.01
+		o.ShuffleFraction = DefaultShuffleFraction
 	}
 	if o.MinProbeRows <= 0 {
 		o.MinProbeRows = 100
 	}
 	if o.Workers <= 0 {
 		o.Workers = 1
+	}
+	if o.Affine == nil {
+		v := true
+		o.Affine = &v
 	}
 	return o
 }
@@ -103,6 +120,11 @@ type Runtime struct {
 	cat  *catalog.Catalog
 	clus *cluster.Cluster
 	opt  Options
+
+	// planExecs counts executor invocations (probes and final reads).
+	// Tests use it to pin the one-probe-per-(family, view) guarantee;
+	// atomic so concurrent Run calls stay race-free.
+	planExecs atomic.Int64
 }
 
 // New creates a runtime.
@@ -229,7 +251,7 @@ func (rt *Runtime) Run(q *sqlparser.Query) (*Response, error) {
 func (rt *Runtime) runConjunctive(entry *catalog.Entry, plan *exec.Plan,
 	phi types.ColumnSet, q *sqlparser.Query, conf float64, joins []exec.JoinSpec) (*exec.Result, Decision) {
 
-	fam, dec := rt.selectFamily(entry, plan, phi, conf, joins)
+	fam, dec, famProbe := rt.selectFamily(entry, plan, phi, conf, joins)
 	if fam == nil {
 		// No samples at all: exact execution.
 		res := rt.runPlan(plan, exec.FromTable(entry.Table), conf, joins)
@@ -239,7 +261,7 @@ func (rt *Runtime) runConjunctive(entry *catalog.Entry, plan *exec.Plan,
 		return res, dec
 	}
 
-	level, pv, probeRes := rt.selectResolution(fam, plan, q, conf, &dec, joins)
+	level, pv, probeRes := rt.selectResolution(fam, plan, q, conf, &dec, joins, famProbe)
 	if level < 0 {
 		// Even the largest resolution cannot meet the error bound and no
 		// time bound caps the work: fall back to exact execution.
@@ -258,10 +280,16 @@ func (rt *Runtime) runConjunctive(entry *catalog.Entry, plan *exec.Plan,
 	view := fam.View(level)
 	dec.View = view
 
-	// Execute on the chosen view (zone-pruned). Latency accounting applies
-	// §4.4 delta reuse: the probe already read resolutions 0..pv.Level.
+	// Execute on the chosen view (zone-pruned) — unless the probe already
+	// ran on exactly this view, in which case its answer IS the final
+	// answer: re-running the same (family, view) was the double-probe
+	// bug. Latency accounting applies §4.4 delta reuse: the probe already
+	// read resolutions 0..pv.Level.
 	in, blocks := viewInput(view, plan)
-	res := rt.runPlan(plan, in, conf, joins)
+	res := probeRes
+	if level != pv.Level || res == nil {
+		res = rt.runPlan(plan, in, conf, joins)
+	}
 	if *rt.opt.DeltaReuse && probeRes != nil {
 		dec.ReadLatency = rt.latencyOfSample(prunedBlocks(view.DeltaBlocks(pv), plan))
 	} else {
@@ -273,13 +301,16 @@ func (rt *Runtime) runConjunctive(entry *catalog.Entry, plan *exec.Plan,
 
 // selectFamily implements §4.1.1: prefer the covering stratified family
 // with the fewest columns; otherwise probe candidates and take the one
-// with the highest matched/read ratio.
+// with the highest matched/read ratio. The third return value is the
+// winning family's smallest-sample probe result (nil when no probe ran),
+// which selectResolution reuses so each (family, view) executes at most
+// once per query.
 func (rt *Runtime) selectFamily(entry *catalog.Entry, plan *exec.Plan,
-	phi types.ColumnSet, conf float64, joins []exec.JoinSpec) (*sample.Family, Decision) {
+	phi types.ColumnSet, conf float64, joins []exec.JoinSpec) (*sample.Family, Decision, *exec.Result) {
 
 	var dec Decision
 	if len(entry.Families) == 0 {
-		return nil, dec
+		return nil, dec, nil
 	}
 
 	// Queries with no filter/group columns have no stratification to
@@ -288,14 +319,14 @@ func (rt *Runtime) selectFamily(entry *catalog.Entry, plan *exec.Plan,
 	if phi.Empty() {
 		if u := entry.Uniform(); u != nil {
 			dec.Reason = "no filter/group columns: uniform family"
-			return u, dec
+			return u, dec, nil
 		}
 	}
 
 	if covering := entry.CoveringFamilies(phi); len(covering) > 0 {
 		f := covering[0]
 		dec.Reason = fmt.Sprintf("covering family %s (fewest columns among %d covering)", f.Phi, len(covering))
-		return f, dec
+		return f, dec, nil
 	}
 
 	// No covering family: probe smallest samples. Candidate set per the
@@ -323,10 +354,11 @@ func (rt *Runtime) selectFamily(entry *catalog.Entry, plan *exec.Plan,
 		}
 	}
 	if len(cands) == 0 {
-		return nil, dec
+		return nil, dec, nil
 	}
 
 	var best, uniform *sample.Family
+	var bestRes, uniformRes *exec.Result
 	bestRatio, uniformRatio := -1.0, -1.0
 	maxProbe := 0.0
 	for _, f := range cands {
@@ -339,10 +371,10 @@ func (rt *Runtime) selectFamily(entry *catalog.Entry, plan *exec.Plan,
 		ratio := res.Selectivity()
 		dec.Probed = append(dec.Probed, ProbeInfo{Family: f, Selectivity: ratio, Matched: res.RowsMatched})
 		if ratio > bestRatio {
-			bestRatio, best = ratio, f
+			bestRatio, best, bestRes = ratio, f, res
 		}
 		if f.IsUniform() {
-			uniform, uniformRatio = f, ratio
+			uniform, uniformRatio, uniformRes = f, ratio, res
 		}
 	}
 	// Tie-break: when the uniform family matches the best stratified
@@ -351,18 +383,22 @@ func (rt *Runtime) selectFamily(entry *catalog.Entry, plan *exec.Plan,
 	// sample's equal weights give strictly lower estimator variance than
 	// a stratified sample's spread of 1/rate weights.
 	if uniform != nil && best != nil && !best.IsUniform() && uniformRatio >= 0.9*bestRatio {
-		best, bestRatio = uniform, uniformRatio
+		best, bestRatio, bestRes = uniform, uniformRatio, uniformRes
 	}
 	dec.ProbeLatency = maxProbe
 	dec.Reason = fmt.Sprintf("no covering family: probed %d families, best selectivity %.4f on %s",
-		len(cands), bestRatio, best.Phi)
-	return best, dec
+		len(cands), bestRatio, best.Label())
+	return best, dec, bestRes
 }
 
 // selectResolution implements §4.2: build error and latency profiles from
 // a probe run on the family's smallest sample, then pick the resolution.
+// famProbe, when non-nil, is the probe result selectFamily already
+// computed on the family's probe view; it is reused instead of re-running
+// the identical probe (the double-probe bug).
 func (rt *Runtime) selectResolution(fam *sample.Family, plan *exec.Plan,
-	q *sqlparser.Query, conf float64, dec *Decision, joins []exec.JoinSpec) (int, sample.View, *exec.Result) {
+	q *sqlparser.Query, conf float64, dec *Decision, joins []exec.JoinSpec,
+	famProbe *exec.Result) (int, sample.View, *exec.Result) {
 
 	// §4.2: "BlinkDB runs a few smaller samples until performance seems
 	// to grow linearly" — for error-bounded queries, probe iteratively,
@@ -372,7 +408,10 @@ func (rt *Runtime) selectResolution(fam *sample.Family, plan *exec.Plan,
 	// delta blocks and are priced (and budget-limited) accordingly.
 	pv := rt.probeView(fam)
 	in, probeBlocks := viewInput(pv, plan)
-	probe := rt.runPlan(plan, in, conf, joins)
+	probe := famProbe
+	if probe == nil {
+		probe = rt.runPlan(plan, in, conf, joins)
+	}
 	probeLat := rt.latencyOfProbe(probeBlocks)
 	for q.Err != nil && probe.RowsMatched < 20 && pv.Level < fam.Resolutions()-1 {
 		next := fam.View(pv.Level + 1)
@@ -577,7 +616,7 @@ type ProfilePoint struct {
 func (rt *Runtime) Profile(fam *sample.Family, plan *exec.Plan, conf float64) []ProfilePoint {
 	pv := rt.probeView(fam)
 	smallIn, _ := viewInput(pv, plan)
-	probe := exec.RunParallel(plan, smallIn, conf, rt.opt.Workers)
+	probe := rt.runPlan(plan, smallIn, conf, nil)
 	probeMatched := float64(probe.RowsMatched)
 
 	// Worst-group probe error.
@@ -611,12 +650,17 @@ func (rt *Runtime) Profile(fam *sample.Family, plan *exec.Plan, conf float64) []
 
 // runPlan executes the plan over the input, joining dimension tables when
 // the query has JOIN clauses (§2.1: fact-side sampling, exact broadcast
-// dimensions).
+// dimensions). The scan schedule follows Options.Affine.
 func (rt *Runtime) runPlan(plan *exec.Plan, in exec.Input, conf float64, joins []exec.JoinSpec) *exec.Result {
-	if len(joins) == 0 {
-		return exec.RunParallel(plan, in, conf, rt.opt.Workers)
+	rt.planExecs.Add(1)
+	sched := exec.SchedNodeAffine
+	if !*rt.opt.Affine {
+		sched = exec.SchedBlind
 	}
-	return exec.RunJoinParallel(plan, in, joins, conf, rt.opt.Workers)
+	if len(joins) == 0 {
+		return exec.RunParallelSched(plan, in, conf, rt.opt.Workers, sched)
+	}
+	return exec.RunJoinParallelSched(plan, in, joins, conf, rt.opt.Workers, sched)
 }
 
 // checkJoinAdmissible enforces §2.1's join rules: each join needs either a
@@ -681,22 +725,49 @@ func viewInput(v sample.View, plan *exec.Plan) (exec.Input, []*storage.Block) {
 	return exec.FromBlocks(v.Family.Schema(), blocks, v.Cap()), blocks
 }
 
-// latencyOf prices a block read on the simulated cluster: bytes are scaled
-// to logical size, spread per the blocks' node placement, with a shuffle
-// term proportional to bytes scanned.
-func (rt *Runtime) latencyOf(blocks []*storage.Block, scale float64) float64 {
+// PriceBlockRead prices reading blocks on the cluster under the given
+// engine profile: bytes are scaled to logical size, spread per the
+// blocks' node placement, with a shuffle term proportional to bytes
+// scanned, a cross-node merge fan-in term over the nodes holding blocks,
+// and a remote-read term for the bytes the executor's node-affine
+// schedule cannot read locally (ranges whose blocks straddle their owner
+// node). This is the single pricing path shared by the runtime's latency
+// attribution and the experiments' placement ablations; an error means a
+// block carries a negative node id.
+func PriceBlockRead(clus *cluster.Cluster, prof cluster.EngineProfile,
+	blocks []*storage.Block, scale, shuffleFraction float64) (float64, error) {
+
 	if len(blocks) == 0 {
-		// §4.4: upgrading to the already-probed resolution reads nothing
-		// and launches no job — the probe's answer is reused as-is.
-		return 0
+		return 0, nil
 	}
 	var total int64
 	for _, b := range blocks {
 		total += b.Bytes
 	}
-	shuffle := float64(total) * scale * rt.opt.ShuffleFraction
-	work := rt.clus.WorkFromBlocks(blocks, scale, shuffle)
-	return rt.clus.Latency(rt.opt.Profile, work)
+	shuffle := float64(total) * scale * shuffleFraction
+	work, err := clus.WorkFromBlocks(blocks, scale, shuffle)
+	if err != nil {
+		return 0, err
+	}
+	// Latency attribution follows the executor's affine schedule: bytes a
+	// shard cannot read on its owner node cross the network.
+	_, shards := exec.ScanShards(blocks)
+	work.RemoteBytes = float64(storage.RemoteBytes(shards)) * scale
+	return clus.Latency(prof, work), nil
+}
+
+// latencyOf prices a block read via PriceBlockRead with the runtime's
+// profile and shuffle fraction. An empty block list costs nothing — §4.4:
+// upgrading to the already-probed resolution reads nothing and launches
+// no job; the probe's answer is reused as-is.
+func (rt *Runtime) latencyOf(blocks []*storage.Block, scale float64) float64 {
+	lat, err := PriceBlockRead(rt.clus, rt.opt.Profile, blocks, scale, rt.opt.ShuffleFraction)
+	if err != nil {
+		// Tables pass storage.Validate at build time, so a negative node
+		// id here is a programming error, not a user-recoverable one.
+		panic(fmt.Sprintf("elp: %v", err))
+	}
+	return lat
 }
 
 // latencyOfBase prices a base-table read (table-byte scale).

@@ -575,6 +575,43 @@ func encodeKey(key []types.Value) string {
 	return b.String()
 }
 
+// Sched selects how the executor assigns scan ranges to workers. Both
+// modes consume the SAME deterministic block partition and merge partials
+// in block-index order, so results are bit-identical across modes and
+// worker counts; only the assignment of ranges to workers differs.
+type Sched uint8
+
+const (
+	// SchedNodeAffine — the default — groups the partition's ranges into
+	// per-node shards (storage.PartitionBlocksByNode) and hands each
+	// worker whole shards, so one worker owns one simulated node's blocks
+	// (the paper's §2.2.1 layout: samples striped as many small blocks
+	// across the cluster, scanned by node-local tasks). When the data
+	// occupies fewer shards than there are workers, scheduling falls back
+	// to per-range claiming rather than idling cores.
+	SchedNodeAffine Sched = iota
+	// SchedBlind restores the node-blind schedule: workers claim ranges
+	// round-robin regardless of block placement.
+	SchedBlind
+)
+
+// String renders the scheduling mode.
+func (s Sched) String() string {
+	if s == SchedBlind {
+		return "blind"
+	}
+	return "node-affine"
+}
+
+// ScanShards exposes the executor's node-affine schedule for a block
+// list: the contiguous partial ranges (identical to the node-blind
+// partition) and the per-node shards that consume them. The ELP runtime
+// uses it to attribute scan locality in the cluster model, and
+// blinkdb-bench reports its locality hit rate.
+func ScanShards(blocks []*storage.Block) ([]storage.BlockRange, []storage.NodeShard) {
+	return storage.PartitionBlocksByNode(blocks, maxPartials)
+}
+
 // Run executes the plan over the input at the given confidence level with
 // a single worker. It is exactly RunParallel(p, in, confidence, 1).
 func Run(p *Plan, in Input, confidence float64) *Result {
@@ -582,24 +619,53 @@ func Run(p *Plan, in Input, confidence float64) *Result {
 }
 
 // RunParallel executes the plan over the input using up to workers
-// goroutines. The block list is split into contiguous ranges whose
-// boundaries depend only on the block count; each range produces one
-// Partial, and MergePartials folds them in block order — so the Result is
-// bit-identical for every workers value (1, 8, or more workers than
-// blocks).
+// goroutines under the default node-affine schedule. The block list is
+// split into contiguous ranges whose boundaries depend only on the block
+// count; each range produces one Partial, and MergePartials folds them in
+// block order — so the Result is bit-identical for every workers value
+// (1, 8, or more workers than blocks) and for either schedule.
 func RunParallel(p *Plan, in Input, confidence float64, workers int) *Result {
-	return runRanges(p, p.runtime(), in, confidence, workers, nil)
+	return RunParallelSched(p, in, confidence, workers, SchedNodeAffine)
 }
 
-// runRanges is the shared scan driver for plain and join execution.
-func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers int,
-	expand func(r types.Row, emit func(types.Row))) *Result {
+// RunParallelSched is RunParallel with an explicit scheduling mode.
+func RunParallelSched(p *Plan, in Input, confidence float64, workers int, sched Sched) *Result {
+	return runRanges(p, p.runtime(), in, confidence, workers, sched, nil)
+}
 
-	ranges := storage.PartitionBlocks(len(in.Blocks), maxPartials)
-	parts := make([]*Partial, len(ranges))
-	if workers > len(ranges) {
-		workers = len(ranges)
+// runRanges is the shared scan driver for plain and join execution. The
+// claim unit is one range under the blind schedule and one node shard
+// (that node's whole range list) under the affine schedule; either way a
+// range's Partial lands at its partition index and MergePartials folds in
+// range order, so every float accumulation — and hence the Result — is
+// identical across schedules and worker counts.
+func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers int,
+	sched Sched, expand func(r types.Row, emit func(types.Row))) *Result {
+
+	// Affine scheduling only pays off while every worker can own a
+	// shard; with fewer shards (simulated nodes) than workers it would
+	// idle cores that per-range claiming keeps busy, so fall back. Either
+	// partitioner yields the same ranges, so the partition is computed
+	// exactly once.
+	var ranges []storage.BlockRange
+	var shards []storage.NodeShard
+	if sched == SchedNodeAffine && workers > 1 {
+		var byNode []storage.NodeShard
+		ranges, byNode = storage.PartitionBlocksByNode(in.Blocks, maxPartials)
+		if len(byNode) >= workers {
+			shards = byNode
+		}
+	} else {
+		ranges = storage.PartitionBlocks(len(in.Blocks), maxPartials)
 	}
+	units := len(ranges)
+	if shards != nil {
+		units = len(shards)
+	}
+	if workers > units {
+		workers = units
+	}
+	parts := make([]*Partial, len(ranges))
 	if workers <= 1 {
 		sc := &colScratch{}
 		for i, r := range ranges {
@@ -615,11 +681,19 @@ func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers i
 			defer wg.Done()
 			sc := &colScratch{} // per-worker: buffers are not shared
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(ranges) {
+				u := int(next.Add(1)) - 1
+				if u >= units {
 					return
 				}
-				parts[i] = runPartial(p, rt, in, ranges[i].Lo, ranges[i].Hi, expand, sc)
+				if shards == nil {
+					parts[u] = runPartial(p, rt, in, ranges[u].Lo, ranges[u].Hi, expand, sc)
+					continue
+				}
+				// Shards partition the range set, so writes to parts are
+				// disjoint across workers.
+				for _, ri := range shards[u].Ranges {
+					parts[ri] = runPartial(p, rt, in, ranges[ri].Lo, ranges[ri].Hi, expand, sc)
+				}
 			}
 		}()
 	}

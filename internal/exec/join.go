@@ -122,8 +122,16 @@ func RunJoin(p *Plan, in Input, joins []JoinSpec, confidence float64) *Result {
 // hash-joined in memory. plan must be compiled against the combined
 // schema. The join indexes are built once up front and then shared
 // read-only across the scan workers; like RunParallel, the Result is
-// bit-identical for every workers value.
+// bit-identical for every workers value and either schedule. The default
+// schedule is node-affine (dimension tables are broadcast, so only the
+// fact side has locality to exploit).
 func RunJoinParallel(p *Plan, in Input, joins []JoinSpec, confidence float64, workers int) *Result {
+	return RunJoinParallelSched(p, in, joins, confidence, workers, SchedNodeAffine)
+}
+
+// RunJoinParallelSched is RunJoinParallel with an explicit scheduling
+// mode.
+func RunJoinParallelSched(p *Plan, in Input, joins []JoinSpec, confidence float64, workers int, sched Sched) *Result {
 	idxs := make([]*joinIndex, len(joins))
 	for i, j := range joins {
 		idxs[i] = buildJoinIndex(j)
@@ -134,7 +142,7 @@ func RunJoinParallel(p *Plan, in Input, joins []JoinSpec, confidence float64, wo
 		Rate:   in.Rate,
 	}
 	// Expand each fact row through the join chain inside the scan.
-	return runRanges(p, p.runtime(), joined, confidence, workers,
+	return runRanges(p, p.runtime(), joined, confidence, workers, sched,
 		func(fact types.Row, emit func(types.Row)) {
 			expandJoins(fact, idxs, 0, emit)
 		})

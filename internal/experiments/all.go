@@ -25,6 +25,7 @@ func All() []Experiment {
 		{"table5", "stratified-sample storage overhead (Zipf)", Table5},
 		{"table5mc", "Table 5 Monte-Carlo cross-check", Table5MonteCarlo},
 		{"ola", "BlinkDB vs online aggregation", OnlineVsOffline},
+		{"abl-affinity", "ablation: shard-affine locality & placement pricing", AblationAffinity},
 		{"abl-delta", "ablation: §4.4 delta-block reuse", AblationDeltaReuse},
 		{"abl-probe", "ablation: §4.1.1 probe-all vs subset", AblationProbeAll},
 		{"abl-milp", "ablation: exact B&B vs greedy solver", AblationMILP},

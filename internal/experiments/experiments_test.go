@@ -308,6 +308,27 @@ func TestAblationDeltaReuseNeverSlower(t *testing.T) {
 	}
 }
 
+// TestAblationAffinitySkewStrictlySlower pins the tentpole's acceptance
+// criterion at the experiment layer: piling a family's blocks onto one
+// node prices strictly higher than the striped layout for every family.
+func TestAblationAffinitySkewStrictlySlower(t *testing.T) {
+	tab, err := AblationAffinity(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no families priced")
+	}
+	for i := range tab.Rows {
+		striped := cell(t, tab, i, 3)
+		oneNode := cell(t, tab, i, 4)
+		if oneNode <= striped {
+			t.Errorf("family %s: one-node placement (%g s) must be strictly slower than striped (%g s)",
+				tab.Rows[i][0], oneNode, striped)
+		}
+	}
+}
+
 func TestAblationProbeAllRuns(t *testing.T) {
 	tab, err := AblationProbeAll(Quick())
 	if err != nil {

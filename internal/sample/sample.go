@@ -124,6 +124,16 @@ func (f *Family) Smallest() View { return f.View(0) }
 // Largest returns the highest-fidelity resolution.
 func (f *Family) Largest() View { return f.View(len(f.Caps) - 1) }
 
+// Label names the family for display: its column set, or "uniform" —
+// the uniform family's column set is empty and would render as an empty
+// set otherwise.
+func (f *Family) Label() string {
+	if f.IsUniform() {
+		return "uniform"
+	}
+	return f.Phi.String()
+}
+
 // String renders e.g. "SFam([city], K=100..100000, 4 resolutions)".
 func (f *Family) String() string {
 	if f.IsUniform() {

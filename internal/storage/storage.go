@@ -11,6 +11,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 
 	"blinkdb/internal/colstore"
 	"blinkdb/internal/types"
@@ -253,6 +254,106 @@ func PartitionBlocks(n, maxParts int) []BlockRange {
 		lo += sz
 	}
 	return out
+}
+
+// NodeShard is the unit of locality-aware scheduling: the set of scan
+// ranges owned by one cluster node. A shard-affine executor hands each
+// shard to one worker, so a worker reads (mostly) blocks that live on
+// its node — the paper's HDFS layout of many small sample blocks striped
+// across the cluster (§2.2.1) turns into per-node scan tasks instead of
+// node-blind ones.
+type NodeShard struct {
+	// Node is the owning cluster node.
+	Node int
+	// Ranges indexes into the companion []BlockRange slice, ascending.
+	// Every range appears in exactly one shard.
+	Ranges []int
+	// Bytes is the total physical size of the shard's ranges.
+	Bytes int64
+	// LocalBytes is the portion of Bytes residing on the owning node. A
+	// range whose blocks straddle nodes makes LocalBytes < Bytes; the
+	// difference is read across the network.
+	LocalBytes int64
+}
+
+// PartitionBlocksByNode splits blocks into the SAME contiguous ranges as
+// PartitionBlocks(len(blocks), maxParts) and groups them into per-node
+// shards. Each range is owned by the node holding the most of its bytes
+// (ties break to the lowest node id); a shard is one node's ranges, and
+// shards are returned in ascending node order.
+//
+// The range boundaries deliberately never depend on placement: they are
+// exactly PartitionBlocks's, so an executor that merges per-range
+// partials in range order produces results bit-identical to the
+// node-blind schedule — affinity changes WHICH worker scans a range,
+// never how the ranges (and hence float accumulation) are laid out.
+func PartitionBlocksByNode(blocks []*Block, maxParts int) ([]BlockRange, []NodeShard) {
+	ranges := PartitionBlocks(len(blocks), maxParts)
+	if len(ranges) == 0 {
+		return nil, nil
+	}
+	shardIdx := make(map[int]int) // node → index into shards
+	var shards []NodeShard
+	var perNode map[int]int64 // reused per range
+	for ri, r := range ranges {
+		var total int64
+		if perNode == nil {
+			perNode = make(map[int]int64)
+		} else {
+			for k := range perNode {
+				delete(perNode, k)
+			}
+		}
+		for bi := r.Lo; bi < r.Hi; bi++ {
+			b := blocks[bi]
+			perNode[b.Node] += b.Bytes
+			total += b.Bytes
+		}
+		// Owner: most bytes, ties to the lowest node id. The selection is
+		// by comparison, so map iteration order cannot affect it.
+		owner, ownerBytes, first := 0, int64(0), true
+		for node, bytes := range perNode {
+			if first || bytes > ownerBytes || (bytes == ownerBytes && node < owner) {
+				owner, ownerBytes, first = node, bytes, false
+			}
+		}
+		si, ok := shardIdx[owner]
+		if !ok {
+			si = len(shards)
+			shardIdx[owner] = si
+			shards = append(shards, NodeShard{Node: owner})
+		}
+		shards[si].Ranges = append(shards[si].Ranges, ri)
+		shards[si].Bytes += total
+		shards[si].LocalBytes += ownerBytes
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i].Node < shards[j].Node })
+	return ranges, shards
+}
+
+// LocalityHitRate returns the fraction of shard bytes a node-affine
+// schedule reads locally (Σ LocalBytes / Σ Bytes); 1 when the shards
+// carry no bytes (nothing to read remotely).
+func LocalityHitRate(shards []NodeShard) float64 {
+	var total, local int64
+	for _, s := range shards {
+		total += s.Bytes
+		local += s.LocalBytes
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(local) / float64(total)
+}
+
+// RemoteBytes returns the bytes a node-affine schedule must read across
+// the network: Σ (Bytes − LocalBytes) over the shards.
+func RemoteBytes(shards []NodeShard) int64 {
+	var remote int64
+	for _, s := range shards {
+		remote += s.Bytes - s.LocalBytes
+	}
+	return remote
 }
 
 // EstimateRowBytes computes the approximate serialized size of a row:

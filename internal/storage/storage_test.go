@@ -315,3 +315,120 @@ func TestAppendTableRechunk(t *testing.T) {
 		}
 	}
 }
+
+func TestPartitionBlocksByNodeBoundariesUnchanged(t *testing.T) {
+	// The affine partitioner must reuse PartitionBlocks's boundaries
+	// exactly — that is what keeps affinity-on results bit-identical to
+	// the node-blind schedule (float accumulation order is fixed by the
+	// ranges, not by which worker consumes them).
+	for _, n := range []int{0, 1, 5, 64, 300, 1000} {
+		for _, maxParts := range []int{1, 7, 256} {
+			tab := buildTable(t, n*3+1, 3, 4)
+			blocks := tab.Blocks
+			if len(blocks) > n {
+				blocks = blocks[:n]
+			}
+			want := PartitionBlocks(len(blocks), maxParts)
+			got, _ := PartitionBlocksByNode(blocks, maxParts)
+			if len(want) != len(got) {
+				t.Fatalf("n=%d parts=%d: %d ranges vs %d", n, maxParts, len(want), len(got))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("n=%d parts=%d range %d: %+v vs %+v", n, maxParts, i, want[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionBlocksByNodeShardsCoverAllRangesOnce(t *testing.T) {
+	tab := buildTable(t, 900, 3, 7) // 300 blocks striped over 7 nodes
+	ranges, shards := PartitionBlocksByNode(tab.Blocks, 256)
+	seen := make([]int, len(ranges))
+	lastNode := -1
+	for _, s := range shards {
+		if s.Node <= lastNode {
+			t.Fatalf("shards not in ascending node order: %d after %d", s.Node, lastNode)
+		}
+		lastNode = s.Node
+		prev := -1
+		for _, ri := range s.Ranges {
+			if ri <= prev {
+				t.Fatalf("shard %d ranges not ascending: %d after %d", s.Node, ri, prev)
+			}
+			prev = ri
+			seen[ri]++
+		}
+	}
+	for ri, c := range seen {
+		if c != 1 {
+			t.Fatalf("range %d claimed %d times", ri, c)
+		}
+	}
+}
+
+func TestPartitionBlocksByNodeOwnerAndLocality(t *testing.T) {
+	// Single-block ranges: the owner is the block's node and locality is
+	// perfect.
+	tab := buildTable(t, 60, 3, 4) // 20 blocks over 4 nodes, ≤256 parts
+	ranges, shards := PartitionBlocksByNode(tab.Blocks, 256)
+	if len(ranges) != len(tab.Blocks) {
+		t.Fatalf("expected one range per block, got %d for %d blocks", len(ranges), len(tab.Blocks))
+	}
+	if len(shards) != 4 {
+		t.Fatalf("expected 4 shards, got %d", len(shards))
+	}
+	for _, s := range shards {
+		if s.LocalBytes != s.Bytes {
+			t.Errorf("node %d: local %d != total %d with single-block ranges", s.Node, s.LocalBytes, s.Bytes)
+		}
+		for _, ri := range s.Ranges {
+			if got := tab.Blocks[ranges[ri].Lo].Node; got != s.Node {
+				t.Errorf("range %d owned by node %d but its block lives on %d", ri, s.Node, got)
+			}
+		}
+	}
+	if hr := LocalityHitRate(shards); hr != 1 {
+		t.Errorf("hit rate = %g, want 1 for single-block ranges", hr)
+	}
+	if rb := RemoteBytes(shards); rb != 0 {
+		t.Errorf("remote bytes = %d, want 0", rb)
+	}
+
+	// Multi-block ranges straddling nodes: owner is the max-bytes node
+	// (ties to the lowest id) and the off-owner share is remote.
+	blocks := []*Block{
+		{ID: 0, Node: 2, Bytes: 100},
+		{ID: 1, Node: 0, Bytes: 100},
+		{ID: 2, Node: 2, Bytes: 50},
+	}
+	_, sh := PartitionBlocksByNode(blocks, 1) // one range over all three
+	if len(sh) != 1 || sh[0].Node != 2 {
+		t.Fatalf("owner = %+v, want node 2 (150 of 250 bytes)", sh)
+	}
+	if sh[0].Bytes != 250 || sh[0].LocalBytes != 150 {
+		t.Errorf("bytes = %d/%d, want 150/250", sh[0].LocalBytes, sh[0].Bytes)
+	}
+	if rb := RemoteBytes(sh); rb != 100 {
+		t.Errorf("remote = %d, want 100", rb)
+	}
+
+	// Byte tie between nodes 3 and 1 → lowest id wins.
+	tie := []*Block{
+		{ID: 0, Node: 3, Bytes: 80},
+		{ID: 1, Node: 1, Bytes: 80},
+	}
+	_, sh = PartitionBlocksByNode(tie, 1)
+	if len(sh) != 1 || sh[0].Node != 1 {
+		t.Fatalf("tie should go to the lowest node id, got %+v", sh)
+	}
+
+	// Empty input.
+	if r, s := PartitionBlocksByNode(nil, 8); r != nil || s != nil {
+		t.Errorf("nil blocks should partition to nil, got %v %v", r, s)
+	}
+	if hr := LocalityHitRate(nil); hr != 1 {
+		t.Errorf("empty shard list hit rate = %g, want 1", hr)
+	}
+}
