@@ -3,6 +3,7 @@ package blinkdb
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -57,11 +58,25 @@ func TestAffinityEquivalenceEndToEnd(t *testing.T) {
 	}
 }
 
+// stripPlanCache normalizes the plan-cache outcome markers so results
+// can be compared across cold (miss) and warm (hit) servings — the
+// ANSWER must be bit-identical either way; only the annotation differs.
+func stripPlanCache(res *Result) *Result {
+	cp := *res
+	cp.PlanCache = ""
+	cp.Explanation = strings.ReplaceAll(cp.Explanation, "; cache=hit", "")
+	cp.Explanation = strings.ReplaceAll(cp.Explanation, "; cache=miss", "")
+	return &cp
+}
+
 // TestConcurrentQuerySmoke hammers one engine from many goroutines — the
 // north-star workload is heavy multi-user traffic, and the catalog's
 // RWMutex plus the ELP runtime's probe path had no engine-level
 // concurrency coverage. Run under -race in CI; every concurrent answer
-// must equal the serial one (queries are read-only and deterministic).
+// must equal the serial one (queries are read-only and deterministic;
+// with the default plan cache the serial warm-up is the miss that
+// prepares each template and every concurrent replay is a hit, so
+// results are compared modulo the cache=hit|miss marker).
 func TestConcurrentQuerySmoke(t *testing.T) {
 	eng := demoEngine(t, 20000)
 	want := make([]*Result, len(affinityQueries))
@@ -70,7 +85,7 @@ func TestConcurrentQuerySmoke(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%q: %v", src, err)
 		}
-		want[i] = res
+		want[i] = stripPlanCache(res)
 	}
 
 	const goroutines = 8
@@ -90,7 +105,7 @@ func TestConcurrentQuerySmoke(t *testing.T) {
 						errs <- fmt.Errorf("goroutine %d: %q: %v", g, affinityQueries[i], err)
 						return
 					}
-					if !reflect.DeepEqual(want[i], res) {
+					if !reflect.DeepEqual(want[i], stripPlanCache(res)) {
 						errs <- fmt.Errorf("goroutine %d: %q: concurrent result diverged from serial", g, affinityQueries[i])
 						return
 					}

@@ -14,6 +14,19 @@
 // a network fan-in. Results are bit-identical whether affinity is on or
 // off (AffinityBlind), for any worker count and block layout.
 //
+// Queries flow through an explicit prepare → execute pipeline with a
+// template-keyed plan cache (Config.PlanCacheSize, on by default):
+// BlinkDB workloads repeat the same query templates with different
+// constants, so the compiled plan, the smallest-sample probes and the
+// Error-Latency Profile — the dominant cost of a bounded query — are
+// computed once per template and reused. Cached state is validated
+// against per-table catalog epochs on every hit: a sample refresh,
+// maintenance rebuild or table reload bumps the epoch and forces a
+// re-prepare, so stale probes are never served. Result.Explanation
+// reports cache=hit|miss; Engine.Stats exposes hit rates and probe
+// counts. With the cache disabled the engine behaves exactly as before,
+// bit for bit.
+//
 // A minimal session:
 //
 //	eng := blinkdb.Open(blinkdb.Config{})
@@ -147,6 +160,15 @@ type Config struct {
 	// blocks); AffinityBlind restores node-blind range scheduling. Query
 	// results are bit-identical across modes.
 	Affinity Affinity
+	// PlanCacheSize caps how many query templates keep their prepared
+	// state — compiled plan, sample probes, Error-Latency Profile —
+	// across queries (the hot-path amortization for template-heavy
+	// workloads). 0 (the default) selects 256 templates; a negative value
+	// disables the cache entirely, restoring the prepare-every-query
+	// pipeline whose answers and latencies are bit-identical to the
+	// cached path for identical queries. Entries are epoch-validated, so
+	// RefreshSamples/Maintain immediately invalidate affected templates.
+	PlanCacheSize int
 	// CacheTables places base tables in simulated cluster memory.
 	CacheTables bool
 	// FullProbePricing charges ELP probe runs like any other sample
@@ -181,6 +203,12 @@ func (c Config) normalize() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 256
+	}
+	if c.PlanCacheSize < 0 {
+		c.PlanCacheSize = -1 // disabled; elp treats ≤0 as off
+	}
 	return c
 }
 
@@ -214,12 +242,17 @@ func Open(cfg Config) *Engine {
 	})
 	cat := catalog.New()
 	affine := cfg.Affinity != AffinityBlind
+	planCache := cfg.PlanCacheSize
+	if planCache < 0 {
+		planCache = 0 // explicit disable
+	}
 	rt := elp.New(cat, clus, elp.Options{
 		Confidence:        cfg.Confidence,
 		Scale:             cfg.Scale,
 		ProbeOverheadOnly: !cfg.FullProbePricing,
 		Workers:           cfg.Workers,
 		Affine:            &affine,
+		PlanCacheSize:     planCache,
 	})
 	return &Engine{cfg: cfg, cat: cat, clus: clus, rt: rt}
 }
@@ -516,8 +549,12 @@ type Result struct {
 	// SampleDescription says which sample answered the query, e.g.
 	// "S([city], K=1000)" or "base table".
 	SampleDescription string
-	// Explanation is the planner's reasoning (EXPLAIN-style).
+	// Explanation is the planner's reasoning (EXPLAIN-style); with the
+	// plan cache enabled it includes a cache=hit|miss marker.
 	Explanation string
+	// PlanCache reports the plan-cache outcome for this query: "hit",
+	// "miss", or "" when the cache is disabled.
+	PlanCache string
 	// RowsScanned and RowsMatched describe the work done.
 	RowsScanned int64
 	RowsMatched int64
@@ -552,6 +589,7 @@ func (e *Engine) Query(sql string) (*Result, error) {
 		SimLatencySeconds: resp.SimLatency,
 		RowsScanned:       resp.Result.RowsScanned,
 		RowsMatched:       resp.Result.RowsMatched,
+		PlanCache:         resp.Cache,
 	}
 	var expl, desc []string
 	for _, d := range resp.Decisions {
@@ -584,6 +622,48 @@ func (e *Engine) Query(sql string) (*Result, error) {
 		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
+}
+
+// EngineStats is a snapshot of the engine's serving counters.
+type EngineStats struct {
+	// PlanExecs counts executor invocations (probes + final reads); a
+	// fully memoized plan-cache hit adds 0.
+	PlanExecs int64
+	// ProbeExecs counts the subset of PlanExecs that were ELP probes —
+	// the work the plan cache amortizes.
+	ProbeExecs int64
+	// Prepares counts template compilations (cold paths).
+	Prepares int64
+	// PlanCacheHits / PlanCacheMisses count plan-cache outcomes; a stale
+	// (epoch-invalidated) entry counts as a miss. Both 0 when the cache
+	// is disabled.
+	PlanCacheHits, PlanCacheMisses int64
+	// AnswersByLevel counts answers by serving resolution level
+	// (-1 = base table).
+	AnswersByLevel map[int]int64
+}
+
+// PlanCacheHitRate returns hits/(hits+misses), 0 before any query.
+func (s EngineStats) PlanCacheHitRate() float64 {
+	total := s.PlanCacheHits + s.PlanCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PlanCacheHits) / float64(total)
+}
+
+// Stats returns the engine's cumulative serving counters. Safe for
+// concurrent use with Query.
+func (e *Engine) Stats() EngineStats {
+	s := e.rt.Stats()
+	return EngineStats{
+		PlanExecs:       s.PlanExecs,
+		ProbeExecs:      s.ProbeExecs,
+		Prepares:        s.Prepares,
+		PlanCacheHits:   s.CacheHits,
+		PlanCacheMisses: s.CacheMisses,
+		AnswersByLevel:  s.AnswersByLevel,
+	}
 }
 
 // Tables lists registered table names.

@@ -21,11 +21,13 @@ import (
 	"strings"
 	"time"
 
+	"blinkdb"
 	"blinkdb/internal/exec"
 	"blinkdb/internal/experiments"
 	"blinkdb/internal/sqlparser"
 	"blinkdb/internal/storage"
 	"blinkdb/internal/types"
+	"blinkdb/internal/zipf"
 )
 
 // expRecord is one experiment's perf sample in the JSON snapshot.
@@ -70,14 +72,36 @@ type execRecord struct {
 	Speedup8vs1      float64 `json:"speedup_8_vs_1"`
 }
 
+// replayRecord reports the hot-template replay benchmark: one bounded
+// query template is replayed against two engines that differ only in
+// Config.PlanCacheSize — the default template-keyed plan cache vs the
+// prepare-every-query pipeline. Answers are bit-identical (asserted
+// before timing); only queries/sec differs. The replay cycles a few
+// constants through the template, so the cache serves template hits for
+// both repeated and fresh constants, like a real serving workload.
+type replayRecord struct {
+	Template string `json:"template"`
+	// Queries is how many replays each timed engine served.
+	Queries int `json:"queries"`
+	// QpsCacheOn/Off are the measured queries/sec with the plan cache at
+	// its default size vs disabled.
+	QpsCacheOn  float64 `json:"qps_hot_template_cache_on"`
+	QpsCacheOff float64 `json:"qps_hot_template_cache_off"`
+	// HitRate is the cached engine's measured plan-cache hit rate.
+	HitRate float64 `json:"plan_cache_hit_rate"`
+	// Speedup is QpsCacheOn/QpsCacheOff.
+	Speedup float64 `json:"cache_speedup"`
+}
+
 // snapshot is the BENCH_<date>.json schema.
 type snapshot struct {
-	Date        string      `json:"date"`
-	Quick       bool        `json:"quick"`
-	GoVersion   string      `json:"go_version"`
-	GOMAXPROCS  int         `json:"gomaxprocs"`
-	Experiments []expRecord `json:"experiments"`
-	Executor    execRecord  `json:"executor"`
+	Date        string       `json:"date"`
+	Quick       bool         `json:"quick"`
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Experiments []expRecord  `json:"experiments"`
+	Executor    execRecord   `json:"executor"`
+	PlanCache   replayRecord `json:"plan_cache"`
 }
 
 func main() {
@@ -90,6 +114,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "override random seed")
 		jsonOut  = flag.Bool("json", false, "write a BENCH_<date>.json perf snapshot")
 		jsonPath = flag.String("json-path", "", "override the snapshot path (implies -json)")
+		smoke    = flag.Bool("smoke", false, "shrink the executor/replay micro-benchmarks (CI path coverage; numbers not comparable to tracked snapshots)")
 	)
 	flag.Parse()
 
@@ -152,7 +177,8 @@ func main() {
 	}
 
 	if *jsonOut || *jsonPath != "" {
-		snap.Executor = executorBench()
+		snap.Executor = executorBench(*smoke)
+		snap.PlanCache = replayBench(*smoke)
 		path := *jsonPath
 		if path == "" {
 			path = "BENCH_" + snap.Date + ".json"
@@ -179,9 +205,14 @@ func main() {
 // layout. Results are bit-identical across layouts and counts; only
 // throughput differs (worker scaling additionally needs GOMAXPROCS > 1 —
 // single-core hosts report speedup_8_vs_1 ≈ 1, but the layout speedup is
-// visible even there).
-func executorBench() execRecord {
-	const rows = 300000
+// visible even there). smoke shrinks data and timing windows for CI path
+// coverage; smoke numbers are not comparable to tracked snapshots.
+func executorBench(smoke bool) execRecord {
+	rows := 300000
+	window := 500 * time.Millisecond
+	if smoke {
+		rows, window = 60000, 100*time.Millisecond
+	}
 	schema := types.NewSchema(
 		types.Column{Name: "city", Kind: types.KindString},
 		types.Column{Name: "code", Kind: types.KindInt},
@@ -212,7 +243,7 @@ func executorBench() execRecord {
 		exec.RunParallelSched(plan, in, 0.95, workers, sched)
 		iters := 0
 		start := time.Now()
-		for time.Since(start) < 500*time.Millisecond {
+		for time.Since(start) < window {
 			exec.RunParallelSched(plan, in, 0.95, workers, sched)
 			iters++
 		}
@@ -240,6 +271,129 @@ func executorBench() execRecord {
 		rec.Speedup8vs1 = rec.RowsPerSec["8"] / base
 		rec.ColumnarSpeedup1 = rec.ColumnarRowsPerSec["1"] / base
 	}
+	return rec
+}
+
+// replayBench measures the prepare/execute pipeline on a hot-template
+// workload: a Zipf-skewed table (the paper's Conviva-like regime, where
+// stratified families actually get built) queried by a template whose
+// filter column is NOT stratified — so every cold query probes the
+// smallest sample of every family before answering, the §4 cost the plan
+// cache amortizes. The same query sequence runs against a cached and an
+// uncached engine; answers are asserted bit-identical first, then each
+// engine is timed.
+func replayBench(smoke bool) replayRecord {
+	// Sized so the family probes dominate a cold query (tens of
+	// thousands of sample rows scanned per probe pass); at toy sizes
+	// fixed per-query overhead (parse, latency pricing) would mask the
+	// probe savings. smoke shrinks everything for CI path coverage —
+	// the bit-identity gate still runs, but the speedup/hit-rate numbers
+	// are not comparable to tracked snapshots.
+	rows, sampleK, window := 200000, int64(8000), 2*time.Second
+	if smoke {
+		rows, sampleK, window = 50000, 2000, 300*time.Millisecond
+	}
+	build := func(planCache int) *blinkdb.Engine {
+		eng := blinkdb.Open(blinkdb.Config{Seed: 11, Scale: 1e4, CacheTables: true, PlanCacheSize: planCache})
+		load := eng.CreateTable("traffic",
+			blinkdb.Col("city", blinkdb.String),
+			blinkdb.Col("os", blinkdb.String),
+			blinkdb.Col("browser", blinkdb.String),
+			blinkdb.Col("country", blinkdb.String),
+			blinkdb.Col("device", blinkdb.String),
+			blinkdb.Col("genre", blinkdb.String),
+			blinkdb.Col("sessiontime", blinkdb.Float),
+		)
+		rng := rand.New(rand.NewSource(5))
+		cityGen := zipf.NewGeneratorCDF(rng, 1.3, 200)
+		osGen := zipf.NewGeneratorCDF(rng, 1.3, 40)
+		browserGen := zipf.NewGeneratorCDF(rng, 1.3, 60)
+		countryGen := zipf.NewGeneratorCDF(rng, 1.3, 80)
+		deviceGen := zipf.NewGeneratorCDF(rng, 1.3, 25)
+		genres := []string{"western", "drama", "comedy", "news"}
+		for i := 0; i < rows; i++ {
+			if err := load.Append(
+				fmt.Sprintf("city%d", cityGen.Next()),
+				fmt.Sprintf("os%d", osGen.Next()),
+				fmt.Sprintf("browser%d", browserGen.Next()),
+				fmt.Sprintf("country%d", countryGen.Next()),
+				fmt.Sprintf("device%d", deviceGen.Next()),
+				genres[rng.Intn(len(genres))],
+				rng.ExpFloat64()*100,
+			); err != nil {
+				panic(err)
+			}
+		}
+		if err := load.Close(); err != nil {
+			panic(err)
+		}
+		if _, err := eng.CreateSamples("traffic", blinkdb.SampleOptions{
+			BudgetFraction: 1.2,
+			K:              sampleK,
+			Templates: []blinkdb.Template{
+				{Columns: []string{"city"}, Weight: 0.3},
+				{Columns: []string{"os"}, Weight: 0.2},
+				{Columns: []string{"browser"}, Weight: 0.2},
+				{Columns: []string{"country"}, Weight: 0.2},
+				{Columns: []string{"device"}, Weight: 0.1},
+			},
+		}); err != nil {
+			panic(err)
+		}
+		return eng
+	}
+	engOn := build(0)   // default: cache on
+	engOff := build(-1) // disabled
+	// genre is not a stratification column: cold queries probe every family.
+	queryFor := func(i int) string {
+		genres := []string{"western", "drama", "comedy"}
+		return fmt.Sprintf(`SELECT AVG(sessiontime) FROM traffic WHERE genre = '%s' ERROR WITHIN 10%%`, genres[i%3])
+	}
+
+	// Equivalence gate: cached answers must match uncached bit for bit.
+	for i := 0; i < 6; i++ {
+		on, err := engOn.Query(queryFor(i))
+		if err != nil {
+			panic(err)
+		}
+		off, err := engOff.Query(queryFor(i))
+		if err != nil {
+			panic(err)
+		}
+		if len(on.Rows) != len(off.Rows) {
+			panic(fmt.Sprintf("replay bench: cache on/off answers diverge on %q (rows %d vs %d)",
+				queryFor(i), len(on.Rows), len(off.Rows)))
+		}
+		for r := range off.Rows {
+			if len(on.Rows[r].Cells) != len(off.Rows[r].Cells) {
+				panic(fmt.Sprintf("replay bench: cache on/off answers diverge on %q (row %d cells)", queryFor(i), r))
+			}
+			for c := range off.Rows[r].Cells {
+				if on.Rows[r].Cells[c] != off.Rows[r].Cells[c] {
+					panic(fmt.Sprintf("replay bench: cache on/off answers diverge on %q", queryFor(i)))
+				}
+			}
+		}
+	}
+
+	measure := func(eng *blinkdb.Engine) (float64, int) {
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < window {
+			if _, err := eng.Query(queryFor(iters)); err != nil {
+				panic(err)
+			}
+			iters++
+		}
+		return float64(iters) / time.Since(start).Seconds(), iters
+	}
+	rec := replayRecord{Template: `SELECT AVG(sessiontime) FROM traffic WHERE genre = ? ERROR WITHIN 10%`}
+	rec.QpsCacheOn, rec.Queries = measure(engOn)
+	rec.QpsCacheOff, _ = measure(engOff)
+	if rec.QpsCacheOff > 0 {
+		rec.Speedup = rec.QpsCacheOn / rec.QpsCacheOff
+	}
+	rec.HitRate = engOn.Stats().PlanCacheHitRate()
 	return rec
 }
 

@@ -113,6 +113,10 @@ func run(dataset string, rows int, budget float64, seed int64, tb float64) error
 		Scale:             scale,
 		ProbeOverheadOnly: true,
 		Workers:           runtime.GOMAXPROCS(0),
+		// Interactive sessions are template-heavy (users tweak constants
+		// and bounds on the same query); cache prepared templates so
+		// replays skip the probe work. EXPLAIN output shows cache=hit|miss.
+		PlanCacheSize: 256,
 	})
 
 	fmt.Printf("\ntable %q ready; pretending it is %.0f TB on a 100-node cluster.\n", data.Table.Name, tb)

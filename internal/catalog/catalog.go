@@ -2,6 +2,20 @@
 // and the sample families built over them, and answers the family-lookup
 // queries the runtime sample selection needs (§4.1) — "which stratified
 // families exist whose column set covers this query's columns?".
+//
+// Concurrency contract: Lookup returns an immutable point-in-time snapshot
+// of a table's entry. Mutators (Register, AddFamily, DropFamily) never
+// touch a published snapshot — they install fresh family slices under the
+// catalog lock (copy-on-write) — so readers may hold a snapshot across
+// arbitrary work, including full query execution, without further locking.
+//
+// Every mutation also bumps the table's epoch, a monotonically increasing
+// counter that survives re-registration. The epoch is the invalidation
+// token for anything derived from a snapshot (the ELP runtime's prepared
+// queries cache probe results and Error-Latency Profiles keyed by query
+// template): if a cached artifact's epoch no longer matches Epoch(table),
+// a sample was rebuilt, refreshed, dropped or the table was reloaded since
+// the artifact was computed, and it must not be served.
 package catalog
 
 import (
@@ -15,10 +29,18 @@ import (
 	"blinkdb/internal/types"
 )
 
-// Entry groups one base table with its sample families.
+// Entry is a point-in-time snapshot of one base table with its sample
+// families, as returned by Lookup. The Families slice is never mutated
+// after publication; a later AddFamily/DropFamily installs a new slice in
+// the catalog and bumps the table epoch instead.
 type Entry struct {
 	Table    *storage.Table
 	Families []*sample.Family
+	// Epoch is the table's sample-epoch at snapshot time. It increases on
+	// every Register, AddFamily and DropFamily for the table; comparing it
+	// against Catalog.Epoch detects any sample or data change since the
+	// snapshot was taken.
+	Epoch uint64
 }
 
 // Uniform returns the table's uniform family, or nil.
@@ -77,59 +99,84 @@ func (e *Entry) SampleBytes() int64 {
 type Catalog struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
+	// epochs survives Register replacing an entry, so a cached artifact
+	// computed against the old table can never validate against the new
+	// one (a fresh entry restarting at 0 would alias old epochs).
+	epochs map[string]uint64
 }
 
 // New creates an empty catalog.
 func New() *Catalog {
-	return &Catalog{entries: make(map[string]*Entry)}
+	return &Catalog{entries: make(map[string]*Entry), epochs: make(map[string]uint64)}
 }
 
-// Register adds a base table. Re-registering a name replaces the entry.
+// Register adds a base table. Re-registering a name replaces the entry
+// (and bumps the table epoch, invalidating snapshots of the old data).
 func (c *Catalog) Register(t *storage.Table) *Entry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e := &Entry{Table: t}
-	c.entries[strings.ToLower(t.Name)] = e
-	return e
+	key := strings.ToLower(t.Name)
+	c.epochs[key]++
+	e := &Entry{Table: t, Epoch: c.epochs[key]}
+	c.entries[key] = e
+	return &Entry{Table: e.Table, Families: e.Families, Epoch: e.Epoch}
 }
 
 // AddFamily attaches a sample family to a registered table. Only one
 // family per column set is kept; re-adding replaces it (sample refresh).
+// The family list is replaced copy-on-write so existing Lookup snapshots
+// stay valid, and the table epoch is bumped.
 func (c *Catalog) AddFamily(table string, f *sample.Family) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[strings.ToLower(table)]
+	key := strings.ToLower(table)
+	e, ok := c.entries[key]
 	if !ok {
 		return fmt.Errorf("catalog: unknown table %q", table)
 	}
-	for i, old := range e.Families {
+	fams := make([]*sample.Family, len(e.Families), len(e.Families)+1)
+	copy(fams, e.Families)
+	replaced := false
+	for i, old := range fams {
 		if old.Phi.Equal(f.Phi) {
-			e.Families[i] = f
-			return nil
+			fams[i] = f
+			replaced = true
+			break
 		}
 	}
-	e.Families = append(e.Families, f)
+	if !replaced {
+		fams = append(fams, f)
+	}
+	c.epochs[key]++
+	c.entries[key] = &Entry{Table: e.Table, Families: fams, Epoch: c.epochs[key]}
 	return nil
 }
 
-// DropFamily removes the family on the given column set.
+// DropFamily removes the family on the given column set (copy-on-write,
+// epoch bumped).
 func (c *Catalog) DropFamily(table string, phi types.ColumnSet) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[strings.ToLower(table)]
+	key := strings.ToLower(table)
+	e, ok := c.entries[key]
 	if !ok {
 		return fmt.Errorf("catalog: unknown table %q", table)
 	}
 	for i, f := range e.Families {
 		if f.Phi.Equal(phi) {
-			e.Families = append(e.Families[:i], e.Families[i+1:]...)
+			fams := make([]*sample.Family, 0, len(e.Families)-1)
+			fams = append(fams, e.Families[:i]...)
+			fams = append(fams, e.Families[i+1:]...)
+			c.epochs[key]++
+			c.entries[key] = &Entry{Table: e.Table, Families: fams, Epoch: c.epochs[key]}
 			return nil
 		}
 	}
 	return fmt.Errorf("catalog: table %q has no family on %s", table, phi)
 }
 
-// Lookup returns the entry for a table.
+// Lookup returns an immutable snapshot of the entry for a table,
+// including its current epoch.
 func (c *Catalog) Lookup(table string) (*Entry, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -137,7 +184,15 @@ func (c *Catalog) Lookup(table string) (*Entry, error) {
 	if !ok {
 		return nil, fmt.Errorf("catalog: unknown table %q", table)
 	}
-	return e, nil
+	return &Entry{Table: e.Table, Families: e.Families, Epoch: e.Epoch}, nil
+}
+
+// Epoch returns the table's current sample-epoch (0 for unknown tables).
+// It increases on every Register, AddFamily and DropFamily for the table.
+func (c *Catalog) Epoch(table string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epochs[strings.ToLower(table)]
 }
 
 // Tables returns the registered table names, sorted.

@@ -108,8 +108,8 @@ func TestCoveringFamilies(t *testing.T) {
 
 func TestAddFamilyReplaces(t *testing.T) {
 	c, tab := buildFixture(t)
-	e, _ := c.Lookup("sessions")
-	before := len(e.Families)
+	snap, _ := c.Lookup("sessions")
+	before := len(snap.Families)
 	f2, err := sample.Build(tab, types.NewColumnSet("city"), []int64{10, 100}, sample.BuildConfig{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -117,6 +117,7 @@ func TestAddFamilyReplaces(t *testing.T) {
 	if err := c.AddFamily("sessions", f2); err != nil {
 		t.Fatal(err)
 	}
+	e, _ := c.Lookup("sessions")
 	if len(e.Families) != before {
 		t.Error("replacement should not grow the family list")
 	}
@@ -129,6 +130,13 @@ func TestAddFamilyReplaces(t *testing.T) {
 	if !found {
 		t.Error("new family not installed")
 	}
+	// The pre-mutation snapshot is immutable: it must still hold the old
+	// family, not the replacement.
+	for _, f := range snap.Families {
+		if f == f2 {
+			t.Error("AddFamily mutated a published snapshot")
+		}
+	}
 	if err := c.AddFamily("nope", f2); err == nil {
 		t.Error("unknown table should error")
 	}
@@ -136,18 +144,64 @@ func TestAddFamilyReplaces(t *testing.T) {
 
 func TestDropFamily(t *testing.T) {
 	c, _ := buildFixture(t)
-	e, _ := c.Lookup("sessions")
-	before := len(e.Families)
+	snap, _ := c.Lookup("sessions")
+	before := len(snap.Families)
 	if err := c.DropFamily("sessions", types.NewColumnSet("city")); err != nil {
 		t.Fatal(err)
 	}
+	e, _ := c.Lookup("sessions")
 	if len(e.Families) != before-1 {
 		t.Error("family not dropped")
+	}
+	if len(snap.Families) != before {
+		t.Error("DropFamily mutated a published snapshot")
 	}
 	if err := c.DropFamily("sessions", types.NewColumnSet("city")); err == nil {
 		t.Error("double drop should error")
 	}
 	if err := c.DropFamily("nope", types.NewColumnSet("city")); err == nil {
 		t.Error("unknown table should error")
+	}
+}
+
+// TestEpochBumps pins the invalidation token: every sample or data
+// mutation must advance the table epoch, and re-registering a table must
+// not reset it (a cached plan from the old data would otherwise validate
+// against the new table).
+func TestEpochBumps(t *testing.T) {
+	c, tab := buildFixture(t) // Register + 3 AddFamily = 4 bumps
+	if got := c.Epoch("sessions"); got != 4 {
+		t.Fatalf("epoch after fixture = %d, want 4", got)
+	}
+	if got := c.Epoch("nope"); got != 0 {
+		t.Fatalf("epoch of unknown table = %d, want 0", got)
+	}
+	e, _ := c.Lookup("SESSIONS")
+	if e.Epoch != 4 {
+		t.Fatalf("snapshot epoch = %d, want 4", e.Epoch)
+	}
+	f2, err := sample.Build(tab, types.NewColumnSet("city"), []int64{10, 100}, sample.BuildConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddFamily("sessions", f2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Epoch("sessions"); got != 5 {
+		t.Fatalf("epoch after refresh = %d, want 5", got)
+	}
+	if err := c.DropFamily("sessions", types.NewColumnSet("city")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Epoch("sessions"); got != 6 {
+		t.Fatalf("epoch after drop = %d, want 6", got)
+	}
+	// Re-registering continues the sequence instead of restarting at 1.
+	c.Register(tab)
+	if got := c.Epoch("sessions"); got != 7 {
+		t.Fatalf("epoch after re-register = %d, want 7", got)
+	}
+	if e.Epoch != 4 {
+		t.Error("mutations changed a published snapshot's epoch")
 	}
 }

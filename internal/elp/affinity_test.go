@@ -24,7 +24,7 @@ func TestProbeOncePerFamilyView(t *testing.T) {
 	// [os,url], so all 3 families (2 stratified + uniform) are probed.
 	// The loose bound keeps the chosen level at the probe level, so the
 	// probe answer doubles as the final answer: exactly 3 executions.
-	f.rt.planExecs.Store(0)
+	before := f.rt.Stats()
 	resp, err := f.rt.Run(parse(t, `SELECT COUNT(*) FROM sessions WHERE genre = 'western' ERROR WITHIN 25%`))
 	if err != nil {
 		t.Fatal(err)
@@ -32,14 +32,18 @@ func TestProbeOncePerFamilyView(t *testing.T) {
 	if resp.Decisions[0].UsedBase {
 		t.Fatal("25% bound should be satisfiable from samples")
 	}
-	if got, probed := f.rt.planExecs.Load(), len(resp.Decisions[0].Probed); got != int64(probed) {
+	after := f.rt.Stats()
+	if got, probed := after.PlanExecs-before.PlanExecs, len(resp.Decisions[0].Probed); got != int64(probed) {
 		t.Errorf("probe path ran the executor %d times for %d probed families; each (family, view) must execute at most once",
 			got, probed)
+	}
+	if got := after.ProbeExecs - before.ProbeExecs; got != int64(len(resp.Decisions[0].Probed)) {
+		t.Errorf("Stats.ProbeExecs advanced by %d, want %d", got, len(resp.Decisions[0].Probed))
 	}
 
 	// Covering family: no selectFamily probes; selectResolution runs the
 	// one probe and the final answer reuses it — exactly 1 execution.
-	f.rt.planExecs.Store(0)
+	before = f.rt.Stats()
 	resp, err = f.rt.Run(parse(t, `SELECT AVG(time) FROM sessions WHERE city = 'city1' ERROR WITHIN 25%`))
 	if err != nil {
 		t.Fatal(err)
@@ -52,7 +56,7 @@ func TestProbeOncePerFamilyView(t *testing.T) {
 	if pv := f.rt.probeView(resp.Decisions[0].View.Family); chosen != pv.Level {
 		want = 2 // final read on a strictly larger view is a new (family, view)
 	}
-	if got := f.rt.planExecs.Load(); got != want {
+	if got := f.rt.Stats().PlanExecs - before.PlanExecs; got != want {
 		t.Errorf("covering path ran the executor %d times, want %d", got, want)
 	}
 }

@@ -12,11 +12,13 @@ package elp
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"blinkdb/internal/catalog"
 	"blinkdb/internal/cluster"
 	"blinkdb/internal/exec"
+	"blinkdb/internal/plancache"
 	"blinkdb/internal/sample"
 	"blinkdb/internal/sqlparser"
 	"blinkdb/internal/stats"
@@ -75,6 +77,15 @@ type Options struct {
 	// the affine schedule's locality: which bytes are node-local is a
 	// property of block placement and the partition, not of the knob.
 	Affine *bool
+	// PlanCacheSize enables the template-keyed prepared-query cache: up
+	// to this many templates keep their compiled state, probe results and
+	// Error-Latency Profiles across queries, amortizing the probe cost
+	// that dominates bounded queries at high QPS. 0 (the default)
+	// disables the cache, preserving the prepare-per-query pipeline — and
+	// with it every pre-cache answer and latency, bit for bit. Cached
+	// state is epoch-validated against the catalog on every hit, so a
+	// sample refresh or rebuild is never served stale.
+	PlanCacheSize int
 }
 
 func (o Options) normalize() Options {
@@ -111,25 +122,46 @@ func (o Options) normalize() Options {
 		v := true
 		o.Affine = &v
 	}
+	if o.PlanCacheSize < 0 {
+		o.PlanCacheSize = 0
+	}
 	return o
 }
 
 // Runtime executes bounded queries against a catalog on a simulated
-// cluster.
+// cluster via an explicit prepare → execute pipeline: Prepare compiles a
+// query template, probes the smallest samples and fits the Error-Latency
+// Profile; Execute binds constants and bounds, re-runs only resolution
+// selection and the chosen view scan. Run composes the two, and — when
+// Options.PlanCacheSize enables it — reuses prepared state across queries
+// of the same template through a sharded LRU with catalog-epoch
+// invalidation. All methods are safe for concurrent use.
 type Runtime struct {
 	cat  *catalog.Catalog
 	clus *cluster.Cluster
 	opt  Options
 
-	// planExecs counts executor invocations (probes and final reads).
-	// Tests use it to pin the one-probe-per-(family, view) guarantee;
-	// atomic so concurrent Run calls stay race-free.
-	planExecs atomic.Int64
+	// cache maps template keys to prepared queries; nil when disabled.
+	cache *plancache.Cache[*PreparedQuery]
+
+	// Serving counters behind Stats(); atomics (plus levelMu for the
+	// by-level map) so concurrent Run calls stay race-free.
+	planExecs      atomic.Int64
+	probeExecs     atomic.Int64
+	prepares       atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	levelMu        sync.Mutex
+	answersByLevel map[int]int64
 }
 
 // New creates a runtime.
 func New(cat *catalog.Catalog, clus *cluster.Cluster, opt Options) *Runtime {
-	return &Runtime{cat: cat, clus: clus, opt: opt.normalize()}
+	opt = opt.normalize()
+	return &Runtime{
+		cat: cat, clus: clus, opt: opt,
+		cache: plancache.New[*PreparedQuery](opt.PlanCacheSize),
+	}
 }
 
 // Decision records how one conjunctive sub-query was planned.
@@ -175,128 +207,59 @@ type Response struct {
 	SimLatency float64
 	// Confidence is the CI level used.
 	Confidence float64
+	// Cache reports the plan-cache outcome: "hit" when prepared state was
+	// reused, "miss" when this query prepared it, "" when the cache is
+	// disabled.
+	Cache string
 }
 
 // Run parses nothing: q must already be parsed. It plans and executes the
 // query returning estimates with error bars and a simulated latency.
+//
+// Run is Prepare + Execute. With the plan cache enabled, the Prepare half
+// is amortized across queries sharing a template: a hit reuses the cached
+// compiled state, probe results and ELP fit (after validating catalog
+// epochs — stale state from before a sample refresh is re-prepared, never
+// served) and pays only resolution selection plus the chosen view scan.
 func (rt *Runtime) Run(q *sqlparser.Query) (*Response, error) {
-	entry, err := rt.cat.Lookup(q.Table)
-	if err != nil {
-		return nil, err
-	}
-	schema := entry.Table.Schema
-	var joins []exec.JoinSpec
-	if len(q.Joins) > 0 {
-		schema, joins, err = exec.CompileJoins(q, entry.Table.Schema,
-			func(table string) (*storage.Table, error) {
-				de, err := rt.cat.Lookup(table)
-				if err != nil {
-					return nil, err
-				}
-				return de.Table, nil
-			})
+	if rt.cache == nil {
+		pq, err := rt.Prepare(q)
 		if err != nil {
 			return nil, err
 		}
-		if err := rt.checkJoinAdmissible(entry, q, joins); err != nil {
-			return nil, err
-		}
+		return rt.executeParams(pq, q, pq.prepParams, "")
 	}
-	plan, err := exec.Compile(q, schema)
+	key, params := sqlparser.Normalize(q)
+	if pq, ok := rt.cache.Get(key); ok {
+		if rt.fresh(pq) {
+			resp, err := rt.executeParams(pq, q, params, "hit")
+			if err == nil {
+				rt.cacheHits.Add(1)
+				return resp, nil
+			}
+			if err != errTemplateMismatch {
+				return nil, err
+			}
+			// Defensive: equal keys should imply equal shape; if not,
+			// fall through and re-prepare.
+		}
+		// A stale (or mismatched) entry means a sample refresh/rebuild
+		// happened: a PreparedQuery pins its catalog snapshot — old
+		// table blocks, old sample families, memoized results — so
+		// purge EVERY stale entry now rather than letting dead
+		// snapshots ride the LRU until their template happens to be
+		// queried again.
+		rt.cache.Sweep(func(_ string, cand *PreparedQuery) bool { return rt.fresh(cand) })
+	}
+	pq, err := rt.prepareKeyed(q, key, params)
 	if err != nil {
 		return nil, err
 	}
-	conf := rt.opt.Confidence
-	if q.Err != nil && q.Err.Confidence > 0 {
-		conf = q.Err.Confidence
-	} else if q.ReportError {
-		conf = q.ReportConfidence
-	}
-
-	// Unbounded queries run exactly on the base table, like plain Hive.
-	if q.Err == nil && q.Time == nil {
-		res := rt.runPlan(plan, exec.FromTable(entry.Table), conf, joins)
-		d := Decision{UsedBase: true, Reason: "no bounds: exact execution on base table"}
-		d.ReadLatency = rt.latencyOfBase(entry.Table.Blocks) + rt.broadcastCost(joins)
-		return &Response{Result: res, Decisions: []Decision{d}, SimLatency: d.Latency(), Confidence: conf}, nil
-	}
-
-	// §4.1.2: rewrite disjunctions into parallel conjunctive sub-queries.
-	disjuncts := types.SplitDisjuncts(plan.Pred)
-	groupCols := types.NewColumnSet(q.GroupBy...)
-
-	var parts []*exec.Result
-	var decisions []Decision
-	simLatency := 0.0
-	for _, pred := range disjuncts {
-		sub := plan.WithPred(pred)
-		// Sample selection considers only fact-table columns: samples
-		// exist on the fact side; dimension columns are joined exactly.
-		phi := factColumns(pred.Columns().Union(groupCols), entry.Table.Schema)
-		res, dec := rt.runConjunctive(entry, sub, phi, q, conf, joins)
-		parts = append(parts, res)
-		decisions = append(decisions, dec)
-		if l := dec.Latency(); l > simLatency {
-			simLatency = l // disjuncts execute in parallel
-		}
-	}
-	merged := exec.MergeResults(plan, parts)
-	if plan.Limit > 0 && len(merged.Groups) > plan.Limit {
-		merged.Groups = merged.Groups[:plan.Limit]
-	}
-	return &Response{Result: merged, Decisions: decisions, SimLatency: simLatency, Confidence: conf}, nil
-}
-
-// runConjunctive plans and executes one conjunctive sub-query.
-func (rt *Runtime) runConjunctive(entry *catalog.Entry, plan *exec.Plan,
-	phi types.ColumnSet, q *sqlparser.Query, conf float64, joins []exec.JoinSpec) (*exec.Result, Decision) {
-
-	fam, dec, famProbe := rt.selectFamily(entry, plan, phi, conf, joins)
-	if fam == nil {
-		// No samples at all: exact execution.
-		res := rt.runPlan(plan, exec.FromTable(entry.Table), conf, joins)
-		dec.UsedBase = true
-		dec.Reason = "no sample families available: exact execution"
-		dec.ReadLatency = rt.latencyOfBase(entry.Table.Blocks) + rt.broadcastCost(joins)
-		return res, dec
-	}
-
-	level, pv, probeRes := rt.selectResolution(fam, plan, q, conf, &dec, joins, famProbe)
-	if level < 0 {
-		// Even the largest resolution cannot meet the error bound and no
-		// time bound caps the work: fall back to exact execution.
-		res := rt.runPlan(plan, exec.FromTable(entry.Table), conf, joins)
-		dec.UsedBase = true
-		dec.Reason += "; error bound unreachable on samples: exact execution"
-		dec.ReadLatency = rt.latencyOfBase(entry.Table.Blocks) + rt.broadcastCost(joins)
-		return res, dec
-	}
-	// With delta reuse the probe's blocks are already read; answering
-	// from at least the probe's resolution costs nothing extra and can
-	// only improve accuracy.
-	if *rt.opt.DeltaReuse && level < pv.Level {
-		level = pv.Level
-	}
-	view := fam.View(level)
-	dec.View = view
-
-	// Execute on the chosen view (zone-pruned) — unless the probe already
-	// ran on exactly this view, in which case its answer IS the final
-	// answer: re-running the same (family, view) was the double-probe
-	// bug. Latency accounting applies §4.4 delta reuse: the probe already
-	// read resolutions 0..pv.Level.
-	in, blocks := viewInput(view, plan)
-	res := probeRes
-	if level != pv.Level || res == nil {
-		res = rt.runPlan(plan, in, conf, joins)
-	}
-	if *rt.opt.DeltaReuse && probeRes != nil {
-		dec.ReadLatency = rt.latencyOfSample(prunedBlocks(view.DeltaBlocks(pv), plan))
-	} else {
-		dec.ReadLatency = rt.latencyOfSample(blocks)
-	}
-	dec.ReadLatency += rt.broadcastCost(joins)
-	return res, dec
+	// Count the miss only for queries that actually entered the cache;
+	// errored prepares would otherwise skew the hit rate.
+	rt.cacheMisses.Add(1)
+	rt.cache.Put(key, pq)
+	return rt.executeParams(pq, q, params, "miss")
 }
 
 // selectFamily implements §4.1.1: prefer the covering stratified family
@@ -363,7 +326,7 @@ func (rt *Runtime) selectFamily(entry *catalog.Entry, plan *exec.Plan,
 	maxProbe := 0.0
 	for _, f := range cands {
 		in, blocks := viewInput(rt.probeView(f), plan)
-		res := rt.runPlan(plan, in, conf, joins)
+		res := rt.runProbe(plan, in, conf, joins)
 		lat := rt.latencyOfProbe(blocks)
 		if lat > maxProbe {
 			maxProbe = lat // probes run in parallel
@@ -389,87 +352,6 @@ func (rt *Runtime) selectFamily(entry *catalog.Entry, plan *exec.Plan,
 	dec.Reason = fmt.Sprintf("no covering family: probed %d families, best selectivity %.4f on %s",
 		len(cands), bestRatio, best.Label())
 	return best, dec, bestRes
-}
-
-// selectResolution implements §4.2: build error and latency profiles from
-// a probe run on the family's smallest sample, then pick the resolution.
-// famProbe, when non-nil, is the probe result selectFamily already
-// computed on the family's probe view; it is reused instead of re-running
-// the identical probe (the double-probe bug).
-func (rt *Runtime) selectResolution(fam *sample.Family, plan *exec.Plan,
-	q *sqlparser.Query, conf float64, dec *Decision, joins []exec.JoinSpec,
-	famProbe *exec.Result) (int, sample.View, *exec.Result) {
-
-	// §4.2: "BlinkDB runs a few smaller samples until performance seems
-	// to grow linearly" — for error-bounded queries, probe iteratively,
-	// escalating to coarser resolutions until the probe has enough
-	// matching rows (20) to carry statistical signal. Only the FIRST
-	// probe enjoys the cheap-probe assumption; escalations read real
-	// delta blocks and are priced (and budget-limited) accordingly.
-	pv := rt.probeView(fam)
-	in, probeBlocks := viewInput(pv, plan)
-	probe := famProbe
-	if probe == nil {
-		probe = rt.runPlan(plan, in, conf, joins)
-	}
-	probeLat := rt.latencyOfProbe(probeBlocks)
-	for q.Err != nil && probe.RowsMatched < 20 && pv.Level < fam.Resolutions()-1 {
-		next := fam.View(pv.Level + 1)
-		step := rt.latencyOfSample(prunedBlocks(next.DeltaBlocks(pv), plan))
-		if q.Time != nil && probeLat+step > q.Time.Seconds {
-			break // escalating further would blow the time bound
-		}
-		pv = next
-		in, probeBlocks = viewInput(pv, plan)
-		probe = rt.runPlan(plan, in, conf, joins)
-		probeLat += step
-	}
-	if probeLat > dec.ProbeLatency {
-		dec.ProbeLatency = probeLat
-	}
-
-	minLevel := 0 // smallest level satisfying the error bound
-	satisfiable := true
-	if q.Err != nil {
-		if probe.RowsMatched == 0 {
-			// The probe saw no matching rows: no error bound can be
-			// certified from this family.
-			satisfiable = false
-			minLevel = fam.Resolutions() - 1
-			dec.Reason += "; probe matched no rows"
-		} else {
-			need := rt.requiredRows(probe, q.Err)
-			dec.RequiredRows = need
-			minLevel, satisfiable = rt.levelForRows(fam, probe, need, pv)
-		}
-	}
-
-	maxLevel := fam.Resolutions() - 1 // largest level within the time bound
-	if q.Time != nil {
-		maxLevel = rt.levelForTime(fam, plan, q.Time.Seconds, dec.ProbeLatency, pv)
-	}
-
-	level := minLevel
-	switch {
-	case q.Err != nil && q.Time != nil:
-		// Time is a hard bound; deliver the most accurate within it.
-		if minLevel > maxLevel || !satisfiable {
-			level = maxLevel
-		}
-	case q.Err != nil:
-		if !satisfiable {
-			// No resolution reaches the bound; signal base-table fallback.
-			dec.Reason += "; largest sample insufficient for error bound"
-			return -1, pv, probe
-		}
-	case q.Time != nil:
-		level = maxLevel
-	}
-	if level < 0 {
-		level = 0
-	}
-	dec.Reason += fmt.Sprintf("; resolution %d/%d (K=%d)", level, fam.Resolutions()-1, fam.View(level).Cap())
-	return level, pv, probe
 }
 
 // requiredRows converts the error bound into a matched-row target using
@@ -646,6 +528,13 @@ func (rt *Runtime) Profile(fam *sample.Family, plan *exec.Plan, conf float64) []
 		pts = append(pts, pt)
 	}
 	return pts
+}
+
+// runProbe is runPlan counted as an ELP probe (§4.1.1 candidate probes
+// and §4.2 escalations) — the executions the plan cache amortizes away.
+func (rt *Runtime) runProbe(plan *exec.Plan, in exec.Input, conf float64, joins []exec.JoinSpec) *exec.Result {
+	rt.probeExecs.Add(1)
+	return rt.runPlan(plan, in, conf, joins)
 }
 
 // runPlan executes the plan over the input, joining dimension tables when

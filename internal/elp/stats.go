@@ -1,0 +1,68 @@
+package elp
+
+// Stats is a point-in-time snapshot of the runtime's serving counters,
+// the observability surface for the prepare/execute pipeline (consumed by
+// blinkdb-bench's JSON snapshot and the concurrency tests). All counters
+// are cumulative since the runtime was created; compute deltas across two
+// snapshots to measure an interval.
+type Stats struct {
+	// PlanExecs counts executor invocations of any kind — family probes,
+	// probe escalations, and final reads. It is the physical-work
+	// counter: a plan-cache hit that reuses a memoized answer adds 0.
+	PlanExecs int64
+	// ProbeExecs counts the subset of PlanExecs that were ELP probes
+	// (§4.1.1 candidate probes and §4.2 escalations). The plan cache
+	// exists to amortize exactly these.
+	ProbeExecs int64
+	// Prepares counts Prepare calls: template compilations with their
+	// probe+profile work. With the cache on, this is the cold-path count.
+	Prepares int64
+	// CacheHits / CacheMisses count plan-cache outcomes. A stale entry
+	// (catalog epoch changed) counts as a miss. Both stay 0 when the
+	// cache is disabled.
+	CacheHits   int64
+	CacheMisses int64
+	// AnswersByLevel counts final answers by the resolution level that
+	// served them (-1 = base table), whether freshly executed or served
+	// from the prepared-query memo. One entry per conjunctive disjunct.
+	AnswersByLevel map[int]int64
+}
+
+// HitRate returns CacheHits/(CacheHits+CacheMisses), or 0 before any
+// cache-eligible query ran.
+func (s Stats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Stats returns a snapshot of the runtime's counters. Safe for
+// concurrent use with Run/Prepare/Execute.
+func (rt *Runtime) Stats() Stats {
+	s := Stats{
+		PlanExecs:   rt.planExecs.Load(),
+		ProbeExecs:  rt.probeExecs.Load(),
+		Prepares:    rt.prepares.Load(),
+		CacheHits:   rt.cacheHits.Load(),
+		CacheMisses: rt.cacheMisses.Load(),
+	}
+	rt.levelMu.Lock()
+	s.AnswersByLevel = make(map[int]int64, len(rt.answersByLevel))
+	for k, v := range rt.answersByLevel {
+		s.AnswersByLevel[k] = v
+	}
+	rt.levelMu.Unlock()
+	return s
+}
+
+// recordLevel counts one served answer at a resolution level (-1 base).
+func (rt *Runtime) recordLevel(level int) {
+	rt.levelMu.Lock()
+	if rt.answersByLevel == nil {
+		rt.answersByLevel = make(map[int]int64)
+	}
+	rt.answersByLevel[level]++
+	rt.levelMu.Unlock()
+}

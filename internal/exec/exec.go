@@ -467,6 +467,109 @@ func runPartial(p *Plan, rt *planRuntime, in Input, lo, hi int,
 	return pt
 }
 
+// Merger folds partials into the merged group map incrementally, as each
+// arrives at its partition index, instead of materializing the full
+// partial list first. The fold order is ALWAYS block-index order: a
+// partial delivered out of order is buffered until every lower index has
+// been folded, then drained — so float accumulation, and hence the
+// Result, is bit-identical to a sequential fold for any arrival order and
+// worker count. Folded partials are released immediately, which caps the
+// merger's live memory at the merged group map plus the out-of-order
+// window, rather than one group map per block range — the difference
+// that matters at very high group cardinalities.
+//
+// Partials are not mutated (group states are cloned on first occurrence),
+// so the same partials may be folded again by another Merger, e.g. at a
+// different confidence level.
+type Merger struct {
+	p    *Plan
+	next int        // lowest index not yet folded
+	wait []*Partial // out-of-order buffer, indexed by partition index
+	got  []bool     // which indices have arrived (nil partials are legal)
+
+	merged                map[uint64][]*groupState
+	rowsScanned           int64
+	rowsMatched           int64
+	weightedMatched       float64
+	maxMatchedStratumFreq int64
+	bytesScanned          int64
+}
+
+// NewMerger creates a merger expecting partials at indices [0, n).
+func NewMerger(p *Plan, n int) *Merger {
+	return &Merger{p: p, wait: make([]*Partial, n), got: make([]bool, n), merged: make(map[uint64][]*groupState)}
+}
+
+// Add delivers the partial for one partition index (nil for an empty
+// range) and folds every contiguous ready prefix. Add is NOT
+// goroutine-safe; concurrent producers serialize Add calls (the merge
+// work is tiny next to the scans that produced the partials).
+func (m *Merger) Add(idx int, pt *Partial) {
+	if m.got[idx] {
+		return // duplicate delivery: first one wins
+	}
+	m.got[idx] = true
+	m.wait[idx] = pt
+	for m.next < len(m.wait) && m.got[m.next] {
+		m.fold(m.wait[m.next])
+		m.wait[m.next] = nil // release: folded partials don't accumulate
+		m.next++
+	}
+}
+
+// fold merges one partial (nil = empty range) into the running state.
+func (m *Merger) fold(pt *Partial) {
+	if pt == nil {
+		return
+	}
+	m.rowsScanned += pt.RowsScanned
+	m.rowsMatched += pt.RowsMatched
+	m.weightedMatched += pt.WeightedMatched
+	m.bytesScanned += pt.BytesScanned
+	if pt.MaxMatchedStratumFreq > m.maxMatchedStratumFreq {
+		m.maxMatchedStratumFreq = pt.MaxMatchedStratumFreq
+	}
+	for h, bucket := range pt.groups {
+		for _, gs := range bucket {
+			dst, fresh := findMerged(m.merged, h, gs)
+			if fresh {
+				continue // first occurrence: cloned into the fold
+			}
+			for ai, acc := range dst.accs {
+				acc.Merge(gs.accs[ai])
+			}
+		}
+	}
+}
+
+// Finish folds any remaining delivered partials (still in index order)
+// and finalizes the Result at the given confidence.
+func (m *Merger) Finish(confidence float64) *Result {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	for ; m.next < len(m.wait); m.next++ {
+		if m.got[m.next] {
+			m.fold(m.wait[m.next])
+			m.wait[m.next] = nil
+		}
+	}
+	res := &Result{
+		Confidence:            confidence,
+		RowsScanned:           m.rowsScanned,
+		RowsMatched:           m.rowsMatched,
+		WeightedMatched:       m.weightedMatched,
+		MaxMatchedStratumFreq: m.maxMatchedStratumFreq,
+		BytesScanned:          m.bytesScanned,
+	}
+	// A global aggregate with zero matches still yields one empty group.
+	if len(m.p.GroupBy) == 0 && len(m.merged) == 0 {
+		m.merged[types.HashSeed] = []*groupState{newGroupState(m.p, nil)}
+	}
+	finalize(m.p, res, m.merged)
+	return res
+}
+
 // MergePartials folds partials — which MUST be ordered by block index —
 // into a Result. Per-group aggregate states merge associatively
 // (stats.Acc.Merge); because the fold order is the partial order, float
@@ -474,42 +577,13 @@ func runPartial(p *Plan, rt *planRuntime, in Input, lo, hi int,
 // produced the partials. Nil entries (empty ranges) are skipped. The
 // partials themselves are not mutated (group states are cloned before
 // merging), so the same partials may be merged again, e.g. at another
-// confidence level.
+// confidence level. It is the materialized-list form of Merger.
 func MergePartials(p *Plan, parts []*Partial, confidence float64) *Result {
-	if confidence <= 0 || confidence >= 1 {
-		confidence = 0.95
+	m := NewMerger(p, len(parts))
+	for i, pt := range parts {
+		m.Add(i, pt)
 	}
-	res := &Result{Confidence: confidence}
-	merged := make(map[uint64][]*groupState)
-	for _, pt := range parts {
-		if pt == nil {
-			continue
-		}
-		res.RowsScanned += pt.RowsScanned
-		res.RowsMatched += pt.RowsMatched
-		res.WeightedMatched += pt.WeightedMatched
-		res.BytesScanned += pt.BytesScanned
-		if pt.MaxMatchedStratumFreq > res.MaxMatchedStratumFreq {
-			res.MaxMatchedStratumFreq = pt.MaxMatchedStratumFreq
-		}
-		for h, bucket := range pt.groups {
-			for _, gs := range bucket {
-				dst, fresh := findMerged(merged, h, gs)
-				if fresh {
-					continue // first occurrence: cloned into the fold
-				}
-				for ai, acc := range dst.accs {
-					acc.Merge(gs.accs[ai])
-				}
-			}
-		}
-	}
-	// A global aggregate with zero matches still yields one empty group.
-	if len(p.GroupBy) == 0 && len(merged) == 0 {
-		merged[types.HashSeed] = []*groupState{newGroupState(p, nil)}
-	}
-	finalize(p, res, merged)
-	return res
+	return m.Finish(confidence)
 }
 
 // findMerged locates the merged group matching gs's key; on first sight
@@ -665,16 +739,26 @@ func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers i
 	if workers > units {
 		workers = units
 	}
-	parts := make([]*Partial, len(ranges))
+	// Partials stream into the merger at their partition index as each
+	// range completes; the fold order is index order regardless of which
+	// worker finishes first, so the Result stays bit-identical while no
+	// more than the out-of-order window of partials is ever retained.
+	merger := NewMerger(p, len(ranges))
 	if workers <= 1 {
 		sc := &colScratch{}
 		for i, r := range ranges {
-			parts[i] = runPartial(p, rt, in, r.Lo, r.Hi, expand, sc)
+			merger.Add(i, runPartial(p, rt, in, r.Lo, r.Hi, expand, sc))
 		}
-		return MergePartials(p, parts, confidence)
+		return merger.Finish(confidence)
 	}
+	var mu sync.Mutex // serializes merger.Add across workers
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	deliver := func(i int, pt *Partial) {
+		mu.Lock()
+		merger.Add(i, pt)
+		mu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -686,19 +770,19 @@ func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers i
 					return
 				}
 				if shards == nil {
-					parts[u] = runPartial(p, rt, in, ranges[u].Lo, ranges[u].Hi, expand, sc)
+					deliver(u, runPartial(p, rt, in, ranges[u].Lo, ranges[u].Hi, expand, sc))
 					continue
 				}
-				// Shards partition the range set, so writes to parts are
-				// disjoint across workers.
+				// A shard's ranges are disjoint from every other shard's,
+				// so each index is delivered exactly once.
 				for _, ri := range shards[u].Ranges {
-					parts[ri] = runPartial(p, rt, in, ranges[ri].Lo, ranges[ri].Hi, expand, sc)
+					deliver(ri, runPartial(p, rt, in, ranges[ri].Lo, ranges[ri].Hi, expand, sc))
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return MergePartials(p, parts, confidence)
+	return merger.Finish(confidence)
 }
 
 func compareKeys(a, b []types.Value) int {

@@ -1,0 +1,140 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestLRUOrder uses a single shard for exact-LRU determinism.
+func TestLRUOrder(t *testing.T) {
+	c := NewSharded[int](3, 1)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if _, ok := c.Get("a"); !ok { // a becomes MRU
+		t.Fatal("a missing")
+	}
+	c.Put("d", 4) // evicts b (LRU)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should be resident", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestPutReplacesAndDelete(t *testing.T) {
+	c := NewSharded[string](2, 1)
+	c.Put("k", "v1")
+	c.Put("k", "v2")
+	if v, _ := c.Get("k"); v != "v2" {
+		t.Errorf("Get = %q, want v2", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("replace grew the cache: Len = %d", c.Len())
+	}
+	c.Delete("k")
+	if _, ok := c.Get("k"); ok {
+		t.Error("deleted key still present")
+	}
+	c.Delete("k") // idempotent
+}
+
+// TestNilCacheAlwaysMisses: capacity ≤ 0 yields the nil always-miss
+// cache, every method a safe no-op — the "cache disabled" path.
+func TestNilCacheAlwaysMisses(t *testing.T) {
+	c := New[int](0)
+	if c != nil {
+		t.Fatal("capacity 0 should return nil")
+	}
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Error("nil cache must always miss")
+	}
+	c.Delete("a")
+	if c.Len() != 0 {
+		t.Error("nil cache Len must be 0")
+	}
+}
+
+// TestCapacityAcrossShards: total capacity is respected regardless of key
+// distribution — inserting far more keys than capacity never exceeds it.
+func TestCapacityAcrossShards(t *testing.T) {
+	const capTotal = 20
+	c := New[int](capTotal)
+	for i := 0; i < 500; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	if got := c.Len(); got > capTotal {
+		t.Errorf("Len = %d exceeds capacity %d", got, capTotal)
+	}
+	if got := c.Len(); got == 0 {
+		t.Error("cache empty after inserts")
+	}
+}
+
+// TestTinyCapacityShardClamp: shard count clamps so every shard holds at
+// least one entry.
+func TestTinyCapacityShardClamp(t *testing.T) {
+	c := New[int](3)
+	for i := 0; i < 50; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if got := c.Len(); got == 0 || got > 3 {
+		t.Errorf("Len = %d, want in [1,3]", got)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	c := NewSharded[int](32, 1) // single shard: no eviction below 32 entries
+	for i := 0; i < 20; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	removed := c.Sweep(func(_ string, v int) bool { return v%2 == 0 })
+	if removed != 10 {
+		t.Errorf("Sweep removed %d, want 10", removed)
+	}
+	for i := 0; i < 20; i++ {
+		_, ok := c.Get(fmt.Sprintf("k%d", i))
+		if want := i%2 == 0; ok != want {
+			t.Errorf("k%d present=%v, want %v", i, ok, want)
+		}
+	}
+	if c := (*Cache[int])(nil); c.Sweep(func(string, int) bool { return false }) != 0 {
+		t.Error("nil cache Sweep must remove nothing")
+	}
+}
+
+// TestConcurrentAccess hammers the stripes from many goroutines; run
+// under -race in CI. Hot keys must stay readable throughout.
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](64)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("key-%d", i%100)
+				if i%3 == 0 {
+					c.Put(k, g*10000+i)
+				} else if i%7 == 0 {
+					c.Delete(k)
+				} else {
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("capacity exceeded under concurrency: %d", c.Len())
+	}
+}

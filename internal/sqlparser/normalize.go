@@ -1,0 +1,145 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+
+	"blinkdb/internal/stats"
+	"blinkdb/internal/types"
+)
+
+// Normalize canonicalizes a parsed query into its template key and
+// parameter vector — the §3.2.1 notion of a query template, made
+// operational for plan caching: BlinkDB workloads repeat the same
+// templates with different constants, and everything the runtime computes
+// from probes (family choice, Error-Latency Profile) is a property of the
+// template, not of the constants.
+//
+// The key captures the query's shape: table, join clauses, aggregate
+// operators with their argument columns and quantile levels, the
+// predicate tree with every comparison literal replaced by a '?'
+// placeholder, the GROUP BY list, and the *kinds* of bounds present
+// (relative vs absolute error, time, error reporting, LIMIT). Aggregate
+// aliases are excluded — they rename output columns without affecting
+// execution. The predicate's syntactic structure is preserved verbatim
+// (no conjunct reordering): execution order determines floating-point
+// accumulation order, so two keys must collide only when replaying one
+// against the other's cached state is bit-reproducible.
+//
+// The parameter vector lifts, in deterministic traversal order, every
+// value the key elides: comparison literals (predicate order), then the
+// error bound and its confidence, the time bound, the report confidence
+// and the LIMIT count. Two queries with equal keys AND equal parameter
+// vectors are the same query up to aliases and answer identically.
+func Normalize(q *Query) (key string, params []types.Value) {
+	var b strings.Builder
+	b.WriteString("select ")
+	for i, a := range q.Aggs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeAggTemplate(&b, a)
+	}
+	if q.ReportError {
+		b.WriteString(",relerr@?")
+		params = append(params, types.Float(q.ReportConfidence))
+	}
+	b.WriteString("|from ")
+	b.WriteString(strings.ToLower(q.Table))
+	for _, j := range q.Joins {
+		fmt.Fprintf(&b, "|join %s on %s=%s",
+			strings.ToLower(j.Table), strings.ToLower(j.LeftCol), strings.ToLower(j.RightCol))
+	}
+	if q.Where != nil {
+		b.WriteString("|where ")
+		params = writeExprTemplate(&b, q.Where, params)
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString("|group ")
+		for i, c := range q.GroupBy {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strings.ToLower(c))
+		}
+	}
+	if q.Err != nil {
+		if q.Err.Relative {
+			b.WriteString("|err rel ?@?")
+		} else {
+			b.WriteString("|err abs ?@?")
+		}
+		params = append(params, types.Float(q.Err.Bound), types.Float(q.Err.Confidence))
+	}
+	if q.Time != nil {
+		b.WriteString("|time ?")
+		params = append(params, types.Float(q.Time.Seconds))
+	}
+	if q.Limit > 0 {
+		b.WriteString("|limit ?")
+		params = append(params, types.Int(int64(q.Limit)))
+	}
+	return b.String(), params
+}
+
+// writeAggTemplate renders one aggregate without its alias. The quantile
+// level is structural (it changes the computed statistic, not a constant
+// the executor binds), so it stays in the key.
+func writeAggTemplate(b *strings.Builder, a AggSpec) {
+	switch {
+	case a.Kind == stats.AggCount && a.Col == "":
+		b.WriteString("count(*)")
+	case a.Kind == stats.AggQuantile:
+		fmt.Fprintf(b, "quantile(%s,%g)", strings.ToLower(a.Col), a.P)
+	default:
+		fmt.Fprintf(b, "%s(%s)", strings.ToLower(a.Kind.String()), strings.ToLower(a.Col))
+	}
+}
+
+// writeExprTemplate renders the predicate shape with literals lifted into
+// params, preserving the tree structure exactly.
+func writeExprTemplate(b *strings.Builder, e Expr, params []types.Value) []types.Value {
+	switch t := e.(type) {
+	case *CmpExpr:
+		fmt.Fprintf(b, "%s%s?", strings.ToLower(t.Col), t.Op)
+		return append(params, t.Val)
+	case *BinExpr:
+		b.WriteByte('(')
+		params = writeExprTemplate(b, t.L, params)
+		if t.And {
+			b.WriteString(" and ")
+		} else {
+			b.WriteString(" or ")
+		}
+		params = writeExprTemplate(b, t.R, params)
+		b.WriteByte(')')
+		return params
+	case *NotExpr:
+		b.WriteString("not(")
+		params = writeExprTemplate(b, t.Kid, params)
+		b.WriteByte(')')
+		return params
+	default:
+		// Unknown node: render its SQL form so distinct shapes cannot
+		// collide on a shared placeholder.
+		b.WriteString(e.String())
+		return params
+	}
+}
+
+// ParamsEqual reports whether two parameter vectors are identical —
+// the condition under which a cached result computed for one query may
+// answer the other (given equal template keys). Values compare by kind
+// and payload; Int(1) and Float(1) are NOT equal (they can produce
+// different group keys and zone-pruning decisions).
+func ParamsEqual(a, b []types.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
