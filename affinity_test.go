@@ -58,14 +58,20 @@ func TestAffinityEquivalenceEndToEnd(t *testing.T) {
 	}
 }
 
-// stripPlanCache normalizes the plan-cache outcome markers so results
-// can be compared across cold (miss) and warm (hit) servings — the
-// ANSWER must be bit-identical either way; only the annotation differs.
+// stripPlanCache normalizes the plan- and result-cache outcome markers
+// so results can be compared across cold (miss), warm (hit) and
+// singleflight (shared) servings — the ANSWER must be bit-identical in
+// every case; only the annotations differ.
 func stripPlanCache(res *Result) *Result {
 	cp := *res
 	cp.PlanCache = ""
-	cp.Explanation = strings.ReplaceAll(cp.Explanation, "; cache=hit", "")
-	cp.Explanation = strings.ReplaceAll(cp.Explanation, "; cache=miss", "")
+	cp.ResultCache = ""
+	for _, marker := range []string{
+		"; cache=hit", "; cache=miss",
+		"; result=hit", "; result=miss", "; result=shared",
+	} {
+		cp.Explanation = strings.ReplaceAll(cp.Explanation, marker, "")
+	}
 	return &cp
 }
 

@@ -27,6 +27,17 @@
 // counts. With the cache disabled the engine behaves exactly as before,
 // bit for bit.
 //
+// Above the plan cache sits a cross-query RESULT cache
+// (Config.ResultCacheSize, on by default; Config.ResultCacheTTL bounds
+// answer age): an exact replay — same template AND same constants/bounds
+// — is served from memory without probing or scanning, and N concurrent
+// cold replays of one query collapse into a single execution shared by
+// all (singleflight). Answers are epoch-validated like plan-cache
+// entries, optionally TTL-bounded, and deep-copied on return.
+// Result.Explanation reports result=hit|miss|shared; disabling the cache
+// (ResultCacheSize < 0) restores the execute-every-query pipeline bit
+// for bit.
+//
 // A minimal session:
 //
 //	eng := blinkdb.Open(blinkdb.Config{})
@@ -51,6 +62,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"blinkdb/internal/catalog"
 	"blinkdb/internal/cluster"
@@ -169,6 +181,25 @@ type Config struct {
 	// cached path for identical queries. Entries are epoch-validated, so
 	// RefreshSamples/Maintain immediately invalidate affected templates.
 	PlanCacheSize int
+	// ResultCacheSize caps how many completed ANSWERS are kept keyed by
+	// (template, full parameter vector): an exact replay of a recent
+	// query is served straight from memory — no probe, no scan — and
+	// concurrent cold replays of one query collapse into a single
+	// execution (singleflight). 0 (the default) selects 1024 answers; a
+	// negative value disables the cache, restoring the execute-every-
+	// query pipeline bit-identically (no result= markers, same answers
+	// and latencies). Served answers are epoch-validated like plan-cache
+	// entries — RefreshSamples/Maintain invalidate them immediately —
+	// and deep-copied on return, so callers can never corrupt the cache.
+	// Unlike a plan-cache hit, which reuses template-level probe state to
+	// answer NEW constants, a result-cache hit requires the parameters to
+	// match exactly and replays the identical answer.
+	ResultCacheSize int
+	// ResultCacheTTL additionally bounds the wall-clock age of served
+	// answers (epochs track sample rebuilds; the TTL covers base-data
+	// drift underneath unchanged samples). 0 (the default) applies no
+	// TTL: answers live until evicted or epoch-invalidated.
+	ResultCacheTTL time.Duration
 	// CacheTables places base tables in simulated cluster memory.
 	CacheTables bool
 	// FullProbePricing charges ELP probe runs like any other sample
@@ -209,6 +240,15 @@ func (c Config) normalize() Config {
 	if c.PlanCacheSize < 0 {
 		c.PlanCacheSize = -1 // disabled; elp treats ≤0 as off
 	}
+	if c.ResultCacheSize == 0 {
+		c.ResultCacheSize = 1024
+	}
+	if c.ResultCacheSize < 0 {
+		c.ResultCacheSize = -1 // disabled; elp treats ≤0 as off
+	}
+	if c.ResultCacheTTL < 0 {
+		c.ResultCacheTTL = 0
+	}
 	return c
 }
 
@@ -246,6 +286,10 @@ func Open(cfg Config) *Engine {
 	if planCache < 0 {
 		planCache = 0 // explicit disable
 	}
+	resultCache := cfg.ResultCacheSize
+	if resultCache < 0 {
+		resultCache = 0 // explicit disable
+	}
 	rt := elp.New(cat, clus, elp.Options{
 		Confidence:        cfg.Confidence,
 		Scale:             cfg.Scale,
@@ -253,6 +297,8 @@ func Open(cfg Config) *Engine {
 		Workers:           cfg.Workers,
 		Affine:            &affine,
 		PlanCacheSize:     planCache,
+		ResultCacheSize:   resultCache,
+		ResultCacheTTL:    cfg.ResultCacheTTL,
 	})
 	return &Engine{cfg: cfg, cat: cat, clus: clus, rt: rt}
 }
@@ -550,11 +596,18 @@ type Result struct {
 	// "S([city], K=1000)" or "base table".
 	SampleDescription string
 	// Explanation is the planner's reasoning (EXPLAIN-style); with the
-	// plan cache enabled it includes a cache=hit|miss marker.
+	// plan cache enabled it includes a cache=hit|miss marker, and with
+	// the result cache enabled a result=hit|miss|shared marker.
 	Explanation string
 	// PlanCache reports the plan-cache outcome for this query: "hit",
-	// "miss", or "" when the cache is disabled.
+	// "miss", or "" when the cache is disabled — or when the answer came
+	// from the result cache, which never consults the plan pipeline.
 	PlanCache string
+	// ResultCache reports the result-cache outcome: "hit" (an exact
+	// replay served from memory), "miss" (this query executed and cached
+	// the answer), "shared" (a concurrent identical query's execution
+	// supplied it), or "" when the result cache is disabled.
+	ResultCache string
 	// RowsScanned and RowsMatched describe the work done.
 	RowsScanned int64
 	RowsMatched int64
@@ -590,6 +643,7 @@ func (e *Engine) Query(sql string) (*Result, error) {
 		RowsScanned:       resp.Result.RowsScanned,
 		RowsMatched:       resp.Result.RowsMatched,
 		PlanCache:         resp.Cache,
+		ResultCache:       resp.ResultCache,
 	}
 	var expl, desc []string
 	for _, d := range resp.Decisions {
@@ -636,8 +690,14 @@ type EngineStats struct {
 	Prepares int64
 	// PlanCacheHits / PlanCacheMisses count plan-cache outcomes; a stale
 	// (epoch-invalidated) entry counts as a miss. Both 0 when the cache
-	// is disabled.
+	// is disabled. A result-cache hit consults neither.
 	PlanCacheHits, PlanCacheMisses int64
+	// ResultCacheHits / ResultCacheMisses / ResultCacheShared count
+	// result-cache outcomes: exact replays served from memory, executions
+	// that entered the cache, and singleflight waiters that shared a
+	// concurrent miss's execution. Stale or TTL-expired entries count as
+	// misses. All 0 when the result cache is disabled.
+	ResultCacheHits, ResultCacheMisses, ResultCacheShared int64
 	// AnswersByLevel counts answers by serving resolution level
 	// (-1 = base table).
 	AnswersByLevel map[int]int64
@@ -652,17 +712,30 @@ func (s EngineStats) PlanCacheHitRate() float64 {
 	return float64(s.PlanCacheHits) / float64(total)
 }
 
+// ResultCacheHitRate returns the fraction of queries answered without
+// executing: (hits+shared)/(hits+shared+misses), 0 before any query.
+func (s EngineStats) ResultCacheHitRate() float64 {
+	total := s.ResultCacheHits + s.ResultCacheShared + s.ResultCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ResultCacheHits+s.ResultCacheShared) / float64(total)
+}
+
 // Stats returns the engine's cumulative serving counters. Safe for
 // concurrent use with Query.
 func (e *Engine) Stats() EngineStats {
 	s := e.rt.Stats()
 	return EngineStats{
-		PlanExecs:       s.PlanExecs,
-		ProbeExecs:      s.ProbeExecs,
-		Prepares:        s.Prepares,
-		PlanCacheHits:   s.CacheHits,
-		PlanCacheMisses: s.CacheMisses,
-		AnswersByLevel:  s.AnswersByLevel,
+		PlanExecs:         s.PlanExecs,
+		ProbeExecs:        s.ProbeExecs,
+		Prepares:          s.Prepares,
+		PlanCacheHits:     s.CacheHits,
+		PlanCacheMisses:   s.CacheMisses,
+		ResultCacheHits:   s.ResultHits,
+		ResultCacheMisses: s.ResultMisses,
+		ResultCacheShared: s.ResultShared,
+		AnswersByLevel:    s.AnswersByLevel,
 	}
 }
 

@@ -19,6 +19,8 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"blinkdb"
@@ -93,15 +95,44 @@ type replayRecord struct {
 	Speedup float64 `json:"cache_speedup"`
 }
 
+// resultReplayRecord reports the concurrent Zipf replay benchmark: a
+// Zipf-skewed stream of fully-bound queries (hot constants repeat
+// heavily, like real dashboard traffic) is replayed by several goroutines
+// against two engines differing only in Config.ResultCacheSize — the
+// default cross-query result cache vs the plan-cache-only pipeline.
+// Answers are bit-identical (asserted before timing); only queries/sec
+// differs, because a result-cache hit serves a completed answer from
+// memory while the plan-cache-only engine re-scans the chosen view.
+type resultReplayRecord struct {
+	Template string `json:"template"`
+	// Goroutines is the replay concurrency (singleflight territory).
+	Goroutines int `json:"goroutines"`
+	// Queries is how many replays the result-cached engine served.
+	Queries int `json:"queries"`
+	// QpsOn/QpsOff are queries/sec with the result cache at its default
+	// size vs disabled (both engines keep the default plan cache, so the
+	// off number IS the plan-cache-only baseline of PR 4).
+	QpsOn  float64 `json:"qps_on"`
+	QpsOff float64 `json:"qps_off"`
+	// HitRate is hits/(hits+misses+shared) on the cached engine;
+	// SharedRate is the singleflight share shared/(hits+misses+shared).
+	HitRate    float64 `json:"hit_rate"`
+	SharedRate float64 `json:"shared_rate"`
+	// Speedup is QpsOn/QpsOff — the hot-replay speedup over the
+	// plan-cache-only baseline.
+	Speedup float64 `json:"speedup"`
+}
+
 // snapshot is the BENCH_<date>.json schema.
 type snapshot struct {
-	Date        string       `json:"date"`
-	Quick       bool         `json:"quick"`
-	GoVersion   string       `json:"go_version"`
-	GOMAXPROCS  int          `json:"gomaxprocs"`
-	Experiments []expRecord  `json:"experiments"`
-	Executor    execRecord   `json:"executor"`
-	PlanCache   replayRecord `json:"plan_cache"`
+	Date        string             `json:"date"`
+	Quick       bool               `json:"quick"`
+	GoVersion   string             `json:"go_version"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Experiments []expRecord        `json:"experiments"`
+	Executor    execRecord         `json:"executor"`
+	PlanCache   replayRecord       `json:"plan_cache"`
+	ResultCache resultReplayRecord `json:"result_cache"`
 }
 
 func main() {
@@ -179,6 +210,7 @@ func main() {
 	if *jsonOut || *jsonPath != "" {
 		snap.Executor = executorBench(*smoke)
 		snap.PlanCache = replayBench(*smoke)
+		snap.ResultCache = resultReplayBench(*smoke)
 		path := *jsonPath
 		if path == "" {
 			path = "BENCH_" + snap.Date + ".json"
@@ -293,54 +325,11 @@ func replayBench(smoke bool) replayRecord {
 	if smoke {
 		rows, sampleK, window = 50000, 2000, 300*time.Millisecond
 	}
+	// Result cache off on BOTH engines: this record tracks the
+	// plan-cache amortization in isolation (resultReplayBench measures
+	// the result-cache layer on top).
 	build := func(planCache int) *blinkdb.Engine {
-		eng := blinkdb.Open(blinkdb.Config{Seed: 11, Scale: 1e4, CacheTables: true, PlanCacheSize: planCache})
-		load := eng.CreateTable("traffic",
-			blinkdb.Col("city", blinkdb.String),
-			blinkdb.Col("os", blinkdb.String),
-			blinkdb.Col("browser", blinkdb.String),
-			blinkdb.Col("country", blinkdb.String),
-			blinkdb.Col("device", blinkdb.String),
-			blinkdb.Col("genre", blinkdb.String),
-			blinkdb.Col("sessiontime", blinkdb.Float),
-		)
-		rng := rand.New(rand.NewSource(5))
-		cityGen := zipf.NewGeneratorCDF(rng, 1.3, 200)
-		osGen := zipf.NewGeneratorCDF(rng, 1.3, 40)
-		browserGen := zipf.NewGeneratorCDF(rng, 1.3, 60)
-		countryGen := zipf.NewGeneratorCDF(rng, 1.3, 80)
-		deviceGen := zipf.NewGeneratorCDF(rng, 1.3, 25)
-		genres := []string{"western", "drama", "comedy", "news"}
-		for i := 0; i < rows; i++ {
-			if err := load.Append(
-				fmt.Sprintf("city%d", cityGen.Next()),
-				fmt.Sprintf("os%d", osGen.Next()),
-				fmt.Sprintf("browser%d", browserGen.Next()),
-				fmt.Sprintf("country%d", countryGen.Next()),
-				fmt.Sprintf("device%d", deviceGen.Next()),
-				genres[rng.Intn(len(genres))],
-				rng.ExpFloat64()*100,
-			); err != nil {
-				panic(err)
-			}
-		}
-		if err := load.Close(); err != nil {
-			panic(err)
-		}
-		if _, err := eng.CreateSamples("traffic", blinkdb.SampleOptions{
-			BudgetFraction: 1.2,
-			K:              sampleK,
-			Templates: []blinkdb.Template{
-				{Columns: []string{"city"}, Weight: 0.3},
-				{Columns: []string{"os"}, Weight: 0.2},
-				{Columns: []string{"browser"}, Weight: 0.2},
-				{Columns: []string{"country"}, Weight: 0.2},
-				{Columns: []string{"device"}, Weight: 0.1},
-			},
-		}); err != nil {
-			panic(err)
-		}
-		return eng
+		return buildTrafficEngine(rows, sampleK, planCache, -1)
 	}
 	engOn := build(0)   // default: cache on
 	engOff := build(-1) // disabled
@@ -394,6 +383,165 @@ func replayBench(smoke bool) replayRecord {
 		rec.Speedup = rec.QpsCacheOn / rec.QpsCacheOff
 	}
 	rec.HitRate = engOn.Stats().PlanCacheHitRate()
+	return rec
+}
+
+// buildTrafficEngine loads the Zipf-skewed Conviva-like traffic table
+// (the regime where stratified families get built and cold probes are
+// expensive) into an engine with explicit cache knobs. Shared by the
+// plan-cache and result-cache replay benches so the two records measure
+// the same data.
+func buildTrafficEngine(rows int, sampleK int64, planCache, resultCache int) *blinkdb.Engine {
+	eng := blinkdb.Open(blinkdb.Config{
+		Seed: 11, Scale: 1e4, CacheTables: true,
+		PlanCacheSize: planCache, ResultCacheSize: resultCache,
+	})
+	load := eng.CreateTable("traffic",
+		blinkdb.Col("city", blinkdb.String),
+		blinkdb.Col("os", blinkdb.String),
+		blinkdb.Col("browser", blinkdb.String),
+		blinkdb.Col("country", blinkdb.String),
+		blinkdb.Col("device", blinkdb.String),
+		blinkdb.Col("genre", blinkdb.String),
+		blinkdb.Col("sessiontime", blinkdb.Float),
+	)
+	rng := rand.New(rand.NewSource(5))
+	cityGen := zipf.NewGeneratorCDF(rng, 1.3, 200)
+	osGen := zipf.NewGeneratorCDF(rng, 1.3, 40)
+	browserGen := zipf.NewGeneratorCDF(rng, 1.3, 60)
+	countryGen := zipf.NewGeneratorCDF(rng, 1.3, 80)
+	deviceGen := zipf.NewGeneratorCDF(rng, 1.3, 25)
+	genres := []string{"western", "drama", "comedy", "news"}
+	for i := 0; i < rows; i++ {
+		if err := load.Append(
+			fmt.Sprintf("city%d", cityGen.Next()),
+			fmt.Sprintf("os%d", osGen.Next()),
+			fmt.Sprintf("browser%d", browserGen.Next()),
+			fmt.Sprintf("country%d", countryGen.Next()),
+			fmt.Sprintf("device%d", deviceGen.Next()),
+			genres[rng.Intn(len(genres))],
+			rng.ExpFloat64()*100,
+		); err != nil {
+			panic(err)
+		}
+	}
+	if err := load.Close(); err != nil {
+		panic(err)
+	}
+	if _, err := eng.CreateSamples("traffic", blinkdb.SampleOptions{
+		BudgetFraction: 1.2,
+		K:              sampleK,
+		Templates: []blinkdb.Template{
+			{Columns: []string{"city"}, Weight: 0.3},
+			{Columns: []string{"os"}, Weight: 0.2},
+			{Columns: []string{"browser"}, Weight: 0.2},
+			{Columns: []string{"country"}, Weight: 0.2},
+			{Columns: []string{"device"}, Weight: 0.1},
+		},
+	}); err != nil {
+		panic(err)
+	}
+	return eng
+}
+
+// resultReplayBench measures the result cache on a concurrent Zipf
+// replay: fully-bound queries whose constants follow a Zipf law (hot
+// genres dominate, like dashboard traffic) are replayed by several
+// goroutines. The result-cached engine answers repeats from memory and
+// collapses concurrent cold replays via singleflight; the baseline
+// engine (result cache off, plan cache on — i.e. PR 4's pipeline)
+// re-executes the chosen view scan every time. Answers are asserted
+// bit-identical before timing.
+func resultReplayBench(smoke bool) resultReplayRecord {
+	rows, sampleK, window := 200000, int64(8000), 2*time.Second
+	if smoke {
+		rows, sampleK, window = 50000, 2000, 300*time.Millisecond
+	}
+	engOn := buildTrafficEngine(rows, sampleK, 0, 0)   // both caches default-on
+	engOff := buildTrafficEngine(rows, sampleK, 0, -1) // result cache disabled
+
+	// Zipf-distributed constants over the 200-city space: hot cities
+	// repeat heavily (result hits) while the long tail keeps surfacing
+	// cold bindings throughout the run — and because every goroutine
+	// replays the same sequence from the same offset, a cold binding is
+	// typically requested by several goroutines at once (the cache
+	// stampede singleflight exists for).
+	cityGen := zipf.NewGeneratorCDF(rand.New(rand.NewSource(23)), 1.1, 200)
+	const replaySize = 1024
+	replay := make([]string, replaySize)
+	for i := range replay {
+		replay[i] = fmt.Sprintf(
+			`SELECT AVG(sessiontime) FROM traffic WHERE city = 'city%d' ERROR WITHIN 10%%`,
+			cityGen.Next())
+	}
+
+	// Equivalence gate: result-cached answers must match the baseline bit
+	// for bit — on the caching miss AND on replayed hits (indices repeat).
+	for i := 0; i < 12; i++ {
+		src := replay[i%8]
+		on, err := engOn.Query(src)
+		if err != nil {
+			panic(err)
+		}
+		off, err := engOff.Query(src)
+		if err != nil {
+			panic(err)
+		}
+		if len(on.Rows) != len(off.Rows) {
+			panic(fmt.Sprintf("result replay bench: answers diverge on %q (rows %d vs %d)",
+				src, len(on.Rows), len(off.Rows)))
+		}
+		for r := range off.Rows {
+			for c := range off.Rows[r].Cells {
+				if on.Rows[r].Cells[c] != off.Rows[r].Cells[c] {
+					panic(fmt.Sprintf("result replay bench: answers diverge on %q", src))
+				}
+			}
+		}
+	}
+
+	goroutines := 4
+	measure := func(eng *blinkdb.Engine) (float64, int) {
+		var total atomic.Int64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ { // same offset: stampede the cold tail together
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := eng.Query(replay[i%replaySize]); err != nil {
+						panic(err)
+					}
+					total.Add(1)
+				}
+			}()
+		}
+		start := time.Now()
+		time.Sleep(window)
+		close(stop)
+		wg.Wait()
+		return float64(total.Load()) / time.Since(start).Seconds(), int(total.Load())
+	}
+	rec := resultReplayRecord{
+		Template:   `SELECT AVG(sessiontime) FROM traffic WHERE city = ? ERROR WITHIN 10%`,
+		Goroutines: goroutines,
+	}
+	rec.QpsOn, rec.Queries = measure(engOn)
+	rec.QpsOff, _ = measure(engOff)
+	if rec.QpsOff > 0 {
+		rec.Speedup = rec.QpsOn / rec.QpsOff
+	}
+	s := engOn.Stats()
+	if total := s.ResultCacheHits + s.ResultCacheMisses + s.ResultCacheShared; total > 0 {
+		rec.HitRate = float64(s.ResultCacheHits) / float64(total)
+		rec.SharedRate = float64(s.ResultCacheShared) / float64(total)
+	}
 	return rec
 }
 

@@ -115,8 +115,12 @@ func run(dataset string, rows int, budget float64, seed int64, tb float64) error
 		Workers:           runtime.GOMAXPROCS(0),
 		// Interactive sessions are template-heavy (users tweak constants
 		// and bounds on the same query); cache prepared templates so
-		// replays skip the probe work. EXPLAIN output shows cache=hit|miss.
-		PlanCacheSize: 256,
+		// replays skip the probe work, and cache completed answers so
+		// re-running the exact same query (a very common REPL gesture) is
+		// instant. EXPLAIN output shows cache=hit|miss and
+		// result=hit|miss|shared.
+		PlanCacheSize:   256,
+		ResultCacheSize: 1024,
 	})
 
 	fmt.Printf("\ntable %q ready; pretending it is %.0f TB on a 100-node cluster.\n", data.Table.Name, tb)

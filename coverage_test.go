@@ -1,0 +1,107 @@
+package blinkdb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestConfidenceIntervalCoverage is the statistical half of the
+// equivalence harness: the paper promises ANSWERS WITH BOUNDED ERRORS —
+// a 95% confidence interval should contain the true value about 95% of
+// the time. That promise has been assumed by every PR so far; this test
+// finally measures it.
+//
+// A generated table with known per-group ground truth is queried ≥500
+// times at 95% confidence (one distinct filter constant per query, so
+// every answer is an independent estimate from the same sample), and the
+// empirical coverage — the fraction of non-exact estimates whose CI
+// contains the truth — must land in [0.90, 0.99] for every aggregate.
+// The band is ~5 binomial standard deviations wide around 0.95 at n=500,
+// and everything (data, sampling, query order) is seeded, so the test is
+// deterministic: it fails only if the estimator machinery changes.
+func TestConfidenceIntervalCoverage(t *testing.T) {
+	const (
+		groups       = 500 // distinct filter constants = queries per aggregate
+		rowsPerGroup = 120
+		rows         = groups * rowsPerGroup
+	)
+	eng := Open(Config{Scale: 1e4, Seed: 7, CacheTables: true})
+	load := eng.CreateTable("obs",
+		Col("gid", Int),
+		Col("pad", String), // stratification decoy: never filtered on
+		Col("x", Float),
+	)
+	rng := rand.New(rand.NewSource(41))
+	pads := []string{"a", "b", "c", "d"}
+	trueSum := make([]float64, groups)
+	for i := 0; i < rows; i++ {
+		gid := i % groups // round-robin: every gid has exactly rowsPerGroup rows
+		x := 100 + rng.NormFloat64()*15
+		trueSum[gid] += x
+		if err := load.Append(gid, pads[rng.Intn(len(pads))], x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := load.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Samples are stratified on pad (not gid), so a WHERE gid = k query
+	// has no covering family and answers from a probed sample whose rows
+	// all carry rates < 1 — genuinely approximate estimates.
+	if _, err := eng.CreateSamples("obs", SampleOptions{
+		BudgetFraction:  0.6,
+		K:               4000,
+		UniformFraction: 0.25,
+		Templates:       []Template{{Columns: []string{"pad"}, Weight: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// One query per gid: AVG and COUNT estimates at 95% confidence, with
+	// a time bound (not an error bound) so the chosen resolution never
+	// adapts to the observed error — coverage trials stay independent of
+	// the quantity under test.
+	kinds := []string{"AVG", "COUNT"}
+	covered := make([]int, len(kinds))
+	trials := make([]int, len(kinds))
+	exact := 0
+	for gid := 0; gid < groups; gid++ {
+		res, err := eng.Query(fmt.Sprintf(
+			`SELECT AVG(x), COUNT(*) FROM obs WHERE gid = %d WITHIN 2 SECONDS`, gid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Confidence != 0.95 {
+			t.Fatalf("gid %d: confidence = %v, want 0.95", gid, res.Confidence)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("gid %d: %d result rows, want 1", gid, len(res.Rows))
+		}
+		truth := []float64{trueSum[gid] / rowsPerGroup, rowsPerGroup}
+		for k, cell := range res.Rows[0].Cells {
+			if cell.Exact {
+				exact++ // an exact answer trivially covers; don't count it
+				continue
+			}
+			trials[k]++
+			if truth[k] >= cell.Value-cell.Bound && truth[k] <= cell.Value+cell.Bound {
+				covered[k]++
+			}
+		}
+	}
+	if exact > groups/10 {
+		t.Fatalf("%d exact cells — the workload is supposed to be approximate", exact)
+	}
+	for k, kind := range kinds {
+		if trials[k] < 450 {
+			t.Fatalf("%s: only %d approximate trials, want ≥450", kind, trials[k])
+		}
+		cov := float64(covered[k]) / float64(trials[k])
+		t.Logf("%s: empirical 95%%-CI coverage %.3f over %d trials", kind, cov, trials[k])
+		if cov < 0.90 || cov > 0.99 {
+			t.Errorf("%s: empirical coverage %.3f outside [0.90, 0.99] (%d/%d)",
+				kind, cov, covered[k], trials[k])
+		}
+	}
+}

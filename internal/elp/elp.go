@@ -14,11 +14,13 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blinkdb/internal/catalog"
 	"blinkdb/internal/cluster"
 	"blinkdb/internal/exec"
 	"blinkdb/internal/plancache"
+	"blinkdb/internal/resultcache"
 	"blinkdb/internal/sample"
 	"blinkdb/internal/sqlparser"
 	"blinkdb/internal/stats"
@@ -86,6 +88,23 @@ type Options struct {
 	// state is epoch-validated against the catalog on every hit, so a
 	// sample refresh or rebuild is never served stale.
 	PlanCacheSize int
+	// ResultCacheSize enables the cross-query RESULT cache: up to this
+	// many completed answers are kept keyed by (template key, full
+	// parameter vector), so an exact replay of a recent query is served
+	// from memory — no probe, no scan — after validating the catalog
+	// epochs of every table the answer depends on. Concurrent misses of
+	// one key are collapsed by singleflight: the scan runs once and every
+	// caller shares (a private copy of) the answer. 0 (the default)
+	// disables the cache, preserving the result-cache-free pipeline bit
+	// for bit. Served answers are deep copies (copy-on-return), so
+	// callers can never mutate cached state.
+	ResultCacheSize int
+	// ResultCacheTTL bounds the wall-clock age of served results on top
+	// of epoch validation (epochs track sample rebuilds; the TTL covers
+	// deployments whose base data drifts underneath unchanged samples).
+	// 0 (the default) means no TTL: entries live until evicted or
+	// epoch-invalidated.
+	ResultCacheTTL time.Duration
 }
 
 func (o Options) normalize() Options {
@@ -125,6 +144,12 @@ func (o Options) normalize() Options {
 	if o.PlanCacheSize < 0 {
 		o.PlanCacheSize = 0
 	}
+	if o.ResultCacheSize < 0 {
+		o.ResultCacheSize = 0
+	}
+	if o.ResultCacheTTL < 0 {
+		o.ResultCacheTTL = 0
+	}
 	return o
 }
 
@@ -143,6 +168,11 @@ type Runtime struct {
 
 	// cache maps template keys to prepared queries; nil when disabled.
 	cache *plancache.Cache[*PreparedQuery]
+	// results maps (template key, parameter vector) to completed answers;
+	// nil when disabled. flights collapses concurrent misses of one
+	// result key into a single execution.
+	results *resultcache.Cache[*resultEntry]
+	flights resultcache.Flights[*resultEntry]
 
 	// Serving counters behind Stats(); atomics (plus levelMu for the
 	// by-level map) so concurrent Run calls stay race-free.
@@ -151,8 +181,21 @@ type Runtime struct {
 	prepares       atomic.Int64
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
+	resultHits     atomic.Int64
+	resultMisses   atomic.Int64
+	resultShared   atomic.Int64
 	levelMu        sync.Mutex
 	answersByLevel map[int]int64
+}
+
+// resultEntry is one cached answer: the canonical (never-annotated,
+// never-handed-out) response, the plan-cache note of the execution that
+// produced it, and the per-table epochs it was computed against. The
+// entry is servable only while every dep's catalog epoch is unchanged.
+type resultEntry struct {
+	resp *Response
+	note string
+	deps []tableDep
 }
 
 // New creates a runtime.
@@ -160,7 +203,8 @@ func New(cat *catalog.Catalog, clus *cluster.Cluster, opt Options) *Runtime {
 	opt = opt.normalize()
 	return &Runtime{
 		cat: cat, clus: clus, opt: opt,
-		cache: plancache.New[*PreparedQuery](opt.PlanCacheSize),
+		cache:   plancache.New[*PreparedQuery](opt.PlanCacheSize),
+		results: resultcache.New[*resultEntry](opt.ResultCacheSize, opt.ResultCacheTTL),
 	}
 }
 
@@ -209,36 +253,141 @@ type Response struct {
 	Confidence float64
 	// Cache reports the plan-cache outcome: "hit" when prepared state was
 	// reused, "miss" when this query prepared it, "" when the cache is
-	// disabled.
+	// disabled — or when the whole answer came from the result cache,
+	// which never consults the plan pipeline.
 	Cache string
+	// ResultCache reports the result-cache outcome: "hit" when a cached
+	// answer for this exact (template, parameters) pair was served,
+	// "miss" when this query executed (and cached) it, "shared" when a
+	// concurrent miss's singleflight execution supplied the answer, ""
+	// when the result cache is disabled.
+	ResultCache string
 }
 
 // Run parses nothing: q must already be parsed. It plans and executes the
 // query returning estimates with error bars and a simulated latency.
 //
-// Run is Prepare + Execute. With the plan cache enabled, the Prepare half
-// is amortized across queries sharing a template: a hit reuses the cached
-// compiled state, probe results and ELP fit (after validating catalog
-// epochs — stale state from before a sample refresh is re-prepared, never
-// served) and pays only resolution selection plus the chosen view scan.
+// Run is Prepare + Execute, wrapped by up to two reuse layers. With the
+// plan cache enabled, the Prepare half is amortized across queries
+// sharing a template: a hit reuses the cached compiled state, probe
+// results and ELP fit (after validating catalog epochs — stale state from
+// before a sample refresh is re-prepared, never served) and pays only
+// resolution selection plus the chosen view scan. With the result cache
+// enabled, an exact replay — same template AND same parameter vector —
+// skips even that: the completed answer is served from memory (epoch- and
+// TTL-validated, deep-copied so callers cannot mutate cached state), and
+// concurrent misses of one cold key collapse into a single execution
+// whose answer every caller shares.
 func (rt *Runtime) Run(q *sqlparser.Query) (*Response, error) {
-	if rt.cache == nil {
-		pq, err := rt.Prepare(q)
+	key, params := sqlparser.Normalize(q)
+	if rt.results == nil {
+		resp, note, _, err := rt.runPrepared(q, key, params)
 		if err != nil {
 			return nil, err
 		}
-		return rt.executeParams(pq, q, pq.prepParams, "")
+		annotate(resp, note)
+		return resp, nil
 	}
-	key, params := sqlparser.Normalize(q)
+	rkey := key + "\x1e" + sqlparser.ParamsKey(params)
+	if ent, ok := rt.results.Get(rkey); ok {
+		if rt.freshDeps(ent.deps) {
+			rt.resultHits.Add(1)
+			resp := ent.resp.clone()
+			annotateResult(resp, "hit")
+			return resp, nil
+		}
+		// A stale entry means a sample refresh/rebuild happened since the
+		// answer was computed; purge EVERY stale answer now (mirroring the
+		// plan cache's sweep) rather than letting dead epochs ride the LRU.
+		rt.results.Sweep(func(_ string, cand *resultEntry) bool { return rt.freshDeps(cand.deps) })
+	}
+	var cachedHit bool
+	ent, shared, err := rt.flights.Do(rkey, func() (*resultEntry, error) {
+		var err error
+		var e *resultEntry
+		e, cachedHit, err = rt.resultLeader(q, key, params, rkey)
+		return e, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared && !rt.freshDeps(ent.deps) {
+		// The shared answer predates an epoch change this caller has
+		// already observed (its own cache lookup happened after the
+		// change): serving it would leak pre-refresh data into a
+		// post-refresh query. Fall back to a fresh leader pass — outside
+		// the (already landed) flight; concurrent stale waiters each
+		// re-execute, an acceptable cost for the rare refresh window.
+		ent, cachedHit, err = rt.resultLeader(q, key, params, rkey)
+		if err != nil {
+			return nil, err
+		}
+		shared = false
+	}
+	// Every caller — leader and singleflight waiters alike — receives a
+	// private deep copy; the canonical response in the entry is never
+	// annotated and never handed out.
+	resp := ent.resp.clone()
+	switch {
+	case shared:
+		rt.resultShared.Add(1)
+		annotateResult(resp, "shared")
+	case cachedHit:
+		rt.resultHits.Add(1)
+		annotateResult(resp, "hit")
+	default:
+		annotate(resp, ent.note)
+		annotateResult(resp, "miss")
+	}
+	return resp, nil
+}
+
+// resultLeader is the singleflight leader's body: re-check the cache,
+// then execute and cache on a true miss. The re-check matters — a caller
+// descheduled between its cache miss and its Do call can find the flight
+// already landed and become a second "leader"; without the re-check it
+// would re-run the whole pipeline for an answer that is already cached
+// (and skew the exactly-one-execution Stats contract). cached reports
+// whether the answer came from the cache (a hit) rather than execution.
+func (rt *Runtime) resultLeader(q *sqlparser.Query, key string, params []types.Value, rkey string) (*resultEntry, bool, error) {
+	if cached, ok := rt.results.Get(rkey); ok && rt.freshDeps(cached.deps) {
+		return cached, true, nil
+	}
+	resp, note, deps, err := rt.runPrepared(q, key, params)
+	if err != nil {
+		return nil, false, err
+	}
+	// Count the miss only for executions that enter the cache, like the
+	// plan cache's convention.
+	rt.resultMisses.Add(1)
+	ent := &resultEntry{resp: resp, note: note, deps: deps}
+	rt.results.Put(rkey, ent)
+	return ent, false, nil
+}
+
+// runPrepared is the prepare/execute pipeline of Run — plan-cache lookup
+// (when enabled), prepare on miss, execute — returning the UNANNOTATED
+// response, the plan-cache note ("hit"/"miss", "" when disabled) and the
+// table-epoch deps the answer was computed against. Callers own the
+// annotation so the result cache can store canonical responses.
+func (rt *Runtime) runPrepared(q *sqlparser.Query, key string, params []types.Value) (*Response, string, []tableDep, error) {
+	if rt.cache == nil {
+		pq, err := rt.prepareKeyed(q, key, params)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		resp, err := rt.executeParams(pq, q, pq.prepParams)
+		return resp, "", pq.deps, err
+	}
 	if pq, ok := rt.cache.Get(key); ok {
 		if rt.fresh(pq) {
-			resp, err := rt.executeParams(pq, q, params, "hit")
+			resp, err := rt.executeParams(pq, q, params)
 			if err == nil {
 				rt.cacheHits.Add(1)
-				return resp, nil
+				return resp, "hit", pq.deps, nil
 			}
 			if err != errTemplateMismatch {
-				return nil, err
+				return nil, "", nil, err
 			}
 			// Defensive: equal keys should imply equal shape; if not,
 			// fall through and re-prepare.
@@ -253,13 +402,14 @@ func (rt *Runtime) Run(q *sqlparser.Query) (*Response, error) {
 	}
 	pq, err := rt.prepareKeyed(q, key, params)
 	if err != nil {
-		return nil, err
+		return nil, "", nil, err
 	}
 	// Count the miss only for queries that actually entered the cache;
 	// errored prepares would otherwise skew the hit rate.
 	rt.cacheMisses.Add(1)
 	rt.cache.Put(key, pq)
-	return rt.executeParams(pq, q, params, "miss")
+	resp, err := rt.executeParams(pq, q, params)
+	return resp, "miss", pq.deps, err
 }
 
 // selectFamily implements §4.1.1: prefer the covering stratified family

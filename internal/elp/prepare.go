@@ -263,12 +263,13 @@ func (rt *Runtime) Execute(pq *PreparedQuery, q *sqlparser.Query) (*Response, er
 	if key != pq.Key {
 		return nil, errTemplateMismatch
 	}
-	return rt.executeParams(pq, q, params, "")
+	return rt.executeParams(pq, q, params)
 }
 
-// executeParams is Execute with the normalization precomputed and an
-// optional cache annotation ("hit"/"miss"; "" when the cache is off).
-func (rt *Runtime) executeParams(pq *PreparedQuery, q *sqlparser.Query, params []types.Value, cacheNote string) (*Response, error) {
+// executeParams is Execute with the normalization precomputed. The
+// response is returned unannotated; Run applies the plan/result cache
+// markers so cached canonical responses stay pristine.
+func (rt *Runtime) executeParams(pq *PreparedQuery, q *sqlparser.Query, params []types.Value) (*Response, error) {
 	plan := pq.prepPlan
 	if q != pq.prepQ {
 		var err error
@@ -285,9 +286,7 @@ func (rt *Runtime) executeParams(pq *PreparedQuery, q *sqlparser.Query, params [
 		d := Decision{UsedBase: true, Reason: "no bounds: exact execution on base table"}
 		d.ReadLatency = rt.latencyOfBase(pq.entry.Table.Blocks) + rt.broadcastCost(pq.joins)
 		rt.recordLevel(-1)
-		resp := &Response{Result: res, Decisions: []Decision{d}, SimLatency: d.Latency(), Confidence: conf}
-		annotate(resp, cacheNote)
-		return resp, nil
+		return &Response{Result: res, Decisions: []Decision{d}, SimLatency: d.Latency(), Confidence: conf}, nil
 	}
 
 	// §4.1.2: rewrite disjunctions into parallel conjunctive sub-queries.
@@ -315,9 +314,7 @@ func (rt *Runtime) executeParams(pq *PreparedQuery, q *sqlparser.Query, params [
 		cp.Groups = merged.Groups[:plan.Limit]
 		merged = &cp
 	}
-	resp := &Response{Result: merged, Decisions: decisions, SimLatency: simLatency, Confidence: conf}
-	annotate(resp, cacheNote)
-	return resp, nil
+	return &Response{Result: merged, Decisions: decisions, SimLatency: simLatency, Confidence: conf}, nil
 }
 
 // executeConjunctive finishes planning one conjunctive sub-query from its
@@ -427,13 +424,32 @@ func (rt *Runtime) executeConjunctive(pq *PreparedQuery, pd *prepDisjunct, plan 
 // rebuild or table reload happened since. A stale PreparedQuery must
 // never be served: its probe results and ELP were fitted on sample data
 // that no longer exists.
-func (rt *Runtime) fresh(pq *PreparedQuery) bool {
-	for _, d := range pq.deps {
+func (rt *Runtime) fresh(pq *PreparedQuery) bool { return rt.freshDeps(pq.deps) }
+
+// freshDeps is the dependency half of fresh, shared with the result
+// cache: a cached RESULT is exactly as stale as a cached probe when any
+// of its tables' epochs moved.
+func (rt *Runtime) freshDeps(deps []tableDep) bool {
+	for _, d := range deps {
 		if rt.cat.Epoch(d.table) != d.epoch {
 			return false
 		}
 	}
 	return true
+}
+
+// clone deep-copies a response: the Result (groups, keys, estimates) and
+// the Decisions slice are fresh, so annotating or mutating the clone
+// never touches the canonical cached response or any other caller's
+// copy. The Probed slices and sample.View references inside decisions
+// are shared — both are immutable after planning.
+func (r *Response) clone() *Response {
+	cp := *r
+	cp.Result = r.Result.Clone()
+	if r.Decisions != nil {
+		cp.Decisions = append([]Decision(nil), r.Decisions...)
+	}
+	return &cp
 }
 
 // annotate tags each decision (and the response) with the plan-cache
@@ -446,5 +462,19 @@ func annotate(resp *Response, note string) {
 	resp.Cache = note
 	for i := range resp.Decisions {
 		resp.Decisions[i].Reason += "; cache=" + note
+	}
+}
+
+// annotateResult tags each decision (and the response) with the
+// result-cache outcome so EXPLAIN output shows result=hit|miss|shared.
+// No-op when the result cache is disabled, preserving pre-result-cache
+// reason strings bit for bit.
+func annotateResult(resp *Response, note string) {
+	if note == "" {
+		return
+	}
+	resp.ResultCache = note
+	for i := range resp.Decisions {
+		resp.Decisions[i].Reason += "; result=" + note
 	}
 }

@@ -1,0 +1,513 @@
+package elp
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"blinkdb/internal/exec"
+	"blinkdb/internal/sample"
+	"blinkdb/internal/sqlparser"
+	"blinkdb/internal/storage"
+)
+
+// stripResult removes the result-cache annotation from a response so
+// hit/miss/shared servings can be compared against each other and
+// against result-cache-free references.
+func stripResult(resp *Response) *Response {
+	cp := *resp
+	cp.ResultCache = ""
+	cp.Decisions = append([]Decision(nil), resp.Decisions...)
+	for i := range cp.Decisions {
+		r := cp.Decisions[i].Reason
+		r = strings.ReplaceAll(r, "; result=hit", "")
+		r = strings.ReplaceAll(r, "; result=miss", "")
+		r = strings.ReplaceAll(r, "; result=shared", "")
+		cp.Decisions[i].Reason = r
+	}
+	return &cp
+}
+
+// stripAll removes both cache layers' annotations.
+func stripAll(resp *Response) *Response { return stripCache(stripResult(resp)) }
+
+// resultRuntimes builds, over ONE shared catalog/cluster, the runtime
+// under test (plan cache + result cache) and a plan-cache-only reference
+// whose behavior is exactly PR 4's pipeline.
+func resultRuntimes(t testing.TB, rows int) (*fixture, *Runtime) {
+	f := newFixture(t, rows, Options{PlanCacheSize: 64, ResultCacheSize: 64})
+	ref := New(f.cat, f.clus, Options{PlanCacheSize: 64})
+	return f, ref
+}
+
+// TestResultCacheBitIdentity is the tentpole acceptance test at the elp
+// layer: with the result cache enabled, every serving — the executing
+// miss AND every replayed hit — must be DeepEqual (including simulated
+// latencies and decisions, modulo the annotation markers) to the
+// result-cache-free pipeline over the same catalog.
+func TestResultCacheBitIdentity(t *testing.T) {
+	f, ref := resultRuntimes(t, 30000)
+	for _, src := range cacheQueries {
+		for rep := 0; rep < 3; rep++ {
+			want, err := ref.Run(parse(t, src))
+			if err != nil {
+				t.Fatalf("%q rep %d (ref): %v", src, rep, err)
+			}
+			got, err := f.rt.Run(parse(t, src))
+			if err != nil {
+				t.Fatalf("%q rep %d: %v", src, rep, err)
+			}
+			wantNote := "hit"
+			if rep == 0 {
+				wantNote = "miss"
+			}
+			if got.ResultCache != wantNote {
+				t.Errorf("%q rep %d: ResultCache = %q, want %q", src, rep, got.ResultCache, wantNote)
+			}
+			for _, d := range got.Decisions {
+				if !strings.Contains(d.Reason, "; result="+wantNote) {
+					t.Errorf("%q rep %d: Reason %q missing result=%s", src, rep, d.Reason, wantNote)
+				}
+			}
+			// A result-cache hit skips the plan pipeline entirely: no
+			// plan-cache marker. The miss carries the plan note as usual.
+			if rep == 0 && got.Cache != "miss" {
+				t.Errorf("%q rep 0: Cache = %q, want miss", src, got.Cache)
+			}
+			if rep > 0 && got.Cache != "" {
+				t.Errorf("%q rep %d: result hit leaked a plan-cache note %q", src, rep, got.Cache)
+			}
+			if !reflect.DeepEqual(stripAll(want), stripAll(got)) {
+				t.Errorf("%q rep %d (%s): diverged from result-cache-free pipeline\nwant %+v\ngot  %+v",
+					src, rep, wantNote, stripAll(want), stripAll(got))
+			}
+		}
+	}
+	s := f.rt.Stats()
+	if s.ResultMisses != int64(len(cacheQueries)) || s.ResultHits != 2*int64(len(cacheQueries)) {
+		t.Errorf("stats = %d hits / %d misses, want %d / %d",
+			s.ResultHits, s.ResultMisses, 2*len(cacheQueries), len(cacheQueries))
+	}
+	if ref.Stats().ResultMisses != 0 || ref.Stats().ResultHits != 0 {
+		t.Errorf("disabled result cache moved counters: %+v", ref.Stats())
+	}
+}
+
+// TestResultCacheHitSkipsAllWork pins the serving contract: an exact
+// replay runs NO executor work, no probe, no prepare — the answer comes
+// from memory. A same-template different-constant query is a result MISS
+// that still enjoys the plan cache (one executor run, no probes).
+func TestResultCacheHitSkipsAllWork(t *testing.T) {
+	f, _ := resultRuntimes(t, 30000)
+	const src = `SELECT COUNT(*) FROM sessions WHERE genre = 'western' ERROR WITHIN 25%`
+	if _, err := f.rt.Run(parse(t, src)); err != nil {
+		t.Fatal(err)
+	}
+	before := f.rt.Stats()
+	resp, err := f.rt.Run(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ResultCache != "hit" {
+		t.Fatalf("exact replay: ResultCache = %q, want hit", resp.ResultCache)
+	}
+	after := f.rt.Stats()
+	if after.PlanExecs != before.PlanExecs || after.ProbeExecs != before.ProbeExecs || after.Prepares != before.Prepares {
+		t.Errorf("result hit did executor/probe/prepare work: %+v -> %+v", before, after)
+	}
+
+	// New constant, same template: result miss, plan hit, exactly one
+	// executor run (the chosen view scan), zero probes.
+	before = after
+	resp, err = f.rt.Run(parse(t, `SELECT COUNT(*) FROM sessions WHERE genre = 'drama' ERROR WITHIN 25%`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ResultCache != "miss" || resp.Cache != "hit" {
+		t.Fatalf("new constant: ResultCache = %q (want miss), Cache = %q (want hit)", resp.ResultCache, resp.Cache)
+	}
+	after = f.rt.Stats()
+	if got := after.PlanExecs - before.PlanExecs; got != 1 {
+		t.Errorf("new constant ran the executor %d times, want 1", got)
+	}
+	if after.ProbeExecs != before.ProbeExecs {
+		t.Errorf("new constant re-probed: %d -> %d", before.ProbeExecs, after.ProbeExecs)
+	}
+}
+
+// TestResultCacheCopyOnReturn: callers own their responses. Mutating a
+// served answer — groups, estimates, decision reasons — must not leak
+// into the cache or into other callers' copies (the PR 4 copy-on-truncate
+// race is the cautionary tale).
+func TestResultCacheCopyOnReturn(t *testing.T) {
+	f, _ := resultRuntimes(t, 20000)
+	const src = `SELECT AVG(time) FROM sessions WHERE city = 'city1' ERROR WITHIN 25%`
+	first, err := f.rt.Run(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := stripAll(first)
+	pristine.Result = first.Result.Clone()
+
+	// Vandalize every layer of the served response.
+	first.Result.Groups[0].Estimates[0].Point = -1e9
+	first.Result.Groups[0].Key = nil
+	first.Result.RowsScanned = -7
+	first.Decisions[0].Reason = "vandalized"
+	first.SimLatency = -1
+
+	second, err := f.rt.Run(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ResultCache != "hit" {
+		t.Fatalf("replay should hit, got %q", second.ResultCache)
+	}
+	if !reflect.DeepEqual(pristine.Result, second.Result) {
+		t.Errorf("mutating a served result corrupted the cache\nwant %+v\ngot  %+v", pristine.Result, second.Result)
+	}
+	if second.Decisions[0].Reason == "vandalized" || second.SimLatency < 0 {
+		t.Error("mutating served decisions/latency corrupted the cache")
+	}
+	// And the two servings are distinct objects end to end.
+	if second.Result == first.Result || &second.Decisions[0] == &first.Decisions[0] {
+		t.Error("served responses alias each other")
+	}
+}
+
+// TestResultCacheEpochInvalidation: re-installing a sample family (what
+// RefreshSamples and Maintain.Apply do) bumps the table epoch; a cached
+// answer computed against the old samples must never be served, and the
+// staleness sweep must purge every stale answer, not just the queried one.
+func TestResultCacheEpochInvalidation(t *testing.T) {
+	f, ref := resultRuntimes(t, 30000)
+	const src = `SELECT COUNT(*) FROM sessions WHERE genre = 'western' ERROR WITHIN 25%`
+	if _, err := f.rt.Run(parse(t, src)); err != nil {
+		t.Fatal(err)
+	}
+	// A second warm answer that will NOT be re-queried: the sweep must
+	// still purge it.
+	if _, err := f.rt.Run(parse(t, `SELECT AVG(time) FROM sessions WHERE city = 'city1' ERROR WITHIN 25%`)); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := f.rt.Run(parse(t, src)); resp.ResultCache != "hit" {
+		t.Fatalf("warm query should hit, got %q", resp.ResultCache)
+	}
+	if got := f.rt.results.Len(); got != 2 {
+		t.Fatalf("result cache holds %d entries before refresh, want 2", got)
+	}
+
+	entry, err := f.cat.Lookup("sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cityFam *sample.Family
+	for _, fam := range entry.Families {
+		if fam.Phi.Key() == "city" {
+			cityFam = fam
+		}
+	}
+	fresh, err := sample.Build(f.tab, cityFam.Phi, cityFam.Caps,
+		sample.BuildConfig{Seed: 99, Nodes: 100, Place: storage.InMemory, RowsPerBlock: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.cat.AddFamily("sessions", fresh); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := f.rt.Run(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ResultCache != "miss" {
+		t.Fatalf("post-refresh query served a stale answer: %q, want miss", got.ResultCache)
+	}
+	want, err := ref.Run(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripAll(want), stripAll(got)) {
+		t.Errorf("post-refresh answer diverged from the result-cache-free pipeline\nwant %+v\ngot  %+v",
+			stripAll(want), stripAll(got))
+	}
+	// The sweep purged BOTH stale answers; only the re-executed one is
+	// resident again.
+	if got := f.rt.results.Len(); got != 1 {
+		t.Errorf("result cache holds %d entries after the stale sweep, want 1", got)
+	}
+}
+
+// TestResultCacheTTLExpiry: with a TTL configured, an answer older than
+// the TTL is a miss (re-executed and re-cached); within the TTL it hits.
+// Hit assertions use a generous TTL and expiry assertions a tiny one, so
+// neither direction can flake under scheduler stalls (the exact deadline
+// boundary is pinned with an injected clock in the resultcache package).
+func TestResultCacheTTLExpiry(t *testing.T) {
+	const src = `SELECT COUNT(*) FROM sessions WHERE genre = 'western' ERROR WITHIN 25%`
+
+	// Generous TTL: replays hit.
+	long := newFixture(t, 10000, Options{PlanCacheSize: 64, ResultCacheSize: 64, ResultCacheTTL: time.Hour})
+	if _, err := long.rt.Run(parse(t, src)); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := long.rt.Run(parse(t, src)); resp.ResultCache != "hit" {
+		t.Fatalf("replay within the TTL should hit, got %q", resp.ResultCache)
+	}
+
+	// Tiny TTL: any answer is expired by the time it is replayed.
+	short := newFixture(t, 10000, Options{PlanCacheSize: 64, ResultCacheSize: 64, ResultCacheTTL: time.Millisecond})
+	if _, err := short.rt.Run(parse(t, src)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // comfortably past the deadline
+	resp, err := short.rt.Run(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ResultCache != "miss" {
+		t.Fatalf("expired answer served: %q, want miss", resp.ResultCache)
+	}
+	if s := short.rt.Stats(); s.ResultMisses != 2 || s.ResultHits != 0 {
+		t.Errorf("short-TTL stats = %d hits / %d misses, want 0 / 2", s.ResultHits, s.ResultMisses)
+	}
+}
+
+// TestResultCacheSingleflight is the -race acceptance test: 8 goroutines
+// missing ONE cold key must execute the pipeline exactly once — one
+// prepare, one miss, executor work identical to a single serial cold run
+// — and every goroutine receives an equal answer.
+func TestResultCacheSingleflight(t *testing.T) {
+	f, _ := resultRuntimes(t, 20000)
+	// A twin fixture measures what ONE serial cold run costs in executor
+	// invocations (same dataset: newFixture is deterministic).
+	twin := newFixture(t, 20000, Options{PlanCacheSize: 64, ResultCacheSize: 64})
+	const src = `SELECT AVG(time) FROM sessions WHERE genre = 'western' GROUP BY os ERROR WITHIN 25%`
+	want, err := twin.rt.Run(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneColdRun := twin.rt.Stats()
+
+	const goroutines = 8
+	responses := make([]*Response, goroutines)
+	errs := make([]error, goroutines)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			responses[g], errs[g] = f.rt.Run(parse(t, src))
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if !reflect.DeepEqual(stripAll(want), stripAll(responses[g])) {
+			t.Errorf("goroutine %d: answer diverged from the serial cold run (marker %q)",
+				g, responses[g].ResultCache)
+		}
+	}
+	s := f.rt.Stats()
+	if s.ResultMisses != 1 {
+		t.Errorf("ResultMisses = %d, want 1 (one execution across %d concurrent callers)", s.ResultMisses, goroutines)
+	}
+	if s.ResultHits+s.ResultShared != goroutines-1 {
+		t.Errorf("hits+shared = %d+%d, want %d", s.ResultHits, s.ResultShared, goroutines-1)
+	}
+	if s.Prepares != 1 {
+		t.Errorf("Prepares = %d, want 1", s.Prepares)
+	}
+	// The executor ran exactly as much as one serial cold run: the view
+	// scan (and its probes) happened once, not once per goroutine.
+	if s.PlanExecs != oneColdRun.PlanExecs || s.ProbeExecs != oneColdRun.ProbeExecs {
+		t.Errorf("concurrent cold key did %d plan / %d probe execs, one serial run does %d / %d",
+			s.PlanExecs, s.ProbeExecs, oneColdRun.PlanExecs, oneColdRun.ProbeExecs)
+	}
+}
+
+// TestResultCacheStaleSharedWaiterReExecutes pins the epoch half of the
+// singleflight contract: a waiter whose query began AFTER an epoch
+// change must never be served a flight answer computed before it. The
+// test registers a fake in-flight leader whose (poisoned) answer carries
+// stale deps, lets a real Run join it as a waiter, and requires the
+// waiter to discard the shared answer and execute fresh.
+func TestResultCacheStaleSharedWaiterReExecutes(t *testing.T) {
+	f, ref := resultRuntimes(t, 20000)
+	const src = `SELECT COUNT(*) FROM sessions WHERE genre = 'western' ERROR WITHIN 25%`
+	q := parse(t, src)
+	key, params := sqlparser.Normalize(q)
+	rkey := key + "\x1e" + sqlparser.ParamsKey(params)
+
+	stale := &resultEntry{
+		resp: &Response{
+			Result:    &exec.Result{Groups: []exec.Group{{}}},
+			Decisions: []Decision{{Reason: "poisoned stale flight"}},
+		},
+		note: "miss",
+		deps: []tableDep{{table: "sessions", epoch: 999999}}, // ≠ current: stale
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var leaderWG sync.WaitGroup
+	leaderWG.Add(1)
+	go func() { // fake leader holding the flight open
+		defer leaderWG.Done()
+		f.rt.flights.Do(rkey, func() (*resultEntry, error) {
+			close(started) // the flight is registered before fn runs
+			<-release
+			return stale, nil
+		})
+	}()
+	<-started
+
+	type outcome struct {
+		resp *Response
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		resp, err := f.rt.Run(parse(t, src))
+		done <- outcome{resp, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the waiter join the flight
+	close(release)
+	leaderWG.Wait()
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	for _, d := range out.resp.Decisions {
+		if strings.Contains(d.Reason, "poisoned") {
+			t.Fatal("waiter served the stale flight answer")
+		}
+	}
+	if out.resp.ResultCache == "shared" {
+		t.Fatal("stale flight answer must not be reported as shared")
+	}
+	want, err := ref.Run(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripAll(want), stripAll(out.resp)) {
+		t.Errorf("post-stale-flight answer diverged from the fresh pipeline\nwant %+v\ngot  %+v",
+			stripAll(want), stripAll(out.resp))
+	}
+}
+
+// TestResultCacheSecondLeaderServesCachedAnswer pins the other half: a
+// caller that missed the cache but lost the race to an already-landed
+// flight (its Do call starts a NEW flight) must serve the cached answer
+// from the leader re-check instead of re-executing the pipeline.
+func TestResultCacheSecondLeaderServesCachedAnswer(t *testing.T) {
+	f, _ := resultRuntimes(t, 20000)
+	const src = `SELECT COUNT(*) FROM sessions WHERE genre = 'western' ERROR WITHIN 25%`
+	q := parse(t, src)
+	key, params := sqlparser.Normalize(q)
+	rkey := key + "\x1e" + sqlparser.ParamsKey(params)
+	if _, err := f.rt.Run(q); err != nil { // warms the cache
+		t.Fatal(err)
+	}
+	before := f.rt.Stats()
+	ent, cached, err := f.rt.resultLeader(q, key, params, rkey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || ent == nil {
+		t.Fatalf("second leader must serve the cached answer (cached=%v)", cached)
+	}
+	after := f.rt.Stats()
+	if after.Prepares != before.Prepares || after.PlanExecs != before.PlanExecs ||
+		after.ResultMisses != before.ResultMisses {
+		t.Errorf("second leader re-executed: %+v -> %+v", before, after)
+	}
+}
+
+// TestResultCacheConcurrentMixedKeysWithRefresh hammers several result
+// keys from many goroutines while the catalog concurrently re-installs a
+// family (epoch churn), under -race in CI: every answer — hit, miss or
+// shared, before or after any epoch bump — must equal the serial
+// reference (the refresh re-installs byte-identical family content, so
+// pre- and post-refresh truths coincide).
+func TestResultCacheConcurrentMixedKeysWithRefresh(t *testing.T) {
+	f, ref := resultRuntimes(t, 20000)
+	srcs := []string{
+		`SELECT COUNT(*) FROM sessions WHERE genre = 'western' ERROR WITHIN 25%`,
+		`SELECT AVG(time) FROM sessions WHERE genre = 'western' GROUP BY os ERROR WITHIN 25% LIMIT 2`,
+		`SELECT AVG(time), MEDIAN(time) FROM sessions GROUP BY city WITHIN 2 SECONDS`,
+	}
+	wants := make([]*Response, len(srcs))
+	for i, src := range srcs {
+		w, err := ref.Run(parse(t, src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = stripAll(w)
+	}
+	entry, err := f.cat.Lookup("sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cityFam *sample.Family
+	for _, fam := range entry.Families {
+		if fam.Phi.Key() == "city" {
+			cityFam = fam
+		}
+	}
+
+	const goroutines = 8
+	var queriers, refresher sync.WaitGroup
+	errs := make(chan error, goroutines*15+1)
+	stop := make(chan struct{})
+	refresher.Add(1)
+	go func() {
+		defer refresher.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := f.cat.AddFamily("sessions", cityFam); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		queriers.Add(1)
+		go func(g int) {
+			defer queriers.Done()
+			for i := 0; i < 15; i++ {
+				k := (i + g) % len(srcs)
+				resp, err := f.rt.Run(parse(t, srcs[k]))
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if !reflect.DeepEqual(wants[k], stripAll(resp)) {
+					errs <- fmt.Errorf("goroutine %d iter %d (%s/%s): diverged from serial reference",
+						g, i, resp.Cache, resp.ResultCache)
+					return
+				}
+			}
+		}(g)
+	}
+	queriers.Wait()
+	close(stop)
+	refresher.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -19,12 +19,23 @@ type Stats struct {
 	Prepares int64
 	// CacheHits / CacheMisses count plan-cache outcomes. A stale entry
 	// (catalog epoch changed) counts as a miss. Both stay 0 when the
-	// cache is disabled.
+	// cache is disabled. A result-cache hit consults neither the plan
+	// cache nor these counters.
 	CacheHits   int64
 	CacheMisses int64
+	// ResultHits / ResultMisses / ResultShared count result-cache
+	// outcomes: exact replays served from memory, executions that entered
+	// the cache, and singleflight waiters that shared a concurrent miss's
+	// execution. A stale or TTL-expired entry counts as a miss. All stay
+	// 0 when the result cache is disabled.
+	ResultHits   int64
+	ResultMisses int64
+	ResultShared int64
 	// AnswersByLevel counts final answers by the resolution level that
 	// served them (-1 = base table), whether freshly executed or served
 	// from the prepared-query memo. One entry per conjunctive disjunct.
+	// Result-cache hits replay a recorded answer without re-planning and
+	// are not re-counted here.
 	AnswersByLevel map[int]int64
 }
 
@@ -38,15 +49,29 @@ func (s Stats) HitRate() float64 {
 	return float64(s.CacheHits) / float64(total)
 }
 
+// ResultHitRate returns the fraction of result-cache-eligible queries
+// answered without executing: (hits + shared) / (hits + shared + misses),
+// or 0 before any such query ran.
+func (s Stats) ResultHitRate() float64 {
+	total := s.ResultHits + s.ResultShared + s.ResultMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ResultHits+s.ResultShared) / float64(total)
+}
+
 // Stats returns a snapshot of the runtime's counters. Safe for
 // concurrent use with Run/Prepare/Execute.
 func (rt *Runtime) Stats() Stats {
 	s := Stats{
-		PlanExecs:   rt.planExecs.Load(),
-		ProbeExecs:  rt.probeExecs.Load(),
-		Prepares:    rt.prepares.Load(),
-		CacheHits:   rt.cacheHits.Load(),
-		CacheMisses: rt.cacheMisses.Load(),
+		PlanExecs:    rt.planExecs.Load(),
+		ProbeExecs:   rt.probeExecs.Load(),
+		Prepares:     rt.prepares.Load(),
+		CacheHits:    rt.cacheHits.Load(),
+		CacheMisses:  rt.cacheMisses.Load(),
+		ResultHits:   rt.resultHits.Load(),
+		ResultMisses: rt.resultMisses.Load(),
+		ResultShared: rt.resultShared.Load(),
 	}
 	rt.levelMu.Lock()
 	s.AnswersByLevel = make(map[int]int64, len(rt.answersByLevel))

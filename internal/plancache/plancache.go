@@ -141,6 +141,27 @@ func (c *Cache[V]) Delete(key string) {
 	}
 }
 
+// DeleteIf removes the key only while cond holds for its CURRENT value
+// (checked under the shard lock) and reports whether it removed. It lets
+// a reader that decided to evict a value it loaded earlier (e.g. a
+// TTL-expired entry) avoid racing a concurrent Put: if the slot was
+// refreshed in between, cond sees the new value and the fresh entry
+// survives.
+func (c *Cache[V]) DeleteIf(key string, cond func(V) bool) bool {
+	if c == nil {
+		return false
+	}
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.tab[key]; ok && cond(el.Value.(*entry[V]).val) {
+		s.ll.Remove(el)
+		delete(s.tab, key)
+		return true
+	}
+	return false
+}
+
 // Sweep removes every entry for which keep returns false and reports how
 // many were removed. Each shard is swept under its own lock; keep must
 // not call back into the cache. The ELP runtime uses it to purge ALL

@@ -138,3 +138,67 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("capacity exceeded under concurrency: %d", c.Len())
 	}
 }
+
+// TestGetHitNoAllocs is the plan-cache half of the hit-path allocation
+// audit: serving a hot template from the cache must allocate nothing —
+// the lookup is maphash + map probe + list splice, all in place. The
+// resultcache package (which wraps this LRU) pins the same property for
+// its TTL-checking Get.
+func TestGetHitNoAllocs(t *testing.T) {
+	c := New[int](64)
+	for i := 0; i < 32; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	hot := fmt.Sprintf("k%d", 7)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := c.Get(hot); !ok {
+			t.Fatal("hot key missed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Get hit allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestMissNoAllocs: a miss is just as free (no entry is created).
+func TestMissNoAllocs(t *testing.T) {
+	c := New[int](8)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := c.Get("never-inserted"); ok {
+			t.Fatal("phantom hit")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Get miss allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestDeleteIf: conditional delete removes only while cond holds for the
+// CURRENT value — the primitive resultcache uses so a reader evicting an
+// expired entry cannot race-evict a concurrently refreshed one.
+func TestDeleteIf(t *testing.T) {
+	c := NewSharded[int](4, 1)
+	c.Put("k", 1)
+	if c.DeleteIf("k", func(v int) bool { return v == 2 }) {
+		t.Fatal("cond false must not delete")
+	}
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry vanished despite false cond")
+	}
+	c.Put("k", 2) // the "concurrent refresh"
+	if c.DeleteIf("k", func(v int) bool { return v == 1 }) {
+		t.Fatal("stale cond must not delete the refreshed value")
+	}
+	if v, ok := c.Get("k"); !ok || v != 2 {
+		t.Fatal("refreshed entry must survive a stale conditional delete")
+	}
+	if !c.DeleteIf("k", func(v int) bool { return v == 2 }) {
+		t.Fatal("matching cond must delete")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry survived a matching conditional delete")
+	}
+	if c.DeleteIf("absent", func(int) bool { return true }) {
+		t.Fatal("missing key must report false")
+	}
+}

@@ -2,6 +2,7 @@ package sqlparser
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"blinkdb/internal/stats"
@@ -125,6 +126,45 @@ func writeExprTemplate(b *strings.Builder, e Expr, params []types.Value) []types
 		b.WriteString(e.String())
 		return params
 	}
+}
+
+// ParamsKey renders a parameter vector as a canonical string: the result
+// cache appends it to the template key so two queries share a cache slot
+// exactly when they share template AND parameters. Each value encodes its
+// kind and exact payload (types.Value.Key: floats by bit pattern, so
+// Int(1), Float(1) and Float(1.0000000001) all key differently), with an
+// unambiguous separator. The encoding is at least as strict as
+// ParamsEqual: distinct vectors always key differently, and the float
+// edge cases where the two disagree (+0 vs −0 key differently though ==;
+// identical NaN bit patterns key equally though != under ==) err on the
+// side of an extra cache miss, never a wrong hit.
+func ParamsKey(params []types.Value) string {
+	if len(params) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, v := range params {
+		// Explicit kind byte: Value.Key alone folds Bool(true) into
+		// Int(1) (sound for group keys, where the two compare equal, but
+		// ParamsEqual — and hence the result cache — keeps them apart).
+		b.WriteByte(byte('0' + v.Kind))
+		if v.Kind == types.KindString {
+			// Length-prefix string payloads: the lexer admits ANY byte
+			// inside a quoted literal, including the '\x1f' separator, so
+			// raw concatenation would let one vector forge another
+			// ([a\x1f…b, c] vs [a, b\x1f…c]). With the prefix, decoding a
+			// key is unambiguous, hence the encoding injective.
+			b.WriteString(strconv.Itoa(len(v.S)))
+			b.WriteByte(':')
+			b.WriteString(v.S)
+		} else {
+			// Numeric payloads (base-36 ints, 'b'-format floats) never
+			// contain the separator.
+			b.WriteString(v.Key())
+		}
+		b.WriteByte('\x1f')
+	}
+	return b.String()
 }
 
 // ParamsEqual reports whether two parameter vectors are identical —

@@ -94,3 +94,56 @@ func TestNormalizeDeterministic(t *testing.T) {
 		t.Errorf("normalization not deterministic:\n%q %v\n%q %v", k1, p1, k2, p2)
 	}
 }
+
+// TestParamsKeyCanonical pins the result-cache key contract: vectors that
+// ParamsEqual share a key; vectors differing in any value — including the
+// Int(1)-vs-Float(1) kind distinction and distinct float bit patterns —
+// key differently; and concatenation cannot forge a collision across
+// different vector lengths.
+func TestParamsKeyCanonical(t *testing.T) {
+	v := func(vs ...types.Value) []types.Value { return vs }
+	if ParamsKey(nil) != "" || ParamsKey(v()) != "" {
+		t.Error("empty vectors must share the empty key")
+	}
+	a := v(types.Int(1), types.Str("NY"), types.Float(0.5))
+	b := v(types.Int(1), types.Str("NY"), types.Float(0.5))
+	if ParamsKey(a) != ParamsKey(b) {
+		t.Error("equal vectors keyed differently")
+	}
+	distinct := [][]types.Value{
+		a,
+		v(types.Float(1), types.Str("NY"), types.Float(0.5)),             // kind differs
+		v(types.Int(1), types.Str("NY"), types.Float(0.25)),              // payload differs
+		v(types.Int(1), types.Str("NY")),                                 // shorter
+		v(types.Int(1), types.Str("NY"), types.Float(0.5), types.Int(7)), // longer
+		v(types.Str("iNY"), types.Float(0.5)),                            // prefix-forgery attempt
+		v(types.Bool(true), types.Str("NY"), types.Float(0.5)),
+		v(types.Null(), types.Str("NY"), types.Float(0.5)),
+	}
+	seen := map[string]int{}
+	for i, p := range distinct {
+		k := ParamsKey(p)
+		if j, ok := seen[k]; ok {
+			t.Errorf("vectors %d and %d collide on key %q", j, i, k)
+		}
+		seen[k] = i
+	}
+	// Separator injection: a string literal may contain the '\x1f'
+	// separator byte (the lexer admits any byte inside quotes); without
+	// length-prefixing, these two distinct vectors would concatenate to
+	// the same key and the result cache would serve one query the other's
+	// answer.
+	forgeA := v(types.Str("a\x1f3sb"), types.Str("c"))
+	forgeB := v(types.Str("a"), types.Str("b\x1f3sc"))
+	if ParamsKey(forgeA) == ParamsKey(forgeB) {
+		t.Error("separator injection forged a ParamsKey collision")
+	}
+
+	// The keys Normalize lifts round through ParamsKey consistently with
+	// ParamsEqual on real queries.
+	_, pi := Normalize(mustParse(t, `SELECT COUNT(*) FROM t WHERE a = 1`))
+	_, pf := Normalize(mustParse(t, `SELECT COUNT(*) FROM t WHERE a = 1.0`))
+	if ParamsKey(pi) == ParamsKey(pf) {
+		t.Error("Int(1) and Float(1) literals must key differently")
+	}
+}

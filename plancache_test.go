@@ -7,6 +7,15 @@ import (
 	"testing"
 )
 
+// demoEnginePlanCacheOnly is demoEngine with the result cache disabled,
+// so replay expectations (PlanCache = "hit" on every warm query) test
+// the plan-cache layer rather than being short-circuited by a
+// result-cache hit.
+func demoEnginePlanCacheOnly(t testing.TB, rows int) *Engine {
+	t.Helper()
+	return demoEngineCfg(t, rows, Config{Scale: 1e4, Seed: 7, CacheTables: true, ResultCacheSize: -1})
+}
+
 // TestPlanCacheEquivalenceEndToEnd is the public-API acceptance check of
 // the prepare/execute tentpole: an engine with the plan cache disabled
 // (PlanCacheSize < 0) answers every query bit-identically to main's
@@ -15,7 +24,10 @@ import (
 // — for identical queries on miss and on every hit.
 func TestPlanCacheEquivalenceEndToEnd(t *testing.T) {
 	const rows = 30000
-	base := Config{Scale: 1e4, Seed: 7, CacheTables: true, Workers: 1}
+	// Result cache off on BOTH engines: this test pins the plan-cache
+	// layer in isolation (the result-cache layering has its own suite in
+	// resultcache_test.go).
+	base := Config{Scale: 1e4, Seed: 7, CacheTables: true, Workers: 1, ResultCacheSize: -1}
 
 	off := base
 	off.PlanCacheSize = -1
@@ -77,7 +89,7 @@ func TestPlanCacheEquivalenceEndToEnd(t *testing.T) {
 // first query, runs zero additional probes, and answers for NEW
 // constants stay correct (computed for those constants, not replayed).
 func TestPlanCacheHotTemplateThroughput(t *testing.T) {
-	eng := demoEngine(t, 30000)
+	eng := demoEnginePlanCacheOnly(t, 30000)
 	template := `SELECT AVG(sessiontime) FROM sessions WHERE genre = '%s' ERROR WITHIN 20%%`
 
 	if _, err := eng.Query(fmt.Sprintf(template, "western")); err != nil {
@@ -133,7 +145,7 @@ func TestPlanCacheHotTemplateThroughput(t *testing.T) {
 // template must re-prepare (epoch bump observed) — never serve probes
 // from the replaced sample.
 func TestPlanCacheInvalidationOnRefresh(t *testing.T) {
-	eng := demoEngine(t, 20000)
+	eng := demoEnginePlanCacheOnly(t, 20000)
 	const src = `SELECT AVG(sessiontime) FROM sessions WHERE genre = 'western' ERROR WITHIN 20%`
 
 	if _, err := eng.Query(src); err != nil {
@@ -176,7 +188,7 @@ func TestPlanCacheInvalidationOnRefresh(t *testing.T) {
 // family (forced re-solve under a changed workload) must invalidate
 // cached templates the same way.
 func TestPlanCacheInvalidationOnMaintain(t *testing.T) {
-	eng := demoEngine(t, 20000)
+	eng := demoEnginePlanCacheOnly(t, 20000)
 	const src = `SELECT AVG(sessiontime) FROM sessions WHERE genre = 'western' ERROR WITHIN 20%`
 	if _, err := eng.Query(src); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,217 @@
+package blinkdb
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestResultCacheEquivalenceEndToEnd is the public-API acceptance check
+// of the result-cache tentpole: an engine with the result cache disabled
+// (ResultCacheSize < 0) behaves exactly like the PR 4 pipeline — no
+// result= markers anywhere — and the default engine returns the same
+// answers — estimates, error bars, scan counters AND simulated latencies
+// — on the executing miss and on every replayed hit.
+func TestResultCacheEquivalenceEndToEnd(t *testing.T) {
+	const rows = 30000
+	base := Config{Scale: 1e4, Seed: 7, CacheTables: true, Workers: 1}
+
+	off := base
+	off.ResultCacheSize = -1
+	engOff := demoEngineCfg(t, rows, off)
+	engOn := demoEngineCfg(t, rows, base)
+
+	for _, src := range affinityQueries {
+		want, err := engOff.Query(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if want.ResultCache != "" {
+			t.Fatalf("%q: disabled result cache must not annotate, got %q", src, want.ResultCache)
+		}
+		if strings.Contains(want.Explanation, "result=") {
+			t.Fatalf("%q: disabled result cache leaked a marker into EXPLAIN: %q", src, want.Explanation)
+		}
+		for rep := 0; rep < 2; rep++ {
+			got, err := engOn.Query(src)
+			if err != nil {
+				t.Fatalf("%q rep %d: %v", src, rep, err)
+			}
+			wantNote := "hit"
+			if rep == 0 {
+				wantNote = "miss"
+			}
+			if got.ResultCache != wantNote {
+				t.Errorf("%q rep %d: ResultCache = %q, want %q", src, rep, got.ResultCache, wantNote)
+			}
+			if !strings.Contains(got.Explanation, "result="+wantNote) {
+				t.Errorf("%q rep %d: EXPLAIN %q missing result=%s", src, rep, got.Explanation, wantNote)
+			}
+			// A result hit skips the plan pipeline: no plan-cache marker.
+			if rep > 0 && got.PlanCache != "" {
+				t.Errorf("%q rep %d: result hit leaked PlanCache %q", src, rep, got.PlanCache)
+			}
+			if !reflect.DeepEqual(stripPlanCache(want), stripPlanCache(got)) {
+				t.Errorf("%q rep %d (%s): result-cached engine diverged from result-cache-off\nwant %+v\ngot  %+v",
+					src, rep, wantNote, stripPlanCache(want), stripPlanCache(got))
+			}
+		}
+	}
+	s := engOn.Stats()
+	if s.ResultCacheHits != int64(len(affinityQueries)) || s.ResultCacheMisses != int64(len(affinityQueries)) {
+		t.Errorf("stats: %d hits / %d misses, want %d / %d",
+			s.ResultCacheHits, s.ResultCacheMisses, len(affinityQueries), len(affinityQueries))
+	}
+	if hr := s.ResultCacheHitRate(); hr < 0.49 || hr > 0.51 {
+		t.Errorf("hit rate = %.3f, want 0.5 (one hit per miss)", hr)
+	}
+	if off := engOff.Stats(); off.ResultCacheHits != 0 || off.ResultCacheMisses != 0 || off.ResultCacheShared != 0 {
+		t.Errorf("disabled result cache counted outcomes: %+v", off)
+	}
+}
+
+// TestResultCacheInvalidationOnRefresh: after RefreshSamples, a cached
+// answer must re-execute — never serve a result computed from replaced
+// samples.
+func TestResultCacheInvalidationOnRefresh(t *testing.T) {
+	eng := demoEngine(t, 20000)
+	const src = `SELECT AVG(sessiontime) FROM sessions WHERE genre = 'western' ERROR WITHIN 20%`
+
+	if _, err := eng.Query(src); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := eng.Query(src); res.ResultCache != "hit" {
+		t.Fatalf("warm query should hit the result cache, got %q", res.ResultCache)
+	}
+	if _, ok, err := eng.RefreshSamples("sessions"); err != nil || !ok {
+		t.Fatalf("refresh: ok=%v err=%v", ok, err)
+	}
+	before := eng.Stats()
+	res, err := eng.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResultCache != "miss" {
+		t.Fatalf("post-refresh query served a stale answer: %q, want miss", res.ResultCache)
+	}
+	after := eng.Stats()
+	if after.PlanExecs == before.PlanExecs {
+		t.Error("post-refresh query must re-execute")
+	}
+	// And the re-executed answer is cached again.
+	if res, _ := eng.Query(src); res.ResultCache != "hit" {
+		t.Errorf("re-cached answer should hit, got %q", res.ResultCache)
+	}
+}
+
+// TestResultCacheInvalidationOnMaintain: a forced Maintain pass that
+// rebuilds families invalidates cached answers the same way.
+func TestResultCacheInvalidationOnMaintain(t *testing.T) {
+	eng := demoEngine(t, 20000)
+	const src = `SELECT AVG(sessiontime) FROM sessions WHERE genre = 'western' ERROR WITHIN 20%`
+	if _, err := eng.Query(src); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := eng.Query(src); res.ResultCache != "hit" {
+		t.Fatal("warm query should hit the result cache")
+	}
+	rep, err := eng.Maintain("sessions", MaintainOptions{
+		Templates: []Template{{Columns: []string{"genre"}, Weight: 1}},
+		Force:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resolved {
+		t.Fatalf("forced maintain should re-solve: %+v", rep)
+	}
+	res, err := eng.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResultCache != "miss" {
+		t.Errorf("post-maintain query served a stale answer: %q, want miss", res.ResultCache)
+	}
+}
+
+// TestResultCacheTTLExpiryEndToEnd: Config.ResultCacheTTL bounds answer
+// age through the public API. The hit direction is covered by the
+// default (no-TTL) engines elsewhere; here a tiny TTL plus a sleep pins
+// the expiry direction without any timing-sensitive hit assertion.
+func TestResultCacheTTLExpiryEndToEnd(t *testing.T) {
+	cfg := Config{Scale: 1e4, Seed: 7, CacheTables: true, ResultCacheTTL: time.Millisecond}
+	eng := demoEngineCfg(t, 10000, cfg)
+	const src = `SELECT COUNT(*) FROM sessions WHERE genre = 'western' ERROR WITHIN 20%`
+	if _, err := eng.Query(src); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	res, err := eng.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResultCache != "miss" {
+		t.Fatalf("expired answer served: %q, want miss", res.ResultCache)
+	}
+	if s := eng.Stats(); s.ResultCacheMisses != 2 || s.ResultCacheHits != 0 {
+		t.Errorf("stats = %d hits / %d misses, want 0 / 2", s.ResultCacheHits, s.ResultCacheMisses)
+	}
+}
+
+// TestResultCacheSingleflightEndToEnd is the engine-level -race check of
+// the singleflight contract: 8 goroutines racing ONE cold query must
+// trigger exactly one execution (Stats-counted) and all receive equal
+// answers. Run under -race in CI.
+func TestResultCacheSingleflightEndToEnd(t *testing.T) {
+	eng := demoEngine(t, 20000)
+	// A twin engine (identical deterministic dataset) measures the
+	// executor cost of one serial cold run of the same query.
+	twin := demoEngine(t, 20000)
+	const src = `SELECT AVG(sessiontime) FROM sessions WHERE genre = 'western' GROUP BY os ERROR WITHIN 20%`
+	want, err := twin.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneCold := twin.Stats()
+
+	const goroutines = 8
+	results := make([]*Result, goroutines)
+	errs := make([]error, goroutines)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			results[g], errs[g] = eng.Query(src)
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	notes := map[string]int{}
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		notes[results[g].ResultCache]++
+		if !reflect.DeepEqual(stripPlanCache(want), stripPlanCache(results[g])) {
+			t.Errorf("goroutine %d (%s): answer diverged from the serial cold run",
+				g, results[g].ResultCache)
+		}
+	}
+	s := eng.Stats()
+	if s.ResultCacheMisses != 1 {
+		t.Errorf("ResultCacheMisses = %d, want 1; notes %v", s.ResultCacheMisses, notes)
+	}
+	if s.ResultCacheHits+s.ResultCacheShared != goroutines-1 {
+		t.Errorf("hits+shared = %d+%d, want %d", s.ResultCacheHits, s.ResultCacheShared, goroutines-1)
+	}
+	if s.Prepares != oneCold.Prepares || s.PlanExecs != oneCold.PlanExecs || s.ProbeExecs != oneCold.ProbeExecs {
+		t.Errorf("concurrent cold key cost %d prepares / %d plan execs / %d probes; one serial run costs %d / %d / %d (notes %v)",
+			s.Prepares, s.PlanExecs, s.ProbeExecs, oneCold.Prepares, oneCold.PlanExecs, oneCold.ProbeExecs, notes)
+	}
+}
