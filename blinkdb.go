@@ -38,6 +38,24 @@
 // (ResultCacheSize < 0) restores the execute-every-query pipeline bit
 // for bit.
 //
+// The columnar scan underneath picks its kernels per block from encoding
+// and zone metadata, never changing answers — every dispatch rule below
+// is purely physical, and the row path remains the bit-identical
+// reference. Sorted or low-cardinality columns (stratification columns
+// are sorted by construction; sample builders hint them) are run-length
+// encoded at build time, and predicates over them evaluate once per run
+// instead of once per row. Zone maps classify each block three ways:
+// all-false blocks are skipped, all-true blocks (zones prove a purely
+// conjunctive predicate for every row, requiring NaN-free columns and
+// magnitudes below 2^53) skip predicate evaluation and batch-aggregate
+// whole group runs, and mixed blocks evaluate — through a branch-free
+// selection-vector kernel when the predicate is a single comparison leaf
+// over a null-free numeric column and the running selectivity estimate is
+// at least 1/16, through the bitmap kernels otherwise. Joins materialize
+// late: the fact-only conjuncts filter columnar first, join keys probe
+// the typed hash indexes straight from the key columns, and only matched
+// rows are expanded into pooled combined-row buffers.
+//
 // A minimal session:
 //
 //	eng := blinkdb.Open(blinkdb.Config{})

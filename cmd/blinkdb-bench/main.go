@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -123,6 +124,32 @@ type resultReplayRecord struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// kernelRecord reports the scan-kernel overhaul's three headline ratios,
+// each measured as single-thread throughput of one physical design over
+// another on identical logical data (answers are bit-identical by the
+// Tuning contract; only the kernels differ):
+//
+//   - RLESpeedup: filtered grouped scan over a sorted-stratification
+//     table, the full overhaul (run-length-encoded columns, three-state
+//     zones, selection vectors) vs the pre-overhaul columnar design
+//     (plain typed encodings, two-state zones, bitmap-only kernels).
+//   - LateMatJoinSpeedup: columnar fact⋈dim scan, late materialization
+//     (fact predicate first, probe keys straight from the columns) vs
+//     expanding every fact row through the join before filtering.
+//   - SelVecVsBitmap: mid-selectivity single-leaf predicate dispatched to
+//     the selection-vector kernel vs forced bitmap evaluation.
+type kernelRecord struct {
+	// RLERowsPerSec / PlainRowsPerSec are the two legs behind RLESpeedup.
+	RLERowsPerSec   float64 `json:"rle_rows_per_sec"`
+	PlainRowsPerSec float64 `json:"plain_rows_per_sec"`
+	RLESpeedup      float64 `json:"rle_speedup"`
+	// LateMatJoinSpeedup = late-materialization / early-materialization
+	// join throughput.
+	LateMatJoinSpeedup float64 `json:"latemat_join_speedup"`
+	// SelVecVsBitmap = selection-vector / bitmap scan throughput.
+	SelVecVsBitmap float64 `json:"selvec_vs_bitmap"`
+}
+
 // snapshot is the BENCH_<date>.json schema.
 type snapshot struct {
 	Date        string             `json:"date"`
@@ -133,6 +160,7 @@ type snapshot struct {
 	Executor    execRecord         `json:"executor"`
 	PlanCache   replayRecord       `json:"plan_cache"`
 	ResultCache resultReplayRecord `json:"result_cache"`
+	Kernels     kernelRecord       `json:"kernels"`
 }
 
 func main() {
@@ -146,8 +174,38 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "write a BENCH_<date>.json perf snapshot")
 		jsonPath = flag.String("json-path", "", "override the snapshot path (implies -json)")
 		smoke    = flag.Bool("smoke", false, "shrink the executor/replay micro-benchmarks (CI path coverage; numbers not comparable to tracked snapshots)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -211,6 +269,7 @@ func main() {
 		snap.Executor = executorBench(*smoke)
 		snap.PlanCache = replayBench(*smoke)
 		snap.ResultCache = resultReplayBench(*smoke)
+		snap.Kernels = kernelsBench(*smoke)
 		path := *jsonPath
 		if path == "" {
 			path = "BENCH_" + snap.Date + ".json"
@@ -302,6 +361,142 @@ func executorBench(smoke bool) execRecord {
 	if base := rec.RowsPerSec["1"]; base > 0 {
 		rec.Speedup8vs1 = rec.RowsPerSec["8"] / base
 		rec.ColumnarSpeedup1 = rec.ColumnarRowsPerSec["1"] / base
+	}
+	return rec
+}
+
+// kernelsBench measures the scan-kernel overhaul in isolation (see
+// kernelRecord). All legs run single-threaded on identical logical data;
+// the Tuning knobs and the RLE/plain builder toggle are purely physical,
+// so every pairing is answer-identical by construction — only the kernels
+// under test differ.
+func kernelsBench(smoke bool) kernelRecord {
+	strata, perStratum := 100, 2000
+	window := 500 * time.Millisecond
+	if smoke {
+		strata, perStratum, window = 40, 500, 100*time.Millisecond
+	}
+	rows := strata * perStratum
+
+	// The sorted-stratification shape: rows arrive sorted by the
+	// stratification column (~perStratum-row runs, the layout
+	// sample.Build produces), which the RLE leg encodes per-run and the
+	// plain leg dictionary-encodes per-row.
+	schema := types.NewSchema(
+		types.Column{Name: "strat", Kind: types.KindString},
+		types.Column{Name: "v", Kind: types.KindFloat},
+	)
+	build := func(rle bool) *storage.Table {
+		tab := storage.NewTable("strat", schema)
+		b := storage.NewBuilderLayout(tab, 2048, 4, storage.InMemory, storage.ColumnarLayout)
+		if rle {
+			b.HintSortedColumns(0)
+		} else {
+			b.DisableRLE()
+		}
+		rng := rand.New(rand.NewSource(29))
+		for s := 0; s < strata; s++ {
+			name := types.Str(fmt.Sprintf("stratum-%03d", s))
+			for j := 0; j < perStratum; j++ {
+				b.Append(types.Row{name, types.Float(rng.ExpFloat64() * 100)},
+					storage.RowMeta{Rate: 1, StratumFreq: 1000})
+			}
+		}
+		return b.Finish()
+	}
+	rleTab := build(true)
+	plainTab := build(false)
+
+	measure := func(plan *exec.Plan, tab *storage.Table) float64 {
+		in := exec.FromTable(tab)
+		exec.RunParallel(plan, in, 0.95, 1) // warm
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < window {
+			exec.RunParallel(plan, in, 0.95, 1)
+			iters++
+		}
+		return float64(rows) * float64(iters) / time.Since(start).Seconds()
+	}
+
+	rec := kernelRecord{}
+
+	// Leg 1: the overhauled scan (RLE table, default Tuning) vs the
+	// pre-overhaul columnar design (plain table, three-state zones and
+	// selection vectors switched off). The range covers ~60% of the
+	// strata, so blocks split into pruned / all-true / mixed — the full
+	// three-state spread.
+	scanQ := fmt.Sprintf(
+		`SELECT COUNT(*), SUM(v) FROM strat WHERE strat >= 'stratum-%03d' AND strat < 'stratum-%03d' GROUP BY strat`,
+		strata/5, strata/5+(strata*3)/5)
+	scanPlan, err := compileBench(scanQ, schema)
+	if err != nil {
+		panic(err)
+	}
+	oldPlan := *scanPlan
+	oldPlan.Tuning = exec.Tuning{NoTristateZones: true, NoSelVectors: true}
+	rec.RLERowsPerSec = measure(scanPlan, rleTab)
+	rec.PlainRowsPerSec = measure(&oldPlan, plainTab)
+	if rec.PlainRowsPerSec > 0 {
+		rec.RLESpeedup = rec.RLERowsPerSec / rec.PlainRowsPerSec
+	}
+
+	// Leg 2: selection-vector vs bitmap on a mid-selectivity single-leaf
+	// predicate (v < 100 matches ~63% of ExpFloat64()*100).
+	selQ := `SELECT COUNT(*), SUM(v) FROM strat WHERE v < 100 GROUP BY strat`
+	selPlan, err := compileBench(selQ, schema)
+	if err != nil {
+		panic(err)
+	}
+	bmPlan := *selPlan
+	bmPlan.Tuning.NoSelVectors = true
+	if bm := measure(&bmPlan, rleTab); bm > 0 {
+		rec.SelVecVsBitmap = measure(selPlan, rleTab) / bm
+	}
+
+	// Leg 3: late- vs early-materialized join. The dimension maps strata
+	// to a handful of buckets; the fact-side conjunct keeps ~half the
+	// rows, so early materialization expands twice as many rows as it
+	// aggregates.
+	dimSchema := types.NewSchema(
+		types.Column{Name: "name", Kind: types.KindString},
+		types.Column{Name: "bucket", Kind: types.KindString},
+	)
+	dim := storage.NewTable("strata", dimSchema)
+	db := storage.NewBuilder(dim, 64, 1, storage.InMemory)
+	buckets := []string{"low", "mid", "high", "top"}
+	for s := 0; s < strata; s++ {
+		db.AppendRow(types.Row{
+			types.Str(fmt.Sprintf("stratum-%03d", s)),
+			types.Str(buckets[s*len(buckets)/strata]),
+		})
+	}
+	db.Finish()
+	combined, _, err := exec.JoinedSchema(schema, []*storage.Table{dim})
+	if err != nil {
+		panic(err)
+	}
+	spec := exec.JoinSpec{Dim: dim, LeftCol: 0, RightCol: 0}
+	joinQ := `SELECT COUNT(*), SUM(v) FROM strat WHERE v < 70 AND bucket <> 'mid' GROUP BY bucket`
+	joinPlan, err := compileBench(joinQ, combined)
+	if err != nil {
+		panic(err)
+	}
+	measureJoin := func(plan *exec.Plan) float64 {
+		in := exec.FromTable(rleTab)
+		exec.RunJoinParallel(plan, in, []exec.JoinSpec{spec}, 0.95, 1)
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < window {
+			exec.RunJoinParallel(plan, in, []exec.JoinSpec{spec}, 0.95, 1)
+			iters++
+		}
+		return float64(rows) * float64(iters) / time.Since(start).Seconds()
+	}
+	earlyPlan := *joinPlan
+	earlyPlan.Tuning.NoLateMaterialization = true
+	if early := measureJoin(&earlyPlan); early > 0 {
+		rec.LateMatJoinSpeedup = measureJoin(joinPlan) / early
 	}
 	return rec
 }

@@ -1,6 +1,22 @@
 package colstore
 
-import "blinkdb/internal/types"
+import (
+	"math"
+
+	"blinkdb/internal/types"
+)
+
+// RLE selection thresholds: a column is run-length encoded when its mean
+// run length reaches the threshold (runs ≤ n/threshold), i.e. when one
+// per-run verdict replaces at least that many per-row ones. Columns
+// hinted sorted (HintSorted) use the lower bar: stratification columns
+// are sorted across strata by construction, so even short runs are
+// structural, not luck, and survive refreshes.
+const (
+	rleMinRows          = 16
+	rleMinMeanRun       = 8
+	rleHintedMinMeanRun = 2
+)
 
 // Builder accumulates one block's rows and encodes them into a Data. It
 // mirrors storage.Builder's per-block accumulation: Append rows (with
@@ -12,11 +28,36 @@ type Builder struct {
 	cols  [][]types.Value
 	rates []float64
 	freqs []int64
+
+	// noRLE disables run-length encoding (plain typed encodings only);
+	// sorted marks columns hinted as sorted/low-cardinality.
+	noRLE  bool
+	sorted []bool
 }
 
 // NewBuilder creates a builder for blocks of numCols columns.
 func NewBuilder(numCols int) *Builder {
 	return &Builder{cols: make([][]types.Value, numCols)}
+}
+
+// DisableRLE makes the builder skip run-length encoding and emit only the
+// plain typed encodings — the pre-RLE physical design. Purely physical:
+// results are bit-identical either way (the equivalence tests' "plain
+// columnar" leg is built with this).
+func (b *Builder) DisableRLE() { b.noRLE = true }
+
+// HintSorted marks columns as sorted (or low-cardinality-clustered) so
+// the encoder accepts shorter runs for them. Out-of-range indices are
+// ignored. The hint never affects correctness — only the RLE threshold.
+func (b *Builder) HintSorted(cols ...int) {
+	if b.sorted == nil {
+		b.sorted = make([]bool, len(b.cols))
+	}
+	for _, c := range cols {
+		if c >= 0 && c < len(b.sorted) {
+			b.sorted[c] = true
+		}
+	}
 }
 
 // Len returns the number of rows appended so far.
@@ -43,7 +84,8 @@ func (b *Builder) Finish() *Data {
 	n := len(b.rates)
 	d := &Data{N: n, Cols: make([]Column, len(b.cols))}
 	for c := range b.cols {
-		d.Cols[c] = encodeColumn(b.cols[c])
+		hinted := b.sorted != nil && b.sorted[c]
+		d.Cols[c] = encodeColumn(b.cols[c], !b.noRLE, hinted)
 		b.cols[c] = nil
 	}
 	d.Rates, d.UniformRate = compressFloats(b.rates)
@@ -87,8 +129,56 @@ func compressInts(xs []int64) ([]int64, int64) {
 	return nil, xs[0]
 }
 
+// countRuns counts maximal runs of exactly-equal values. Equality is
+// struct equality — kind AND payload bits — so Int(1)/Float(1) start
+// separate runs and NaN never extends one (NaN != NaN), which is what
+// keeps the encoding lossless.
+func countRuns(vals []types.Value) int {
+	if len(vals) == 0 {
+		return 0
+	}
+	runs := 1
+	for i := 1; i < len(vals); i++ {
+		if vals[i] != vals[i-1] {
+			runs++
+		}
+	}
+	return runs
+}
+
+// noNaN reports whether no value in vals is a float NaN.
+func noNaN(vals []types.Value) bool {
+	for _, v := range vals {
+		if v.Kind == types.KindFloat && math.IsNaN(v.F) {
+			return false
+		}
+	}
+	return true
+}
+
 // encodeColumn picks the tightest lossless encoding for one column.
-func encodeColumn(vals []types.Value) Column {
+func encodeColumn(vals []types.Value, allowRLE, hinted bool) Column {
+	if allowRLE && len(vals) >= rleMinRows {
+		threshold := rleMinMeanRun
+		if hinted {
+			threshold = rleHintedMinMeanRun
+		}
+		if runs := countRuns(vals); runs*threshold <= len(vals) {
+			col := Column{Enc: EncRLE, NaNFree: noNaN(vals)}
+			col.RunVals = make([]types.Value, 0, runs)
+			col.RunEnds = make([]int32, 0, runs)
+			for i, v := range vals {
+				if i == 0 || v != vals[i-1] {
+					col.RunVals = append(col.RunVals, v)
+					col.RunEnds = append(col.RunEnds, int32(i+1))
+				} else {
+					col.RunEnds[len(col.RunEnds)-1] = int32(i + 1)
+				}
+			}
+			return col
+		}
+	}
+
 	kind := types.KindNull
 	mixed := false
 	hasNull := false
@@ -105,7 +195,7 @@ func encodeColumn(vals []types.Value) Column {
 		}
 	}
 	if mixed {
-		return Column{Enc: EncValue, Values: vals}
+		return Column{Enc: EncValue, Values: vals, NaNFree: noNaN(vals)}
 	}
 
 	var nulls []uint64
@@ -120,22 +210,26 @@ func encodeColumn(vals []types.Value) Column {
 	switch kind {
 	case types.KindFloat:
 		xs := make([]float64, len(vals))
+		nanFree := true
 		for i, v := range vals {
 			xs[i] = v.F
+			if math.IsNaN(v.F) {
+				nanFree = false
+			}
 		}
-		return Column{Enc: EncFloat, Floats: xs, Nulls: nulls}
+		return Column{Enc: EncFloat, Floats: xs, Nulls: nulls, NaNFree: nanFree}
 	case types.KindInt:
 		xs := make([]int64, len(vals))
 		for i, v := range vals {
 			xs[i] = v.I
 		}
-		return Column{Enc: EncInt, Ints: xs, Nulls: nulls}
+		return Column{Enc: EncInt, Ints: xs, Nulls: nulls, NaNFree: true}
 	case types.KindBool:
 		xs := make([]int64, len(vals))
 		for i, v := range vals {
 			xs[i] = v.I
 		}
-		return Column{Enc: EncBool, Ints: xs, Nulls: nulls}
+		return Column{Enc: EncBool, Ints: xs, Nulls: nulls, NaNFree: true}
 	case types.KindString:
 		codes := make([]uint32, len(vals))
 		var dict []string
@@ -152,10 +246,10 @@ func encodeColumn(vals []types.Value) Column {
 			}
 			codes[i] = code
 		}
-		return Column{Enc: EncDict, Codes: codes, Dict: dict, Nulls: nulls}
+		return Column{Enc: EncDict, Codes: codes, Dict: dict, Nulls: nulls, NaNFree: true}
 	default:
 		// Every value NULL: any typed encoding with a full null bitmap
 		// reconstructs it; pick float.
-		return Column{Enc: EncFloat, Floats: make([]float64, len(vals)), Nulls: nulls}
+		return Column{Enc: EncFloat, Floats: make([]float64, len(vals)), Nulls: nulls, NaNFree: true}
 	}
 }

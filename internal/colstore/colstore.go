@@ -15,10 +15,38 @@
 // so a columnar scan produces bit-identical results to a row scan. A
 // column whose non-null values mix kinds falls back to a verbatim
 // []types.Value encoding — still contiguous, never wrong.
+//
+// # Encodings
+//
+// The builder picks, per column and per block, the tightest encoding that
+// reconstructs every appended value exactly:
+//
+//   - EncRLE — run-length encoding: maximal runs of exactly-equal values
+//     (NULL runs included; a run's value is stored verbatim, so mixed-kind
+//     columns RLE-encode too) as (RunVals[r], RunEnds[r]) pairs. Chosen
+//     when the column compresses well: by default when the mean run length
+//     is ≥ rleMinMeanRun, or ≥ rleHintedMinMeanRun for columns hinted
+//     sorted via Builder.HintSorted (stratification columns are sorted
+//     within a stratum by construction, so sample builders hint them).
+//     The executor's compare kernels emit one verdict per run and its
+//     group resolution advances once per run instead of once per row.
+//   - EncFloat / EncInt / EncBool — one machine-typed slice plus an
+//     optional null bitmap, when every non-null value shares that kind.
+//   - EncDict — strings as codes into a first-appearance dictionary.
+//   - EncValue — verbatim []types.Value, the fallback for columns whose
+//     non-null values mix kinds (and don't run-length compress).
+//
+// Losslessness contract: for every encoding, Value(i) returns the exact
+// types.Value appended (kind, payload bits, NaN and ±0 included — run
+// detection uses struct equality, never float comparison) and IsNull(i)
+// matches the appended value's kind. Encoding choice can therefore never
+// change a query result, only its speed; the Options knobs (DisableRLE,
+// sorted-column hints) are purely physical.
 package colstore
 
 import (
 	"math/bits"
+	"sort"
 
 	"blinkdb/internal/types"
 )
@@ -39,6 +67,11 @@ const (
 	// EncValue stores values verbatim — the fallback for columns whose
 	// non-null values mix kinds. Nulls is not used; Values holds them.
 	EncValue
+	// EncRLE stores maximal runs of exactly-equal values: RunVals[r] is
+	// run r's value (verbatim, NULL included — Nulls is not used) and
+	// RunEnds[r] its exclusive end row. Runs group by struct equality, so
+	// the encoding is lossless for every kind, NaN payloads included.
+	EncRLE
 )
 
 // String renders the encoding name.
@@ -52,6 +85,8 @@ func (e Encoding) String() string {
 		return "bool"
 	case EncDict:
 		return "dict"
+	case EncRLE:
+		return "rle"
 	default:
 		return "value"
 	}
@@ -69,6 +104,21 @@ type Column struct {
 	Dict   []string
 	Values []types.Value
 	Nulls  []uint64
+
+	// RunVals/RunEnds are the EncRLE payload: RunVals[r] is the value of
+	// run r, RunEnds[r] its exclusive cumulative end row (ascending;
+	// RunEnds[len-1] is the column length). Nulls is unused — NULL runs
+	// store types.Null() in RunVals.
+	RunVals []types.Value
+	RunEnds []int32
+
+	// NaNFree is true when the builder PROVED the column holds no float
+	// NaN (trivially true for int/bool/dict columns). The executor's
+	// all-true zone shortcut relies on it: NaN compares unordered, so a
+	// zone map cannot vouch for a block that might contain one. The zero
+	// value (false) is the conservative side, so hand-assembled columns
+	// stay correct, just ineligible for the shortcut.
+	NaNFree bool
 }
 
 // Len returns the column's row count as implied by its payload slice.
@@ -80,15 +130,28 @@ func (c *Column) Len() int {
 		return len(c.Ints)
 	case EncDict:
 		return len(c.Codes)
+	case EncRLE:
+		if len(c.RunEnds) == 0 {
+			return 0
+		}
+		return int(c.RunEnds[len(c.RunEnds)-1])
 	default:
 		return len(c.Values)
 	}
 }
 
+// RunOf returns the index of the run containing row i (EncRLE only).
+func (c *Column) RunOf(i int) int {
+	return sort.Search(len(c.RunEnds), func(r int) bool { return c.RunEnds[r] > int32(i) })
+}
+
 // IsNull reports whether row i of the column is NULL.
 func (c *Column) IsNull(i int) bool {
-	if c.Enc == EncValue {
+	switch c.Enc {
+	case EncValue:
 		return c.Values[i].IsNull()
+	case EncRLE:
+		return c.RunVals[c.RunOf(i)].IsNull()
 	}
 	return c.Nulls != nil && c.Nulls[i>>6]&(1<<uint(i&63)) != 0
 }
@@ -98,6 +161,8 @@ func (c *Column) Value(i int) types.Value {
 	switch c.Enc {
 	case EncValue:
 		return c.Values[i]
+	case EncRLE:
+		return c.RunVals[c.RunOf(i)]
 	default:
 		if c.IsNull(i) {
 			return types.Null()
@@ -124,6 +189,17 @@ func (c *Column) NumNulls(n int) int {
 			if c.Values[i].IsNull() {
 				count++
 			}
+		}
+		return count
+	}
+	if c.Enc == EncRLE {
+		count := 0
+		start := int32(0)
+		for r, v := range c.RunVals {
+			if v.IsNull() {
+				count += int(c.RunEnds[r] - start)
+			}
+			start = c.RunEnds[r]
 		}
 		return count
 	}

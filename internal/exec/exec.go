@@ -92,11 +92,31 @@ type Plan struct {
 	Aggs       []AggPlan
 	Limit      int
 
+	// Tuning toggles the scan path's physical optimizations.
+	Tuning Tuning
+
 	// rt caches the compiled predicate closure and zone-pruning bounds.
 	// It is populated by Compile/WithPred; hand-assembled Plans fall back
 	// to compiling on entry (without mutating the Plan, so sharing a Plan
 	// across goroutines stays race-free).
 	rt *planRuntime
+}
+
+// Tuning disables individual physical optimizations of the scan path —
+// the A/B benchmarks and the equivalence suite use it to pin the old and
+// new paths against each other. The zero value enables everything. Every
+// combination is purely physical: the Result is bit-identical across all
+// of them (and across worker counts), only the speed differs.
+type Tuning struct {
+	// NoTristateZones keeps zone maps prune-only: blocks whose zones prove
+	// the predicate true for every row are still evaluated row by row.
+	NoTristateZones bool
+	// NoSelVectors disables the selection-vector compare kernels; single-
+	// leaf predicates always evaluate through the bitmap kernels.
+	NoSelVectors bool
+	// NoLateMaterialization makes joins materialize every fact row and
+	// expand it before filtering, as the pre-overhaul path did.
+	NoLateMaterialization bool
 }
 
 // planRuntime is the precompiled hot-path state derived from Plan.Pred.
@@ -106,13 +126,25 @@ type planRuntime struct {
 	// bounds are the conjunctive per-column intervals used for zone-map
 	// pruning inside the scan.
 	bounds map[int]*Bounds
+	// leaves are the predicate's comparison leaves when it is a pure
+	// conjunction of them (nil otherwise) — the precondition for the
+	// all-true zone shortcut (see zoneImpliesPred).
+	leaves []*types.CmpPred
+	// soleLeaf is set when the whole predicate is a single comparison —
+	// the shape eligible for selection-vector kernels.
+	soleLeaf *types.CmpPred
 }
 
 func newPlanRuntime(pred types.Predicate) *planRuntime {
 	if pred == nil {
 		pred = types.TruePred{}
 	}
-	return &planRuntime{pred: types.CompilePredicate(pred), bounds: ColumnBounds(pred)}
+	rt := &planRuntime{pred: types.CompilePredicate(pred), bounds: ColumnBounds(pred)}
+	rt.leaves = conjunctiveLeaves(pred)
+	if len(rt.leaves) == 1 {
+		rt.soleLeaf = rt.leaves[0]
+	}
+	return rt
 }
 
 // runtime returns the plan's compiled state, compiling a transient copy
@@ -419,13 +451,12 @@ func RunPartial(p *Plan, in Input, lo, hi int) *Partial {
 	return runPartial(p, p.runtime(), in, lo, hi, nil, nil)
 }
 
-// runPartial is RunPartial with precompiled plan state, an optional
-// row-expansion hook (joins expand each fact row into zero or more
-// combined rows; nil means identity) and an optional columnar-scan
-// scratch to reuse across the ranges one worker processes (nil allocates
-// on demand).
+// runPartial is RunPartial with precompiled plan state, an optional join
+// runtime (joins expand each fact row through the dimension indexes; nil
+// means a plain scan) and an optional columnar-scan scratch to reuse
+// across the ranges one worker processes (nil allocates on demand).
 func runPartial(p *Plan, rt *planRuntime, in Input, lo, hi int,
-	expand func(r types.Row, emit func(types.Row)), sc *colScratch) *Partial {
+	jr *joinRuntime, sc *colScratch) *Partial {
 
 	pt := &Partial{groups: make(map[uint64][]*groupState)}
 	if lo < 0 {
@@ -435,6 +466,9 @@ func runPartial(p *Plan, rt *planRuntime, in Input, lo, hi int,
 		hi = len(in.Blocks)
 	}
 	pred := rt.pred
+	if sc == nil {
+		sc = &colScratch{} // direct RunPartial calls
+	}
 	for bi := lo; bi < hi; bi++ {
 		b := in.Blocks[bi]
 		if len(rt.bounds) > 0 && !zoneMayMatch(b, rt.bounds) {
@@ -444,17 +478,24 @@ func runPartial(p *Plan, rt *planRuntime, in Input, lo, hi int,
 		if d := b.Col; d != nil {
 			// Columnar block: vectorized kernels (bit-identical to the
 			// row loops below — see vector.go's contract).
-			if sc == nil {
-				sc = &colScratch{} // direct RunPartial calls
-			}
-			if expand == nil {
-				pt.scanColumnar(p, rt, in, d, sc)
+			if jr == nil {
+				// Three-state zone classification: zoneMayMatch above
+				// handled all-false; a zone bracket that PROVES the
+				// predicate lets the scan skip evaluation and
+				// batch-aggregate every row.
+				allTrue := false
+				if pred != nil && rt.leaves != nil && !p.Tuning.NoTristateZones {
+					allTrue = zoneImpliesPred(b, d, rt.leaves)
+				}
+				pt.scanColumnar(p, rt, in, d, sc, allTrue)
+			} else if p.Tuning.NoLateMaterialization {
+				pt.scanColumnarExpand(p, rt, in, d, sc, jr)
 			} else {
-				pt.scanColumnarExpand(p, rt, in, d, sc, expand)
+				pt.scanColumnarJoin(p, rt, in, d, sc, jr)
 			}
 			continue
 		}
-		if expand == nil {
+		if jr == nil {
 			for i, row := range b.Rows {
 				pt.RowsScanned++
 				if pred != nil && !pred(row) {
@@ -468,19 +509,27 @@ func runPartial(p *Plan, rt *planRuntime, in Input, lo, hi int,
 			}
 			continue
 		}
+		// Row-layout join scan: expand every fact row through the join
+		// chain into the pooled combined-row buffer, filter, aggregate.
+		// (addMatched never retains the row, so buffer reuse is safe.)
+		buf := sc.rowBuf(jr.width)
+		var rate float64
+		var freq int64
+		emit := func(r types.Row) {
+			if pred != nil && !pred(r) {
+				return
+			}
+			pt.addMatched(p, r, rate, freq)
+		}
 		for i, row := range b.Rows {
 			pt.RowsScanned++
-			rate := 1.0
+			rate = 1.0
 			if in.Rate != nil {
 				rate = in.Rate(b.Meta[i])
 			}
-			freq := b.Meta[i].StratumFreq
-			expand(row, func(r types.Row) {
-				if pred != nil && !pred(r) {
-					return
-				}
-				pt.addMatched(p, r, rate, freq)
-			})
+			freq = b.Meta[i].StratumFreq
+			n := copy(buf, row)
+			jr.expandInto(buf, n, 0, emit)
 		}
 	}
 	return pt
@@ -733,7 +782,7 @@ func RunParallelSched(p *Plan, in Input, confidence float64, workers int, sched 
 // range order, so every float accumulation — and hence the Result — is
 // identical across schedules and worker counts.
 func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers int,
-	sched Sched, expand func(r types.Row, emit func(types.Row))) *Result {
+	sched Sched, jr *joinRuntime) *Result {
 
 	// Affine scheduling only pays off while every worker can own a
 	// shard; with fewer shards (simulated nodes) than workers it would
@@ -766,7 +815,7 @@ func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers i
 	if workers <= 1 {
 		sc := &colScratch{}
 		for i, r := range ranges {
-			merger.Add(i, runPartial(p, rt, in, r.Lo, r.Hi, expand, sc))
+			merger.Add(i, runPartial(p, rt, in, r.Lo, r.Hi, jr, sc))
 		}
 		return merger.Finish(confidence)
 	}
@@ -789,13 +838,13 @@ func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers i
 					return
 				}
 				if shards == nil {
-					deliver(u, runPartial(p, rt, in, ranges[u].Lo, ranges[u].Hi, expand, sc))
+					deliver(u, runPartial(p, rt, in, ranges[u].Lo, ranges[u].Hi, jr, sc))
 					continue
 				}
 				// A shard's ranges are disjoint from every other shard's,
 				// so each index is delivered exactly once.
 				for _, ri := range shards[u].Ranges {
-					deliver(ri, runPartial(p, rt, in, ranges[ri].Lo, ranges[ri].Hi, expand, sc))
+					deliver(ri, runPartial(p, rt, in, ranges[ri].Lo, ranges[ri].Hi, jr, sc))
 				}
 			}
 		}()

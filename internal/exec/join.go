@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"blinkdb/internal/sqlparser"
@@ -94,20 +95,196 @@ func CompileJoins(q *sqlparser.Query, fact *types.Schema,
 	return combined, specs, nil
 }
 
-// joinIndex is a hash index over one dimension table.
+// joinIndex is a hash index over one dimension table, bucketed by kind so
+// probes never render a string key. The bucketing preserves Value.Key()'s
+// equivalence classes exactly: ints and bools share the integer buckets
+// (Key folds Bool(true) into Int(1)), floats bucket by payload bits with
+// NaN canonicalised (every NaN renders the same Key), strings by value,
+// NULLs together. Per-bucket row order is the dimension scan order, which
+// fixes the expansion order downstream.
 type joinIndex struct {
-	rows map[string][]types.Row
-	spec JoinSpec
+	intRows   map[int64][]types.Row
+	floatRows map[uint64][]types.Row
+	strRows   map[string][]types.Row
+	nullRows  []types.Row
+	spec      JoinSpec
+}
+
+// canonNaN is the shared bucket for every NaN payload (Value.Key renders
+// all NaNs identically, so they must join with each other).
+var canonNaN = math.Float64bits(math.NaN())
+
+func floatBucket(f float64) uint64 {
+	if f != f {
+		return canonNaN
+	}
+	return math.Float64bits(f)
 }
 
 func buildJoinIndex(spec JoinSpec) *joinIndex {
-	idx := &joinIndex{rows: map[string][]types.Row{}, spec: spec}
+	idx := &joinIndex{
+		intRows:   map[int64][]types.Row{},
+		floatRows: map[uint64][]types.Row{},
+		strRows:   map[string][]types.Row{},
+		spec:      spec,
+	}
 	spec.Dim.Scan(func(r types.Row, _ storage.RowMeta) bool {
-		key := r[spec.RightCol].Key()
-		idx.rows[key] = append(idx.rows[key], r)
+		switch v := r[spec.RightCol]; v.Kind {
+		case types.KindInt, types.KindBool:
+			idx.intRows[v.I] = append(idx.intRows[v.I], r)
+		case types.KindFloat:
+			b := floatBucket(v.F)
+			idx.floatRows[b] = append(idx.floatRows[b], r)
+		case types.KindString:
+			idx.strRows[v.S] = append(idx.strRows[v.S], r)
+		default:
+			idx.nullRows = append(idx.nullRows, r)
+		}
 		return true
 	})
 	return idx
+}
+
+// lookup returns the dimension rows matching the probe value, allocation-
+// free.
+func (idx *joinIndex) lookup(v types.Value) []types.Row {
+	switch v.Kind {
+	case types.KindInt, types.KindBool:
+		return idx.intRows[v.I]
+	case types.KindFloat:
+		return idx.floatRows[floatBucket(v.F)]
+	case types.KindString:
+		return idx.strRows[v.S]
+	default:
+		return idx.nullRows
+	}
+}
+
+// joinRuntime is the precompiled state for one join execution: the
+// dimension indexes, the combined-row geometry, and the predicate split
+// into the fact-only conjuncts (evaluated columnar, before expansion) and
+// the remainder (evaluated on combined rows).
+type joinRuntime struct {
+	idxs []*joinIndex
+	// width is the combined schema's column count — the pooled buffer
+	// size, fixed at plan time.
+	width int
+	// factW is the fact schema's column count; combined rows hold the
+	// fact columns at [0, factW) and each dimension after the previous.
+	factW int
+	// factPred is the conjunction of predicate conjuncts that reference
+	// only fact columns (nil: no fact-side filtering).
+	factPred types.Predicate
+	// restPred is the compiled remainder (nil: always true). factPred AND
+	// restPred ≡ the plan predicate.
+	restPred func(types.Row) bool
+}
+
+// newJoinRuntime builds the runtime for plan p (compiled against the
+// combined schema) joining fact input in with the given specs.
+func newJoinRuntime(p *Plan, joins []JoinSpec) *joinRuntime {
+	jr := &joinRuntime{width: p.Schema.Len()}
+	factW := jr.width
+	for _, j := range joins {
+		factW -= j.Dim.Schema.Len()
+	}
+	jr.factW = factW
+	for _, j := range joins {
+		jr.idxs = append(jr.idxs, buildJoinIndex(j))
+	}
+	factPred, restPred := splitJoinPred(p.Pred, factW)
+	jr.factPred = factPred
+	if restPred != nil {
+		jr.restPred = types.CompilePredicate(restPred)
+	}
+	return jr
+}
+
+// splitJoinPred partitions the predicate's top-level conjuncts by whether
+// they reference only fact columns. Conjuncts straddling the sides — or a
+// predicate whose top level is not a conjunction — stay whole on the rest
+// side (conservative: factPred may under-filter, never over-filter).
+func splitJoinPred(pred types.Predicate, factW int) (fact, rest types.Predicate) {
+	var factKids, restKids []types.Predicate
+	var walk func(p types.Predicate)
+	walk = func(p types.Predicate) {
+		if t, ok := p.(*types.AndPred); ok {
+			for _, k := range t.Kids {
+				walk(k)
+			}
+			return
+		}
+		if _, ok := p.(types.TruePred); ok {
+			return // contributes nothing to either side
+		}
+		if maxPredCol(p) < factW {
+			factKids = append(factKids, p)
+		} else {
+			restKids = append(restKids, p)
+		}
+	}
+	if pred != nil {
+		walk(pred)
+	}
+	return joinConjuncts(factKids), joinConjuncts(restKids)
+}
+
+func joinConjuncts(kids []types.Predicate) types.Predicate {
+	switch len(kids) {
+	case 0:
+		return nil
+	case 1:
+		return kids[0]
+	default:
+		return &types.AndPred{Kids: kids}
+	}
+}
+
+// maxPredCol returns the largest column index the predicate can read
+// (-1 for none). Unknown predicate implementations report the maximum, so
+// they are never treated as fact-only.
+func maxPredCol(p types.Predicate) int {
+	max := -1
+	grow := func(c int) {
+		if c > max {
+			max = c
+		}
+	}
+	switch t := p.(type) {
+	case types.TruePred:
+	case *types.CmpPred:
+		grow(t.ColIdx)
+	case *types.AndPred:
+		for _, k := range t.Kids {
+			grow(maxPredCol(k))
+		}
+	case *types.OrPred:
+		for _, k := range t.Kids {
+			grow(maxPredCol(k))
+		}
+	case *types.NotPred:
+		grow(maxPredCol(t.Kid))
+	default:
+		return int(^uint(0) >> 1)
+	}
+	return max
+}
+
+// expandInto enumerates the join chain from depth onward into buf, whose
+// first n columns hold the accumulated left side, invoking emit with the
+// full combined row for every complete expansion. buf is reused across
+// emissions — callers must not retain the emitted row (addMatched
+// copies everything it keeps).
+func (jr *joinRuntime) expandInto(buf types.Row, n, depth int, emit func(types.Row)) {
+	if depth == len(jr.idxs) {
+		emit(buf[:n])
+		return
+	}
+	ix := jr.idxs[depth]
+	for _, dimRow := range ix.lookup(buf[ix.spec.LeftCol]) {
+		copy(buf[n:n+len(dimRow)], dimRow)
+		jr.expandInto(buf, n+len(dimRow), depth+1, emit)
+	}
 }
 
 // RunJoin executes the plan over fact ⋈ dims with a single worker. It is
@@ -132,33 +309,15 @@ func RunJoinParallel(p *Plan, in Input, joins []JoinSpec, confidence float64, wo
 // RunJoinParallelSched is RunJoinParallel with an explicit scheduling
 // mode.
 func RunJoinParallelSched(p *Plan, in Input, joins []JoinSpec, confidence float64, workers int, sched Sched) *Result {
-	idxs := make([]*joinIndex, len(joins))
-	for i, j := range joins {
-		idxs[i] = buildJoinIndex(j)
-	}
+	jr := newJoinRuntime(p, joins)
 	joined := Input{
 		Schema: p.Schema,
 		Blocks: in.Blocks,
 		Rate:   in.Rate,
 	}
-	// Expand each fact row through the join chain inside the scan.
-	return runRanges(p, p.runtime(), joined, confidence, workers, sched,
-		func(fact types.Row, emit func(types.Row)) {
-			expandJoins(fact, idxs, 0, emit)
-		})
-}
-
-func expandJoins(left types.Row, idxs []*joinIndex, depth int, emit func(types.Row)) {
-	if depth == len(idxs) {
-		emit(left)
-		return
-	}
-	idx := idxs[depth]
-	matches := idx.rows[left[idx.spec.LeftCol].Key()]
-	for _, dimRow := range matches {
-		combined := make(types.Row, 0, len(left)+len(dimRow))
-		combined = append(combined, left...)
-		combined = append(combined, dimRow...)
-		expandJoins(combined, idxs, depth+1, emit)
-	}
+	// The scan drives expansion through jr: columnar fact blocks take the
+	// late-materialization path (fact predicate first, probe keys straight
+	// from the columns, materialise only matched rows), row blocks expand
+	// into the pooled buffer.
+	return runRanges(p, p.runtime(), joined, confidence, workers, sched, jr)
 }

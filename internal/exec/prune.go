@@ -3,6 +3,7 @@ package exec
 import (
 	"math"
 
+	"blinkdb/internal/colstore"
 	"blinkdb/internal/storage"
 	"blinkdb/internal/types"
 )
@@ -85,6 +86,107 @@ func (b *Bounds) overlapsZone(zMin, zMax types.Value) bool {
 	if b.Lo != nil {
 		c := types.Compare(zMax, *b.Lo)
 		if c < 0 || (c == 0 && b.LoOpen) {
+			return false
+		}
+	}
+	return true
+}
+
+// conjunctiveLeaves returns the predicate's comparison leaves when the
+// predicate is a PURE conjunction of them (Cmp leaves under And nodes,
+// TruePred allowed), and nil otherwise. Only a pure conjunction lets the
+// all-true zone shortcut equate "every leaf holds for every row" with
+// "the predicate holds for every row"; OR/NOT/unknown subtrees disable it.
+func conjunctiveLeaves(p types.Predicate) []*types.CmpPred {
+	out := []*types.CmpPred{}
+	if !collectLeaves(p, &out) {
+		return nil
+	}
+	return out
+}
+
+func collectLeaves(p types.Predicate, out *[]*types.CmpPred) bool {
+	switch t := p.(type) {
+	case types.TruePred:
+		return true
+	case *types.CmpPred:
+		*out = append(*out, t)
+		return true
+	case *types.AndPred:
+		for _, k := range t.Kids {
+			if !collectLeaves(k, out) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// zoneOrderSafe reports whether v may participate in interval implication:
+// types.Compare must behave as a transitive total order between v and
+// every value a zone could bracket. Numeric magnitudes ≥ 2^53 break that
+// (int→float rounding makes distinct values compare equal), and NaN
+// compares unordered — both bail out. Strings, bools and NULL are safe.
+func zoneOrderSafe(v types.Value) bool {
+	const maxExact = int64(1) << 53
+	switch v.Kind {
+	case types.KindInt:
+		return v.I < maxExact && v.I > -maxExact
+	case types.KindFloat:
+		return math.Abs(v.F) < float64(maxExact) // NaN fails too
+	}
+	return true
+}
+
+// leafImplied reports whether EVERY value v with zmin ≤ v ≤ zmax (under
+// types.Compare — NULLs included, since zones extend through them as the
+// minimum) satisfies the comparison leaf. Sound because, after the
+// zoneOrderSafe guards, Compare is a transitive total order over the
+// zone's bracket and the constant, and every scan kernel (row closures and
+// columnar kernels alike) decides each row exactly by
+// cmpPass(Compare(rowVal, val), opFlags).
+func leafImplied(zmin, zmax, val types.Value, op types.CmpOp) bool {
+	if !zoneOrderSafe(zmin) || !zoneOrderSafe(zmax) || !zoneOrderSafe(val) {
+		return false
+	}
+	cmin, cmax := types.Compare(zmin, val), types.Compare(zmax, val)
+	switch op {
+	case types.CmpLt:
+		return cmax < 0
+	case types.CmpLe:
+		return cmax <= 0
+	case types.CmpGt:
+		return cmin > 0
+	case types.CmpGe:
+		return cmin >= 0
+	case types.CmpEq:
+		return cmin == 0 && cmax == 0
+	case types.CmpNe:
+		return cmax < 0 || cmin > 0
+	}
+	return false
+}
+
+// zoneImpliesPred is the all-true third state of zone classification: it
+// reports whether the block's zones prove the (purely conjunctive)
+// predicate holds for EVERY row, letting the scan skip predicate
+// evaluation entirely and batch-aggregate the whole block. Requires each
+// leaf's column to be NaN-free (a hidden NaN fails ordered comparisons
+// without moving the zone) with a valid zone whose bracket implies the
+// leaf. Purely an evaluation shortcut: a false return only means "evaluate
+// normally", so results are bit-identical either way.
+func zoneImpliesPred(b *storage.Block, d *colstore.Data, leaves []*types.CmpPred) bool {
+	for _, t := range leaves {
+		ci := t.ColIdx
+		if ci >= len(b.Zones) || !b.Zones[ci].Valid {
+			return false
+		}
+		if ci >= len(d.Cols) || !d.Cols[ci].NaNFree {
+			return false
+		}
+		z := b.Zones[ci]
+		if !leafImplied(z.Min, z.Max, t.Val, t.Op) {
 			return false
 		}
 	}

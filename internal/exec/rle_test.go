@@ -1,0 +1,564 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"blinkdb/internal/colstore"
+	"blinkdb/internal/storage"
+	"blinkdb/internal/types"
+)
+
+// stratSortedTable builds a table shaped like a stratified sample's
+// physical layout: rows sorted by the stratification column (long runs),
+// a block-monotonic int column (tight zones → all-true/all-false blocks),
+// NULL runs, and a mixed-kind column whose values also arrive in runs.
+// layout picks row vs columnar; rle toggles run-length encoding (with the
+// stratification columns hinted sorted) vs the plain typed encodings.
+func stratSortedTable(t testing.TB, layout storage.Layout, rle bool) *storage.Table {
+	t.Helper()
+	schema := types.NewSchema(
+		types.Column{Name: "strat", Kind: types.KindString},
+		types.Column{Name: "tier", Kind: types.KindInt},
+		types.Column{Name: "score", Kind: types.KindFloat},
+		types.Column{Name: "v", Kind: types.KindFloat},
+		types.Column{Name: "blob", Kind: types.KindFloat},
+	)
+	tab := storage.NewTable("strat", schema)
+	b := storage.NewBuilderLayout(tab, 128, 4, storage.InMemory, layout)
+	if !rle {
+		b.DisableRLE()
+	} else {
+		b.HintSortedColumns(0, 1)
+	}
+	rng := rand.New(rand.NewSource(7))
+	row := 0
+	for s := 0; s < 30; s++ {
+		strat := types.Str(fmt.Sprintf("stratum-%02d", s))
+		runLen := 120 + rng.Intn(160)
+		for j := 0; j < runLen; j++ {
+			// score: NULL runs for some strata, constant-ish runs elsewhere,
+			// with a handful of kinds mixed in run-shaped stretches.
+			var score types.Value
+			switch s % 4 {
+			case 0:
+				score = types.Null()
+			case 1:
+				score = types.Float(float64(s))
+			case 2:
+				score = types.Int(int64(s * 10))
+			default:
+				score = types.Str("grade-" + string(rune('A'+s%5)))
+			}
+			b.Append(types.Row{
+				strat,
+				types.Int(int64(row / 128)), // monotonic per block → tight zones
+				score,
+				types.Float(rng.ExpFloat64() * 50),
+				types.Float(rng.NormFloat64()),
+			}, storage.RowMeta{Rate: 1, StratumFreq: int64(100 + s)})
+			row++
+		}
+	}
+	return b.Finish()
+}
+
+func hasRLEColumn(tab *storage.Table) bool {
+	for _, blk := range tab.Blocks {
+		if blk.Col == nil {
+			continue
+		}
+		for _, c := range blk.Col.Cols {
+			if c.Enc == colstore.EncRLE {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestThreeWayEquivalence is the overhaul's acceptance gate: row layout,
+// plain-columnar (RLE disabled) and RLE-columnar must return bit-identical
+// Results for every query shape, worker count and Tuning combination —
+// including all-true/all-false zone blocks, NULL runs, mixed-kind run
+// columns, and selection-vector vs bitmap kernel dispatch.
+func TestThreeWayEquivalence(t *testing.T) {
+	row := stratSortedTable(t, storage.RowLayout, false)
+	plain := stratSortedTable(t, storage.ColumnarLayout, false)
+	rle := stratSortedTable(t, storage.ColumnarLayout, true)
+	if hasRLEColumn(plain) {
+		t.Fatal("DisableRLE leg still produced an RLE column")
+	}
+	if !hasRLEColumn(rle) {
+		t.Fatal("RLE leg produced no RLE columns — the suite would be vacuous")
+	}
+	queries := []string{
+		// tier is block-monotonic: these ranges make some blocks all-false
+		// (pruned), some all-true (zone-implied), some mixed.
+		`SELECT COUNT(*), SUM(v) FROM strat WHERE tier >= 10 AND tier < 25 GROUP BY strat`,
+		`SELECT COUNT(*) FROM strat WHERE tier < 999`,                             // every block all-true
+		`SELECT COUNT(*) FROM strat WHERE tier > 999`,                             // every block all-false
+		`SELECT AVG(v) FROM strat WHERE strat = 'stratum-07'`,                     // RLE leaf, single-run strata
+		`SELECT SUM(v), COUNT(score) FROM strat WHERE v < 40 GROUP BY strat`,      // mid-selectivity single leaf → selvec
+		`SELECT COUNT(*) FROM strat WHERE v < 0.5 GROUP BY strat`,                 // sparse single leaf → bitmap
+		`SELECT AVG(score), MEDIAN(v) FROM strat WHERE score >= 5 GROUP BY strat`, // mixed-kind RLE column in pred+agg
+		`SELECT SUM(score) FROM strat WHERE strat <> 'stratum-00' AND NOT (v <= 5)`,
+		`SELECT COUNT(*), AVG(v) FROM strat WHERE score = 70 OR strat < 'stratum-03' GROUP BY tier`,
+	}
+	tunings := []Tuning{
+		{},
+		{NoTristateZones: true},
+		{NoSelVectors: true},
+		{NoTristateZones: true, NoSelVectors: true},
+	}
+	for _, src := range queries {
+		p := compile(t, src, row.Schema)
+		want := RunParallel(p, FromTable(row), 0.95, 1)
+		for li, leg := range []*storage.Table{plain, rle} {
+			for _, tn := range tunings {
+				pt := *p
+				pt.Tuning = tn
+				for _, w := range []int{1, 2, 8} {
+					got := RunParallel(&pt, FromTable(leg), 0.95, w)
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("leg=%d tuning=%+v workers=%d query=%q: diverged\nwant %+v\ngot  %+v",
+							li, tn, w, src, want, got)
+					}
+				}
+			}
+		}
+		// Weighted-rate variant (per-row rates through FromBlocks).
+		wantW := RunParallel(p, FromBlocks(row.Schema, row.Blocks, 150), 0.95, 1)
+		gotW := RunParallel(p, FromBlocks(rle.Schema, rle.Blocks, 150), 0.95, 4)
+		if !reflect.DeepEqual(wantW, gotW) {
+			t.Fatalf("weighted query=%q: diverged", src)
+		}
+	}
+}
+
+// TestThreeWayJoinEquivalence pins late-materialized joins against the
+// row path and the early-materialization fallback across fact layouts.
+func TestThreeWayJoinEquivalence(t *testing.T) {
+	row := stratSortedTable(t, storage.RowLayout, false)
+	plain := stratSortedTable(t, storage.ColumnarLayout, false)
+	rle := stratSortedTable(t, storage.ColumnarLayout, true)
+
+	dimSchema := types.NewSchema(
+		types.Column{Name: "name", Kind: types.KindString},
+		types.Column{Name: "bucket", Kind: types.KindString},
+	)
+	dim := storage.NewTable("strata", dimSchema)
+	db := storage.NewBuilder(dim, 16, 1, storage.InMemory)
+	for s := 0; s < 30; s += 2 { // odd strata deliberately unmatched
+		db.AppendRow(types.Row{
+			types.Str(fmt.Sprintf("stratum-%02d", s)),
+			types.Str([]string{"low", "mid", "high"}[s/10]),
+		})
+	}
+	db.Finish()
+
+	combined, _, err := JoinedSchema(row.Schema, []*storage.Table{dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JoinSpec{Dim: dim, LeftCol: 0, RightCol: 0}
+	queries := []string{
+		// Fact-side conjunct + dim-side conjunct: exercises the split.
+		`SELECT COUNT(*), SUM(v) FROM strat WHERE v < 40 AND bucket <> 'mid' GROUP BY bucket`,
+		`SELECT AVG(v) FROM strat WHERE bucket = 'high' GROUP BY strat`,            // rest-only pred
+		`SELECT COUNT(*) FROM strat WHERE tier >= 5 AND tier < 20 GROUP BY bucket`, // fact-only pred
+		`SELECT SUM(v) FROM strat GROUP BY bucket`,                                 // no pred at all
+	}
+	for _, src := range queries {
+		p := compile(t, src, combined)
+		want := RunJoinParallel(p, FromTable(row), []JoinSpec{spec}, 0.95, 1)
+		for li, leg := range []*storage.Table{plain, rle} {
+			for _, tn := range []Tuning{{}, {NoLateMaterialization: true}} {
+				pt := *p
+				pt.Tuning = tn
+				for _, w := range []int{1, 2, 8} {
+					got := RunJoinParallel(&pt, FromTable(leg), []JoinSpec{spec}, 0.95, w)
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("leg=%d tuning=%+v workers=%d query=%q: join diverged\nwant %+v\ngot  %+v",
+							li, tn, w, src, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvalPredMatchesRowEvalRLE runs the kernel-vs-interpreter cross-check
+// over a table with genuine RLE columns (NULL runs, mixed-kind runs).
+func TestEvalPredMatchesRowEvalRLE(t *testing.T) {
+	tab := stratSortedTable(t, storage.ColumnarLayout, true)
+	var preds []types.Predicate
+	for col := 0; col < tab.Schema.Len(); col++ {
+		name := tab.Schema.Columns[col].Name
+		for _, val := range []types.Value{
+			types.Int(70), types.Float(7), types.Str("stratum-07"),
+			types.Str("grade-B"), types.Bool(true), types.Null(),
+		} {
+			for _, op := range []types.CmpOp{types.CmpLt, types.CmpLe, types.CmpEq, types.CmpGe, types.CmpGt, types.CmpNe} {
+				preds = append(preds, &types.CmpPred{Col: name, ColIdx: col, Op: op, Val: val})
+			}
+		}
+	}
+	sc := &colScratch{}
+	for pi, pred := range preds {
+		for _, blk := range tab.Blocks {
+			d := blk.Col
+			dst := sc.bitmap(d.N)
+			evalPred(pred, d, dst, d.N, sc)
+			for i := 0; i < d.N; i++ {
+				got := dst[i>>6]&(1<<uint(i&63)) != 0
+				want := pred.Eval(blk.RowAt(i))
+				if got != want {
+					t.Fatalf("pred %d (%s) block %d row %d: bitmap=%v eval=%v (row %v)",
+						pi, pred, blk.ID, i, got, want, blk.RowAt(i))
+				}
+			}
+		}
+	}
+}
+
+// TestSelVecMatchesBitmap pins the selection-vector kernels against the
+// bitmap kernels element-for-element across operators and NaN.
+func TestSelVecMatchesBitmap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 517
+	fs := make([]float64, n)
+	is := make([]int64, n)
+	for i := range fs {
+		fs[i] = math.Floor(rng.NormFloat64() * 10)
+		is[i] = int64(rng.Intn(40) - 20)
+	}
+	fs[5], fs[100] = math.NaN(), math.Inf(1)
+	dst := make([]uint64, (n+63)/64)
+	idxs := make([]int32, n)
+	for _, op := range []types.CmpOp{types.CmpLt, types.CmpLe, types.CmpEq, types.CmpGe, types.CmpGt, types.CmpNe} {
+		lt, eq, gt := opFlags(op)
+		cmpFloats(fs, 3, dst, lt, eq, gt)
+		k := selFloats(fs, 3, idxs, lt, eq, gt)
+		checkSelAgainstBitmap(t, "floats", op, dst, n, idxs[:k])
+		cmpInts(is, -2, dst, lt, eq, gt)
+		k = selInts(is, -2, idxs, lt, eq, gt)
+		checkSelAgainstBitmap(t, "ints", op, dst, n, idxs[:k])
+	}
+}
+
+func checkSelAgainstBitmap(t *testing.T, kind string, op types.CmpOp, dst []uint64, n int, idxs []int32) {
+	t.Helper()
+	j := 0
+	for i := 0; i < n; i++ {
+		inBitmap := dst[i>>6]&(1<<uint(i&63)) != 0
+		inSel := j < len(idxs) && idxs[j] == int32(i)
+		if inSel {
+			j++
+		}
+		if inBitmap != inSel {
+			t.Fatalf("%s %v row %d: bitmap=%v selvec=%v", kind, op, i, inBitmap, inSel)
+		}
+	}
+	if j != len(idxs) {
+		t.Fatalf("%s %v: selection vector has %d extra entries", kind, op, len(idxs)-j)
+	}
+}
+
+// TestCmpIntsAsFloatNormalization checks the int-threshold rewrite against
+// the per-element float-conversion reference on every tricky constant:
+// fractional, integral, NaN, ±Inf, and the 2^53/2^63 rounding bands.
+func TestCmpIntsAsFloatNormalization(t *testing.T) {
+	xs := []int64{
+		math.MinInt64, math.MinInt64 + 1, -(1 << 62), -(1 << 53) - 1, -(1 << 53), -(1 << 53) + 1,
+		-4, -3, -2, -1, 0, 1, 2, 3, 4, 255,
+		(1 << 53) - 1, 1 << 53, (1 << 53) + 1, (1 << 53) + 2, 1 << 62, math.MaxInt64 - 1, math.MaxInt64,
+	}
+	consts := []float64{
+		2.5, -2.5, 3, -3, 0, 0.5, -0.5, math.NaN(), math.Inf(1), math.Inf(-1),
+		float64(1<<53) - 1, float64(1 << 53), float64(1<<53) + 2, -float64(1 << 53),
+		float64(1 << 62), float64(math.MaxInt64), -float64(1 << 63), 1e19, -1e19, 1e300,
+	}
+	dst := make([]uint64, (len(xs)+63)/64)
+	for _, c := range consts {
+		for _, op := range []types.CmpOp{types.CmpLt, types.CmpLe, types.CmpEq, types.CmpGe, types.CmpGt, types.CmpNe} {
+			lt, eq, gt := opFlags(op)
+			cmpIntsAsFloat(xs, c, dst, lt, eq, gt)
+			for i, v := range xs {
+				f := float64(v)
+				want := eq
+				if f < c {
+					want = lt
+				} else if f > c {
+					want = gt
+				}
+				got := dst[i>>6]&(1<<uint(i&63)) != 0
+				if got != want {
+					t.Fatalf("c=%g op=%v v=%d: got %v want %v", c, op, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestScanColumnarSteadyStateZeroAlloc pins the per-block scan loop at
+// zero allocations once scratch and group states are warm — the property
+// the whole pooling design exists for.
+func TestScanColumnarSteadyStateZeroAlloc(t *testing.T) {
+	for _, rle := range []bool{false, true} {
+		tab := stratSortedTable(t, storage.ColumnarLayout, rle)
+		// COUNT/SUM only: quantile accumulators buffer samples and so
+		// allocate by design.
+		p := compile(t, `SELECT COUNT(*), SUM(v) FROM strat WHERE v < 40 GROUP BY strat`, tab.Schema)
+		rt := p.runtime()
+		in := FromTable(tab)
+		sc := &colScratch{}
+		pt := &Partial{groups: make(map[uint64][]*groupState)}
+		scan := func() {
+			for _, blk := range tab.Blocks {
+				pt.scanColumnar(p, rt, in, blk.Col, sc, false)
+			}
+		}
+		scan() // warm: group states, scratch buffers, batch pools
+		if a := testing.AllocsPerRun(20, scan); a != 0 {
+			t.Errorf("rle=%v: steady-state scan allocates %.1f allocs/run, want 0", rle, a)
+		}
+	}
+}
+
+// TestScanColumnarJoinSteadyStateZeroAlloc pins the late- and
+// early-materialization join scan loops at zero allocations per pass once
+// the pooled combined-row buffer (sized at plan time, reused via
+// colScratch) and group states are warm — the regression the buffer hoist
+// exists to prevent.
+func TestScanColumnarJoinSteadyStateZeroAlloc(t *testing.T) {
+	tab := stratSortedTable(t, storage.ColumnarLayout, true)
+	dimSchema := types.NewSchema(
+		types.Column{Name: "name", Kind: types.KindString},
+		types.Column{Name: "bucket", Kind: types.KindString},
+	)
+	dim := storage.NewTable("strata", dimSchema)
+	db := storage.NewBuilder(dim, 16, 1, storage.InMemory)
+	for s := 0; s < 30; s++ {
+		db.AppendRow(types.Row{
+			types.Str(fmt.Sprintf("stratum-%02d", s)),
+			types.Str([]string{"low", "mid", "high"}[s/10]),
+		})
+	}
+	db.Finish()
+	combined, _, err := JoinedSchema(tab.Schema, []*storage.Table{dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := compile(t, `SELECT COUNT(*), SUM(v) FROM strat WHERE v < 40 AND bucket <> 'mid' GROUP BY bucket`, combined)
+	rt := p.runtime()
+	jr := newJoinRuntime(p, []JoinSpec{{Dim: dim, LeftCol: 0, RightCol: 0}})
+	in := FromTable(tab)
+	for name, late := range map[string]bool{"late": true, "early": false} {
+		sc := &colScratch{}
+		pt := &Partial{groups: make(map[uint64][]*groupState)}
+		scan := func() {
+			for _, blk := range tab.Blocks {
+				if late {
+					pt.scanColumnarJoin(p, rt, in, blk.Col, sc, jr)
+				} else {
+					pt.scanColumnarExpand(p, rt, in, blk.Col, sc, jr)
+				}
+			}
+		}
+		scan() // warm: row buffer, bitmap scratch, group states
+		if a := testing.AllocsPerRun(20, scan); a != 0 {
+			t.Errorf("%s: steady-state join scan allocates %.1f allocs/run, want 0", name, a)
+		}
+	}
+}
+
+// TestTristateZoneSkipsEval asserts the all-true classification actually
+// fires: a predicate its zones prove must aggregate every row without the
+// per-row selection pass (observable via the selectivity counters staying
+// exact AND zoneImpliesPred returning true for at least one block).
+func TestTristateZoneSkipsEval(t *testing.T) {
+	tab := stratSortedTable(t, storage.ColumnarLayout, true)
+	p := compile(t, `SELECT COUNT(*) FROM strat WHERE tier >= 2 AND tier < 20`, tab.Schema)
+	rt := p.runtime()
+	if rt.leaves == nil {
+		t.Fatal("conjunctive predicate yielded no leaves")
+	}
+	implied := 0
+	for _, blk := range tab.Blocks {
+		if blk.Col == nil {
+			continue
+		}
+		if zoneImpliesPred(blk, blk.Col, rt.leaves) {
+			implied++
+		}
+	}
+	if implied == 0 {
+		t.Fatal("no block classified all-true — the shortcut never fires on its target workload")
+	}
+	// And the shortcut must not change results (belt over the equivalence
+	// suite's braces, on this exact plan).
+	want := RunParallel(p, FromTable(tab), 0.95, 1)
+	pNo := *p
+	pNo.Tuning.NoTristateZones = true
+	got := RunParallel(&pNo, FromTable(tab), 0.95, 1)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("three-state zones changed the result")
+	}
+}
+
+// TestZoneImpliesPredGuards pins the soundness guards: NaN-bearing
+// columns and ≥2^53 magnitudes must never be classified all-true.
+func TestZoneImpliesPredGuards(t *testing.T) {
+	schema := types.NewSchema(
+		types.Column{Name: "f", Kind: types.KindFloat},
+		types.Column{Name: "big", Kind: types.KindInt},
+	)
+	tab := storage.NewTable("guards", schema)
+	b := storage.NewBuilderLayout(tab, 64, 1, storage.InMemory, storage.ColumnarLayout)
+	for i := 0; i < 64; i++ {
+		f := types.Float(float64(i))
+		if i == 10 {
+			f = types.Float(math.NaN()) // hides inside the zone bracket
+		}
+		b.Append(types.Row{f, types.Int(int64(1<<53) + int64(i))}, storage.RowMeta{Rate: 1})
+	}
+	b.Finish()
+	blk := tab.Blocks[0]
+
+	// NaN guard: zones say f ∈ [0, 63] (Compare treats NaN as equal to
+	// everything, so it never widens the bracket), which would imply
+	// "f < 100" — yet the NaN row fails it (eq is not lt). Without the
+	// NaNFree check the block would be batch-aggregated with one row too
+	// many.
+	nanLeaf := []*types.CmpPred{{Col: "f", ColIdx: 0, Op: types.CmpLt, Val: types.Float(100)}}
+	if zoneImpliesPred(blk, blk.Col, nanLeaf) {
+		t.Error("all-true claimed over a NaN-bearing column")
+	}
+	p := compile(t, `SELECT COUNT(*) FROM guards WHERE f < 100`, schema)
+	res := Run(p, FromTable(tab), 0.95)
+	if res.RowsMatched != 63 { // NaN row fails f < 100
+		t.Errorf("RowsMatched = %d, want 63", res.RowsMatched)
+	}
+
+	// Magnitude guard: int values ≥ 2^53 round when compared as floats,
+	// so interval implication must refuse them.
+	bigLeaf := []*types.CmpPred{{Col: "big", ColIdx: 1, Op: types.CmpGe, Val: types.Float(9007199254740993)}}
+	if zoneImpliesPred(blk, blk.Col, bigLeaf) {
+		t.Error("all-true claimed over ≥2^53 magnitudes")
+	}
+}
+
+// ---- kernel micro-benchmarks ----
+
+func benchFloatCol(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 100
+	}
+	return xs
+}
+
+// BenchmarkCmpFloats compares the bitmap and selection-vector float
+// kernels at the mid selectivity the dispatcher targets.
+func BenchmarkCmpFloats(b *testing.B) {
+	n := 1 << 16
+	xs := benchFloatCol(n)
+	dst := make([]uint64, (n+63)/64)
+	idxs := make([]int32, n)
+	b.Run("bitmap", func(b *testing.B) {
+		b.SetBytes(int64(n * 8))
+		for i := 0; i < b.N; i++ {
+			cmpFloats(xs, 0, dst, true, false, false)
+		}
+	})
+	b.Run("selvec", func(b *testing.B) {
+		b.SetBytes(int64(n * 8))
+		for i := 0; i < b.N; i++ {
+			selFloats(xs, 0, idxs, true, false, false)
+		}
+	})
+	b.Run("bitmap+extract", func(b *testing.B) {
+		b.SetBytes(int64(n * 8))
+		for i := 0; i < b.N; i++ {
+			cmpFloats(xs, 0, dst, true, false, false)
+			k := 0
+			for _, w := range dst {
+				for w != 0 {
+					idxs[k] = int32(0) // representative store
+					k++
+					w &= w - 1
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkCmpRLE compares predicate evaluation over an RLE stratification
+// column (one verdict per run) against the dictionary kernel on identical
+// logical data.
+func BenchmarkCmpRLE(b *testing.B) {
+	rle := stratSortedTable(b, storage.ColumnarLayout, true)
+	plain := stratSortedTable(b, storage.ColumnarLayout, false)
+	pred := &types.CmpPred{Col: "strat", ColIdx: 0, Op: types.CmpLe, Val: types.Str("stratum-14")}
+	for _, leg := range []struct {
+		name string
+		tab  *storage.Table
+	}{{"rle", rle}, {"dict", plain}} {
+		b.Run(leg.name, func(b *testing.B) {
+			sc := &colScratch{}
+			rows := int64(0)
+			for _, blk := range leg.tab.Blocks {
+				rows += int64(blk.Col.N)
+			}
+			b.SetBytes(rows)
+			for i := 0; i < b.N; i++ {
+				for _, blk := range leg.tab.Blocks {
+					d := blk.Col
+					evalPred(pred, d, sc.bitmap(d.N), d.N, sc)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJoinLateMat measures the late-materialization join against the
+// early-materialization fallback on the same plan and data.
+func BenchmarkJoinLateMat(b *testing.B) {
+	row := randomWeightedTable(b, 17, 120000, 2048)
+	col := columnarClone(b, row, 2048, 4)
+	dimSchema := types.NewSchema(
+		types.Column{Name: "name", Kind: types.KindString},
+		types.Column{Name: "region", Kind: types.KindString},
+	)
+	dim := storage.NewTable("cities", dimSchema)
+	db := storage.NewBuilder(dim, 16, 1, storage.InMemory)
+	for _, r := range [][2]string{{"NY", "east"}, {"SF", "west"}, {"Austin", "south"}} {
+		db.AppendRow(types.Row{types.Str(r[0]), types.Str(r[1])})
+	}
+	db.Finish()
+	combined, _, err := JoinedSchema(row.Schema, []*storage.Table{dim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := JoinSpec{Dim: dim, LeftCol: 0, RightCol: 0}
+	p := compile(b, `SELECT COUNT(*), SUM(sessiontime) FROM sessions WHERE code < 500 AND region <> 'south' GROUP BY region`, combined)
+	for _, tn := range []struct {
+		name string
+		t    Tuning
+	}{{"late", Tuning{}}, {"early", Tuning{NoLateMaterialization: true}}} {
+		b.Run(tn.name, func(b *testing.B) {
+			pt := *p
+			pt.Tuning = tn.t
+			b.ReportAllocs()
+			b.SetBytes(int64(col.Bytes()))
+			for i := 0; i < b.N; i++ {
+				RunJoinParallel(&pt, FromTable(col), []JoinSpec{spec}, 0.95, 1)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"math"
 	"math/bits"
 
 	"blinkdb/internal/colstore"
@@ -135,6 +136,25 @@ func bitmapNot(dst []uint64, n int) {
 		dst[i] = ^dst[i]
 	}
 	maskTail(dst, n)
+}
+
+// bitmapSetRange sets bits [lo, hi) word-at-a-time.
+func bitmapSetRange(dst []uint64, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << uint(lo&63)
+	hiMask := ^uint64(0) >> uint(63-(hi-1)&63)
+	if loW == hiW {
+		dst[loW] |= loMask & hiMask
+		return
+	}
+	dst[loW] |= loMask
+	for w := loW + 1; w < hiW; w++ {
+		dst[w] = ^uint64(0)
+	}
+	dst[hiW] |= hiMask
 }
 
 // patchNulls forces the selection outcome of every NULL row to b. Null
@@ -326,6 +346,21 @@ func evalCmp(t *types.CmpPred, d *colstore.Data, dst []uint64, n int, sc *colScr
 			bitmapFill(dst, n, gt)
 			patchNulls(dst, col.Nulls, eq)
 		}
+	case colstore.EncRLE:
+		// One verdict per RUN, painted over the run's bit range. The
+		// generic Compare decides each run exactly as the row path's
+		// closures decide each row (NULL runs and cross-kind constants
+		// included), so this is the typed kernels' semantics at run
+		// granularity.
+		bitmapFill(dst, n, false)
+		prev := 0
+		for r, rv := range col.RunVals {
+			end := int(col.RunEnds[r])
+			if cmpPass(types.Compare(rv, val), lt, eq, gt) {
+				bitmapSetRange(dst, prev, end)
+			}
+			prev = end
+		}
 	default: // EncValue: mixed kinds, generic comparison per row
 		vals := col.Values[:n]
 		for base := 0; base < n; base += 64 {
@@ -344,79 +379,287 @@ func evalCmp(t *types.CmpPred, d *colstore.Data, dst []uint64, n int, sc *colScr
 	}
 }
 
+// The compare kernels below are SIMD-shaped: the constant is hoisted, the
+// per-element verdict is a branch-free table lookup indexed by
+// 1 + (v>c) - (v<c) (both comparisons compile to SETcc, no branches), and
+// the loops are 4-wide unrolled so the compiler can keep the verdicts in
+// independent registers. NaN yields (v>c)=(v<c)=false → the eq slot, which
+// is exactly how the row path's closures treat it.
+
+// b2u converts a bool to 0/1 (inlines to SETcc — no branch).
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// verdictTab builds the 3-entry pass table for (lt, eq, gt).
+func verdictTab(lt, eq, gt bool) [3]uint64 {
+	return [3]uint64{b2u(lt), b2u(eq), b2u(gt)}
+}
+
 // cmpFloats compares a float column against c. The (lt,eq,gt) selection
 // matches the row path's compiled closure exactly, including NaN (no
 // ordered comparison holds, so the eq flag decides).
 func cmpFloats(xs []float64, c float64, dst []uint64, lt, eq, gt bool) {
+	tab := verdictTab(lt, eq, gt)
 	n := len(xs)
 	for base := 0; base < n; base += 64 {
-		var w uint64
 		m := n - base
 		if m > 64 {
 			m = 64
 		}
-		for k := 0; k < m; k++ {
-			v := xs[base+k]
-			b := eq
-			if v < c {
-				b = lt
-			} else if v > c {
-				b = gt
-			}
-			if b {
-				w |= 1 << uint(k)
-			}
+		blk := xs[base : base+m]
+		var w uint64
+		k := 0
+		for ; k+4 <= m; k += 4 {
+			v0, v1, v2, v3 := blk[k], blk[k+1], blk[k+2], blk[k+3]
+			w |= tab[1+b2u(v0 > c)-b2u(v0 < c)] << uint(k)
+			w |= tab[1+b2u(v1 > c)-b2u(v1 < c)] << uint(k+1)
+			w |= tab[1+b2u(v2 > c)-b2u(v2 < c)] << uint(k+2)
+			w |= tab[1+b2u(v3 > c)-b2u(v3 < c)] << uint(k+3)
+		}
+		for ; k < m; k++ {
+			v := blk[k]
+			w |= tab[1+b2u(v > c)-b2u(v < c)] << uint(k)
 		}
 		dst[base>>6] = w
 	}
 }
 
 func cmpInts(xs []int64, c int64, dst []uint64, lt, eq, gt bool) {
+	tab := verdictTab(lt, eq, gt)
 	n := len(xs)
 	for base := 0; base < n; base += 64 {
-		var w uint64
 		m := n - base
 		if m > 64 {
 			m = 64
 		}
-		for k := 0; k < m; k++ {
-			v := xs[base+k]
-			b := eq
-			if v < c {
-				b = lt
-			} else if v > c {
-				b = gt
-			}
-			if b {
-				w |= 1 << uint(k)
-			}
+		blk := xs[base : base+m]
+		var w uint64
+		k := 0
+		for ; k+4 <= m; k += 4 {
+			v0, v1, v2, v3 := blk[k], blk[k+1], blk[k+2], blk[k+3]
+			w |= tab[1+b2u(v0 > c)-b2u(v0 < c)] << uint(k)
+			w |= tab[1+b2u(v1 > c)-b2u(v1 < c)] << uint(k+1)
+			w |= tab[1+b2u(v2 > c)-b2u(v2 < c)] << uint(k+2)
+			w |= tab[1+b2u(v3 > c)-b2u(v3 < c)] << uint(k+3)
+		}
+		for ; k < m; k++ {
+			v := blk[k]
+			w |= tab[1+b2u(v > c)-b2u(v < c)] << uint(k)
 		}
 		dst[base>>6] = w
 	}
 }
 
+// intCmpMode says how a float-constant comparison over an int column was
+// normalized by normIntCmp.
+type intCmpMode uint8
+
+const (
+	// normInt: compare against an int64 constant with remapped flags.
+	normInt intCmpMode = iota
+	// normFill: every element gets the same verdict.
+	normFill
+	// normFloat: no exact mapping; keep the per-element float conversion.
+	normFloat
+)
+
+// intCmpPlan is normIntCmp's result.
+type intCmpPlan struct {
+	mode       intCmpMode
+	c          int64 // normInt: the integer threshold
+	lt, eq, gt bool  // normInt: remapped acceptance flags
+	fill       bool  // normFill: the shared verdict
+}
+
+// normIntCmp maps "float64(v) versus float constant c" (the row closure's
+// semantics for an int column against a float/bool constant) onto an
+// equivalent pure-int64 comparison, so the inner loop never converts.
+//
+//	x > 2.5   becomes  x >= 3   (fractional c: floor, eq joins the lt side)
+//	x > 3.0   becomes  x > 3    (integral c below 2^53: exact as int64)
+//	x < NaN   fills with the eq flag (no ordered comparison holds)
+//	x < 1e300 fills with lt (c beyond every int64)
+//
+// Integral constants with 2^53 ≤ |c| ≤ 2^63 keep the float loop: there
+// float64(v) rounds, so distinct ints can collide with c and no single
+// int64 threshold reproduces the verdicts.
+func normIntCmp(c float64, lt, eq, gt bool) intCmpPlan {
+	const maxExact = float64(1 << 53)
+	const maxInt64 = float64(1 << 63)
+	switch {
+	case c != c: // NaN
+		return intCmpPlan{mode: normFill, fill: eq}
+	case c > maxInt64:
+		return intCmpPlan{mode: normFill, fill: lt}
+	case c < -maxInt64:
+		return intCmpPlan{mode: normFill, fill: gt}
+	case c >= maxExact || c <= -maxExact:
+		// ±2^63 endpoints included: float64(MaxInt64) rounds to 2^63
+		// exactly, so even the boundary can produce an eq verdict.
+		return intCmpPlan{mode: normFloat}
+	case c == math.Trunc(c):
+		// Exact integral constant: float64(v) vs c and v vs int64(c) agree
+		// for every int64 v (rounding of |v| ≥ 2^53 cannot cross c).
+		return intCmpPlan{mode: normInt, c: int64(c), lt: lt, eq: eq, gt: gt}
+	default:
+		// Fractional constant: no element equals c; v < c ⟺ v ≤ floor(c),
+		// so comparing against floor(c) with eq folded into the lt side
+		// reproduces every verdict.
+		return intCmpPlan{mode: normInt, c: int64(math.Floor(c)), lt: lt, eq: lt, gt: gt}
+	}
+}
+
+// cmpIntsAsFloat compares an int column against a float/bool constant with
+// the row closure's float semantics, normalized so the common case runs
+// the pure-int kernel (no per-element conversion).
 func cmpIntsAsFloat(xs []int64, c float64, dst []uint64, lt, eq, gt bool) {
+	switch plan := normIntCmp(c, lt, eq, gt); plan.mode {
+	case normFill:
+		bitmapFill(dst, len(xs), plan.fill)
+	case normInt:
+		cmpInts(xs, plan.c, dst, plan.lt, plan.eq, plan.gt)
+	default:
+		cmpIntsAsFloatSlow(xs, c, dst, lt, eq, gt)
+	}
+}
+
+// cmpIntsAsFloatSlow is the per-element conversion fallback for constants
+// in the 2^53..2^63 magnitude band.
+func cmpIntsAsFloatSlow(xs []int64, c float64, dst []uint64, lt, eq, gt bool) {
+	tab := verdictTab(lt, eq, gt)
 	n := len(xs)
 	for base := 0; base < n; base += 64 {
-		var w uint64
 		m := n - base
 		if m > 64 {
 			m = 64
 		}
+		blk := xs[base : base+m]
+		var w uint64
 		for k := 0; k < m; k++ {
-			v := float64(xs[base+k])
-			b := eq
-			if v < c {
-				b = lt
-			} else if v > c {
-				b = gt
-			}
-			if b {
-				w |= 1 << uint(k)
-			}
+			v := float64(blk[k])
+			w |= tab[1+b2u(v > c)-b2u(v < c)] << uint(k)
 		}
 		dst[base>>6] = w
 	}
+}
+
+// ---- selection-vector kernels ----
+//
+// For a single-comparison predicate over a null-free typed column, writing
+// selected row indices directly skips the bitmap materialization AND the
+// bit-extraction pass. The write is unconditional (idxs[k] always stores
+// the candidate, k advances by the 0/1 verdict), so the loop has no
+// mispredictable branch at any selectivity. Dispatch (selVecLeaf) prefers
+// the bitmap kernels when the running selectivity estimate is very low —
+// there the extraction pass skips whole empty words and wins.
+
+// selFloats appends the indices of elements passing the comparison.
+// idxs must have length len(xs); the match count is returned.
+func selFloats(xs []float64, c float64, idxs []int32, lt, eq, gt bool) int {
+	tab := verdictTab(lt, eq, gt)
+	n := len(xs)
+	k := 0
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		v0, v1, v2, v3 := xs[i], xs[i+1], xs[i+2], xs[i+3]
+		idxs[k] = int32(i)
+		k += int(tab[1+b2u(v0 > c)-b2u(v0 < c)])
+		idxs[k] = int32(i + 1)
+		k += int(tab[1+b2u(v1 > c)-b2u(v1 < c)])
+		idxs[k] = int32(i + 2)
+		k += int(tab[1+b2u(v2 > c)-b2u(v2 < c)])
+		idxs[k] = int32(i + 3)
+		k += int(tab[1+b2u(v3 > c)-b2u(v3 < c)])
+	}
+	for ; i < n; i++ {
+		v := xs[i]
+		idxs[k] = int32(i)
+		k += int(tab[1+b2u(v > c)-b2u(v < c)])
+	}
+	return k
+}
+
+// selInts is selFloats for int64 columns.
+func selInts(xs []int64, c int64, idxs []int32, lt, eq, gt bool) int {
+	tab := verdictTab(lt, eq, gt)
+	n := len(xs)
+	k := 0
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		v0, v1, v2, v3 := xs[i], xs[i+1], xs[i+2], xs[i+3]
+		idxs[k] = int32(i)
+		k += int(tab[1+b2u(v0 > c)-b2u(v0 < c)])
+		idxs[k] = int32(i + 1)
+		k += int(tab[1+b2u(v1 > c)-b2u(v1 < c)])
+		idxs[k] = int32(i + 2)
+		k += int(tab[1+b2u(v2 > c)-b2u(v2 < c)])
+		idxs[k] = int32(i + 3)
+		k += int(tab[1+b2u(v3 > c)-b2u(v3 < c)])
+	}
+	for ; i < n; i++ {
+		v := xs[i]
+		idxs[k] = int32(i)
+		k += int(tab[1+b2u(v > c)-b2u(v < c)])
+	}
+	return k
+}
+
+// selFill writes 0..n-1 (every row selected) or nothing.
+func selFill(idxs []int32, n int, pass bool) int {
+	if !pass {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		idxs[i] = int32(i)
+	}
+	return n
+}
+
+// selVecLeaf evaluates a single comparison leaf directly into the scratch
+// selection vector when a branch-free kernel applies and the selectivity
+// estimate favors it. Returns ok=false to fall back to the bitmap path.
+// The estimate is the partial's running matched/scanned ratio — a
+// deterministic function of the (fixed) partial boundaries, so kernel
+// choice, like everything physical here, cannot vary with worker count
+// (and either kernel selects the same rows anyway).
+func selVecLeaf(t *types.CmpPred, d *colstore.Data, idxs []int32, n int, priorScanned, priorMatched int64) (int, bool) {
+	if priorScanned > 0 && priorMatched*16 < priorScanned {
+		return 0, false // sparse: bitmap extraction skips empty words
+	}
+	col := &d.Cols[t.ColIdx]
+	if col.Nulls != nil {
+		return 0, false
+	}
+	lt, eq, gt := opFlags(t.Op)
+	val := t.Val
+	numericConst := val.Kind == types.KindInt || val.Kind == types.KindFloat || val.Kind == types.KindBool
+	switch col.Enc {
+	case colstore.EncFloat:
+		if !numericConst {
+			return 0, false
+		}
+		return selFloats(col.Floats[:n], val.AsFloat(), idxs, lt, eq, gt), true
+	case colstore.EncInt:
+		if val.Kind == types.KindInt {
+			return selInts(col.Ints[:n], val.I, idxs, lt, eq, gt), true
+		}
+		fallthrough
+	case colstore.EncBool:
+		if !numericConst {
+			return 0, false
+		}
+		switch plan := normIntCmp(val.AsFloat(), lt, eq, gt); plan.mode {
+		case normInt:
+			return selInts(col.Ints[:n], plan.c, idxs, plan.lt, plan.eq, plan.gt), true
+		case normFill:
+			return selFill(idxs, n, plan.fill), true
+		}
+	}
+	return 0, false
 }
 
 // ---- grouping + aggregation over selected rows ----
@@ -451,36 +694,53 @@ func (pt *Partial) findGroupVals(p *Plan, vals []types.Value, h uint64) *groupSt
 }
 
 // scanColumnar scans one columnar block into the partial: selection
-// bitmap, then a row-order pass that maintains the scan counters and
-// stages each selected row on its group, then per-group batched
-// aggregation. See the bit-identity contract at the top of the file.
-func (pt *Partial) scanColumnar(p *Plan, rt *planRuntime, in Input, d *colstore.Data, sc *colScratch) {
+// (bitmap or selection-vector kernels, or skipped entirely when the
+// block's zones already proved the predicate — allTrue), then a row-order
+// pass that maintains the scan counters and stages each selected row on
+// its group, then per-group batched aggregation. See the bit-identity
+// contract at the top of the file.
+func (pt *Partial) scanColumnar(p *Plan, rt *planRuntime, in Input, d *colstore.Data, sc *colScratch, allTrue bool) {
 	n := d.N
-	pt.RowsScanned += int64(n)
 	if n == 0 {
 		return
 	}
+	if (rt.pred == nil || allTrue) && !p.Tuning.NoTristateZones &&
+		pt.scanColumnarAllRows(p, in, d, sc) {
+		return
+	}
+	priorScanned, priorMatched := pt.RowsScanned, pt.RowsMatched
+	pt.RowsScanned += int64(n)
 
 	// 1. Selection.
-	var sel []uint64
-	if rt.pred != nil {
-		sel = sc.bitmap(n)
-		evalPred(p.Pred, d, sel, n, sc)
-	}
 	if cap(sc.idxs) < n {
 		sc.idxs = make([]int32, 0, n)
 	}
 	idxs := sc.idxs[:0]
-	if sel == nil {
-		for i := 0; i < n; i++ {
-			idxs = append(idxs, int32(i))
+	var sel []uint64
+	selDone := false
+	if rt.pred != nil && !allTrue {
+		if rt.soleLeaf != nil && !p.Tuning.NoSelVectors {
+			if k, ok := selVecLeaf(rt.soleLeaf, d, sc.idxs[:n], n, priorScanned, priorMatched); ok {
+				idxs, selDone = sc.idxs[:k], true
+			}
 		}
-	} else {
-		for wi, w := range sel {
-			base := int32(wi << 6)
-			for w != 0 {
-				idxs = append(idxs, base+int32(bits.TrailingZeros64(w)))
-				w &= w - 1
+		if !selDone {
+			sel = sc.bitmap(n)
+			evalPred(p.Pred, d, sel, n, sc)
+		}
+	}
+	if !selDone {
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				idxs = append(idxs, int32(i))
+			}
+		} else {
+			for wi, w := range sel {
+				base := int32(wi << 6)
+				for w != 0 {
+					idxs = append(idxs, base+int32(bits.TrailingZeros64(w)))
+					w &= w - 1
+				}
 			}
 		}
 	}
@@ -509,8 +769,12 @@ func (pt *Partial) scanColumnar(p *Plan, rt *planRuntime, in Input, d *colstore.
 	// Group resolution mode for this block.
 	var dictCol *colstore.Column
 	var codeGS []*groupState
+	var rleCol *colstore.Column
+	rleRun := 0
+	var rleGS *groupState
 	if len(p.GroupBy) == 1 {
-		if c := &d.Cols[p.GroupBy[0]]; c.Enc == colstore.EncDict && c.Nulls == nil {
+		switch c := &d.Cols[p.GroupBy[0]]; {
+		case c.Enc == colstore.EncDict && c.Nulls == nil:
 			dictCol = c
 			if cap(sc.codeGS) < len(c.Dict) {
 				sc.codeGS = make([]*groupState, len(c.Dict))
@@ -519,6 +783,11 @@ func (pt *Partial) scanColumnar(p *Plan, rt *planRuntime, in Input, d *colstore.
 			for i := range codeGS {
 				codeGS[i] = nil
 			}
+		case c.Enc == colstore.EncRLE:
+			// Selected indices are ascending, so an advancing run cursor
+			// resolves the group once per RUN instead of once per row —
+			// the RLE payoff for GROUP BY stratification columns.
+			rleCol = c
 		}
 	}
 	if cap(sc.keybuf) < len(p.GroupBy) {
@@ -561,6 +830,17 @@ func (pt *Partial) scanColumnar(p *Plan, rt *planRuntime, in Input, d *colstore.
 
 		var gs *groupState
 		switch {
+		case rleCol != nil:
+			for i32 >= rleCol.RunEnds[rleRun] {
+				rleRun++
+				rleGS = nil
+			}
+			if rleGS == nil {
+				v := rleCol.RunVals[rleRun]
+				keybuf[0] = v
+				rleGS = pt.findGroupVals(p, keybuf, v.HashInto(types.HashSeed))
+			}
+			gs = rleGS
 		case dictCol != nil:
 			code := dictCol.Codes[i]
 			gs = codeGS[code]
@@ -611,6 +891,148 @@ func (pt *Partial) scanColumnar(p *Plan, rt *planRuntime, in Input, d *colstore.
 	sc.idxs = idxs[:0]
 }
 
+// scanColumnarAllRows is the whole-block lane of the all-true zone state:
+// every row is known to match (no predicate, or the zones imply it), so
+// the block aggregates as contiguous group ranges without materializing a
+// selection or staging per-row indices. It handles uniform-metadata blocks
+// whose GROUP BY is empty or a single RLE column (group resolved once per
+// run) and whose aggregated columns are null-free typed slices or RLE;
+// anything else returns false and takes the generic path. Bit-identity
+// holds because AddBatch is a sequential fold — splitting one group's rows
+// into consecutive in-order AddBatch calls reproduces the exact operation
+// stream the staged path (and the row path) performs.
+func (pt *Partial) scanColumnarAllRows(p *Plan, in Input, d *colstore.Data, sc *colScratch) bool {
+	n := d.N
+	if !d.Uniform() {
+		return false
+	}
+	var rleCol *colstore.Column
+	if len(p.GroupBy) == 1 {
+		c := &d.Cols[p.GroupBy[0]]
+		if c.Enc != colstore.EncRLE {
+			return false
+		}
+		rleCol = c
+	} else if len(p.GroupBy) != 0 {
+		return false
+	}
+	for ai := range p.Aggs {
+		a := &p.Aggs[ai]
+		if a.Col < 0 {
+			continue
+		}
+		if c := &d.Cols[a.Col]; c.Enc == colstore.EncValue || c.Nulls != nil {
+			return false
+		}
+	}
+
+	pt.RowsScanned += int64(n)
+	pt.RowsMatched += int64(n)
+	urate := 1.0
+	if in.Rate != nil {
+		urate = in.Rate(storage.RowMeta{Rate: d.UniformRate, StratumFreq: d.UniformFreq})
+	}
+	if d.UniformFreq > pt.MaxMatchedStratumFreq {
+		pt.MaxMatchedStratumFreq = d.UniformFreq
+	}
+	if urate > 0 {
+		// Same add chain as the per-row path: n sequential additions of the
+		// shared reciprocal.
+		uinv := 1 / urate
+		wm := pt.WeightedMatched
+		for j := 0; j < n; j++ {
+			wm += uinv
+		}
+		pt.WeightedMatched = wm
+	}
+
+	emitRange := func(gs *groupState, lo, hi int) {
+		m := hi - lo
+		for ai := range p.Aggs {
+			a := &p.Aggs[ai]
+			acc := gs.accs[ai]
+			if a.Col < 0 {
+				acc.AddBatch(nil, nil, m, urate)
+				continue
+			}
+			col := &d.Cols[a.Col]
+			isCount := a.Kind == stats.AggCount
+			switch col.Enc {
+			case colstore.EncRLE:
+				// Per-run: NULL runs drop out of this aggregate only, and a
+				// non-null run contributes its constant value m2 times.
+				run := col.RunOf(lo)
+				for i := lo; i < hi; run++ {
+					end := int(col.RunEnds[run])
+					if end > hi {
+						end = hi
+					}
+					if v := col.RunVals[run]; !v.IsNull() {
+						m2 := end - i
+						if isCount {
+							acc.AddBatch(nil, nil, m2, urate)
+						} else {
+							xs := growFloats(&sc.xs, m2)
+							x := v.AsFloat()
+							for j := range xs {
+								xs[j] = x
+							}
+							acc.AddBatch(xs, nil, m2, urate)
+						}
+					}
+					i = end
+				}
+			case colstore.EncFloat:
+				if isCount {
+					acc.AddBatch(nil, nil, m, urate)
+				} else {
+					acc.AddBatch(col.Floats[lo:hi], nil, m, urate)
+				}
+			case colstore.EncInt, colstore.EncBool:
+				if isCount {
+					acc.AddBatch(nil, nil, m, urate)
+				} else {
+					xs := growFloats(&sc.xs, m)
+					for j, v := range col.Ints[lo:hi] {
+						xs[j] = float64(v)
+					}
+					acc.AddBatch(xs, nil, m, urate)
+				}
+			default: // EncDict: strings aggregate as 0 (Value.AsFloat)
+				if isCount {
+					acc.AddBatch(nil, nil, m, urate)
+				} else {
+					xs := growFloats(&sc.xs, m)
+					for j := range xs {
+						xs[j] = 0
+					}
+					acc.AddBatch(xs, nil, m, urate)
+				}
+			}
+		}
+	}
+
+	if rleCol == nil {
+		emitRange(pt.findGroupVals(p, nil, types.HashSeed), 0, n)
+		return true
+	}
+	if cap(sc.keybuf) < 1 {
+		sc.keybuf = make([]types.Value, 1)
+	}
+	keybuf := sc.keybuf[:1]
+	for lo, run := 0, 0; lo < n; run++ {
+		hi := int(rleCol.RunEnds[run])
+		if hi > n {
+			hi = n
+		}
+		v := rleCol.RunVals[run]
+		keybuf[0] = v
+		emitRange(pt.findGroupVals(p, keybuf, v.HashInto(types.HashSeed)), lo, hi)
+		lo = hi
+	}
+	return true
+}
+
 // accumulateBatch feeds one group's staged rows through every aggregate.
 func (pt *Partial) accumulateBatch(p *Plan, d *colstore.Data, gs *groupState, uniform bool, urate float64, sc *colScratch) {
 	rows := gs.batchRows
@@ -628,6 +1050,40 @@ func (pt *Partial) accumulateBatch(p *Plan, d *colstore.Data, gs *groupState, un
 		}
 		col := &d.Cols[a.Col]
 		isCount := a.Kind == stats.AggCount
+
+		if col.Enc == colstore.EncRLE {
+			// Run-cursor gather: batch rows are ascending, so each run's
+			// value (and NULL-ness) is resolved once. A NULL run drops its
+			// rows from this aggregate only, as in the row path.
+			xs := growFloats(&sc.xs, len(rows))[:0]
+			var rs []float64
+			if !uniform {
+				rs = growFloats(&sc.rs, len(rows))[:0]
+			}
+			run := 0
+			runNull := col.RunVals[0].IsNull()
+			x := col.RunVals[0].AsFloat()
+			for j, ri := range rows {
+				for ri >= col.RunEnds[run] {
+					run++
+					runNull = col.RunVals[run].IsNull()
+					x = col.RunVals[run].AsFloat()
+				}
+				if runNull {
+					continue
+				}
+				xs = append(xs, x)
+				if !uniform {
+					rs = append(rs, gs.batchRates[j])
+				}
+			}
+			if isCount {
+				acc.AddBatch(nil, rs, len(xs), urate)
+			} else {
+				acc.AddBatch(xs, rs, len(xs), urate)
+			}
+			continue
+		}
 
 		// Fast path: no NULLs and rates already aligned with the batch.
 		if col.Nulls == nil && col.Enc != colstore.EncValue {
@@ -712,28 +1168,105 @@ func growFloats(buf *[]float64, n int) []float64 {
 	return (*buf)[:n]
 }
 
-// scanColumnarExpand is the join path over a columnar block: rows are
-// materialised into a reused buffer and expanded exactly like the row
-// scan (the expansion output, not the fact row, is what downstream code
-// retains).
+// scanColumnarExpand is the early-materialization join path over a
+// columnar block (the Tuning.NoLateMaterialization fallback): every fact
+// row is materialised into the pooled combined-row buffer, expanded
+// through the join chain, and only then filtered. Buffer sizing happened
+// once at plan time (joinRuntime.width); nothing downstream retains the
+// buffer (addMatched copies what it keeps).
 func (pt *Partial) scanColumnarExpand(p *Plan, rt *planRuntime, in Input, d *colstore.Data,
-	sc *colScratch, expand func(r types.Row, emit func(types.Row))) {
+	sc *colScratch, jr *joinRuntime) {
 
 	pred := rt.pred
-	buf := sc.rowBuf(len(d.Cols))
+	buf := sc.rowBuf(jr.width)
+	var rate float64
+	var freq int64
+	emit := func(r types.Row) {
+		if pred != nil && !pred(r) {
+			return
+		}
+		pt.addMatched(p, r, rate, freq)
+	}
+	factW := len(d.Cols)
 	for i := 0; i < d.N; i++ {
 		pt.RowsScanned++
-		rate := 1.0
+		rate = 1.0
 		if in.Rate != nil {
 			rate = in.Rate(storage.RowMeta{Rate: d.RateAt(i), StratumFreq: d.FreqAt(i)})
 		}
-		freq := d.FreqAt(i)
-		row := d.RowInto(buf, i)
-		expand(row, func(r types.Row) {
-			if pred != nil && !pred(r) {
-				return
-			}
-			pt.addMatched(p, r, rate, freq)
-		})
+		freq = d.FreqAt(i)
+		d.RowInto(buf[:factW], i)
+		jr.expandInto(buf, factW, 0, emit)
+	}
+}
+
+// scanColumnarJoin is the late-materialization join path: the fact-side
+// predicate conjuncts are evaluated FIRST over the columnar block, join
+// keys of surviving rows are probed straight out of the key columns, and
+// only fact rows with at least one dimension match are materialised into
+// the pooled buffer. Expansion order, filter semantics and aggregation
+// order are exactly scanColumnarExpand's — rows that path would discard
+// after materialising (predicate miss or empty join) are skipped before
+// paying for materialisation, which changes no emitted value.
+func (pt *Partial) scanColumnarJoin(p *Plan, rt *planRuntime, in Input, d *colstore.Data,
+	sc *colScratch, jr *joinRuntime) {
+
+	n := d.N
+	pt.RowsScanned += int64(n)
+	if n == 0 {
+		return
+	}
+
+	// Fact-side selection: only the conjuncts that reference fact columns.
+	// (Rows they reject can never produce a passing combined row, so
+	// filtering before expansion is exact.)
+	var sel []uint64
+	if jr.factPred != nil {
+		sel = sc.bitmap(n)
+		evalPred(jr.factPred, d, sel, n, sc)
+	}
+
+	buf := sc.rowBuf(jr.width)
+	factW := len(d.Cols)
+	ix0 := jr.idxs[0]
+	keyCol := &d.Cols[ix0.spec.LeftCol]
+	var rate float64
+	var freq int64
+	emit := func(r types.Row) {
+		if jr.restPred != nil && !jr.restPred(r) {
+			return
+		}
+		pt.addMatched(p, r, rate, freq)
+	}
+	probe := func(i int) {
+		// Probe the first join from the key column directly — no
+		// materialisation until a match exists.
+		matches := ix0.lookup(keyCol.Value(i))
+		if len(matches) == 0 {
+			return
+		}
+		rate = 1.0
+		if in.Rate != nil {
+			rate = in.Rate(storage.RowMeta{Rate: d.RateAt(i), StratumFreq: d.FreqAt(i)})
+		}
+		freq = d.FreqAt(i)
+		d.RowInto(buf[:factW], i)
+		for _, dimRow := range matches {
+			copy(buf[factW:factW+len(dimRow)], dimRow)
+			jr.expandInto(buf, factW+len(dimRow), 1, emit)
+		}
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			probe(i)
+		}
+		return
+	}
+	for wi, w := range sel {
+		base := wi << 6
+		for w != 0 {
+			probe(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
 	}
 }

@@ -321,6 +321,9 @@ func Build(base *storage.Table, phi types.ColumnSet, caps []int64, cfg BuildConf
 	for i := range caps {
 		t := storage.NewTable(fmt.Sprintf("%s@K%d", phi.Key(), caps[i]), base.Schema)
 		builders[i] = storage.NewBuilderLayout(t, cfg.RowsPerBlock, cfg.Nodes, cfg.Place, cfg.Layout)
+		// Strata are emitted in sorted φ-key order, so the stratification
+		// columns arrive in runs up to the cap length — prime RLE targets.
+		builders[i].HintSortedColumns(idx...)
 		fam.Deltas = append(fam.Deltas, t)
 	}
 	for _, key := range keys {

@@ -394,6 +394,13 @@ type Builder struct {
 	curZones []Zone
 	curByte  int64
 	nextTgt  int
+
+	// Encoding knobs forwarded to each block's colstore.Builder (which is
+	// created lazily per block): sortedCols hints sorted/low-cardinality
+	// columns, noRLE pins the pre-RLE plain typed encodings. Both are
+	// purely physical — logical content is identical either way.
+	sortedCols []int
+	noRLE      bool
 }
 
 // NewBuilder creates a row-layout builder for the given table.
@@ -414,6 +421,27 @@ func NewBuilderLayout(table *Table, rowsPerBlock, numNodes int, place Placement,
 	return &Builder{table: table, rowsPerBlock: rowsPerBlock, numNodes: numNodes, place: place, layout: layout}
 }
 
+// HintSortedColumns marks columns as sorted (or low-cardinality-clustered)
+// for the columnar encoder, lowering its run-length-encoding threshold for
+// them. Sample builders hint the stratification columns, which are sorted
+// within a stratum by construction. No-op under RowLayout.
+func (b *Builder) HintSortedColumns(cols ...int) {
+	b.sortedCols = append(b.sortedCols, cols...)
+	if b.curCol != nil {
+		b.curCol.HintSorted(cols...)
+	}
+}
+
+// DisableRLE pins the plain typed encodings (no run-length encoding) —
+// the benchmark and equivalence suites use it to build the pre-RLE
+// physical design from identical input.
+func (b *Builder) DisableRLE() {
+	b.noRLE = true
+	if b.curCol != nil {
+		b.curCol.DisableRLE()
+	}
+}
+
 // numCols returns the block width: the schema's width when known, else
 // the first appended row's.
 func (b *Builder) numCols(r types.Row) int {
@@ -428,6 +456,12 @@ func (b *Builder) Append(r types.Row, m RowMeta) {
 	if b.layout == ColumnarLayout {
 		if b.curCol == nil {
 			b.curCol = colstore.NewBuilder(b.numCols(r))
+			if b.noRLE {
+				b.curCol.DisableRLE()
+			}
+			if len(b.sortedCols) > 0 {
+				b.curCol.HintSorted(b.sortedCols...)
+			}
 		}
 		b.curCol.Append(r, m.Rate, m.StratumFreq)
 	} else {
