@@ -38,6 +38,26 @@
 // (ResultCacheSize < 0) restores the execute-every-query pipeline bit
 // for bit.
 //
+// # Observability
+//
+// The engine carries a query-lifecycle telemetry layer
+// (internal/telemetry, on by default; Config.DisableTelemetry turns it
+// off). Every completed query is recorded against its normalized template
+// in mergeable log-bucketed histograms: wall-clock and predicted
+// (simulated-cluster) latency, rows/bytes scanned, and the ELP's
+// projected error half-width against the half-width actually reported.
+// Engine.Telemetry folds them into per-template p50/p95/p99 snapshots —
+// the calibration substrate for adaptive ELP recalibration. Prefixing a
+// query with EXPLAIN ANALYZE executes it normally (sharing all cache
+// state with the plain form) and additionally returns a span tree in
+// Result.Trace: normalize → cache lookups → probes → per-shard scan
+// partials → merge → materialize, each with monotonic durations and
+// cache markers. Engine.QueryTraced returns the structured trace for
+// programmatic use (e.g. Chrome trace-event export via
+// telemetry.WriteChrome). Telemetry never changes answers: results are
+// bit-identical with it on or off, and the disabled query path performs
+// zero telemetry allocations.
+//
 // The columnar scan underneath picks its kernels per block from encoding
 // and zone metadata, never changing answers — every dispatch rule below
 // is purely physical, and the row path remains the bit-identical
@@ -90,6 +110,7 @@ import (
 	"blinkdb/internal/sample"
 	"blinkdb/internal/sqlparser"
 	"blinkdb/internal/storage"
+	"blinkdb/internal/telemetry"
 	"blinkdb/internal/types"
 )
 
@@ -220,6 +241,13 @@ type Config struct {
 	ResultCacheTTL time.Duration
 	// CacheTables places base tables in simulated cluster memory.
 	CacheTables bool
+	// DisableTelemetry turns off per-template query telemetry (the
+	// histograms behind Engine.Telemetry and the per-query Observation
+	// recording). Off by default — telemetry is on, like both caches.
+	// Answers are bit-identical either way; disabling only removes the
+	// recording overhead (a timestamp pair and a few atomic adds per
+	// query). EXPLAIN ANALYZE span capture is per-query and unaffected.
+	DisableTelemetry bool
 	// FullProbePricing charges ELP probe runs like any other sample
 	// read. By default probes are priced at job overhead only, matching
 	// §4.1.1's assumption that the smallest per-family samples are
@@ -285,6 +313,7 @@ type Engine struct {
 	cat  *catalog.Catalog
 	clus *cluster.Cluster
 	rt   *elp.Runtime
+	tele *telemetry.Registry // nil when Config.DisableTelemetry
 
 	maint    map[string]*maintenance.Maintainer
 	lastSnap map[string]*maintenance.Snapshot
@@ -308,6 +337,10 @@ func Open(cfg Config) *Engine {
 	if resultCache < 0 {
 		resultCache = 0 // explicit disable
 	}
+	var tele *telemetry.Registry
+	if !cfg.DisableTelemetry {
+		tele = telemetry.NewRegistry()
+	}
 	rt := elp.New(cat, clus, elp.Options{
 		Confidence:        cfg.Confidence,
 		Scale:             cfg.Scale,
@@ -317,8 +350,9 @@ func Open(cfg Config) *Engine {
 		PlanCacheSize:     planCache,
 		ResultCacheSize:   resultCache,
 		ResultCacheTTL:    cfg.ResultCacheTTL,
+		Telemetry:         tele,
 	})
-	return &Engine{cfg: cfg, cat: cat, clus: clus, rt: rt}
+	return &Engine{cfg: cfg, cat: cat, clus: clus, rt: rt, tele: tele}
 }
 
 // Loader streams rows into a new table.
@@ -629,6 +663,15 @@ type Result struct {
 	// RowsScanned and RowsMatched describe the work done.
 	RowsScanned int64
 	RowsMatched int64
+	// PredictedBound is the ELP-projected worst-group CI half-width at
+	// the chosen resolution (worst across disjuncts; 0 for exact
+	// execution) — compare against the cells' Bound to judge the
+	// profile's calibration.
+	PredictedBound float64
+	// Trace is the rendered query-lifecycle span tree, filled only for
+	// EXPLAIN ANALYZE queries (empty otherwise). Use QueryTraced for the
+	// structured form.
+	Trace string
 }
 
 // MaxRelErr returns the worst relative error across all cells.
@@ -645,16 +688,47 @@ func (r *Result) MaxRelErr() float64 {
 }
 
 // Query parses, plans and executes one query. Queries without bounds run
-// exactly on the base table; bounded queries run on the best sample.
+// exactly on the base table; bounded queries run on the best sample. An
+// EXPLAIN ANALYZE prefix additionally fills Result.Trace with the
+// rendered query-lifecycle span tree (cache state is shared with the
+// plain form of the query, so a warm replay shows the warm path).
 func (e *Engine) Query(sql string) (*Result, error) {
+	res, _, err := e.queryTraced(sql)
+	return res, err
+}
+
+// QueryTraced is Query with the structured span tree returned alongside
+// the result: the trace is always captured, whether or not the query has
+// an EXPLAIN ANALYZE prefix. Use it to feed telemetry.WriteChrome or to
+// walk span durations programmatically; plain Query keeps the zero-
+// overhead untraced path.
+func (e *Engine) QueryTraced(sql string) (*Result, *telemetry.Trace, error) {
+	return e.query(sql, true)
+}
+
+func (e *Engine) queryTraced(sql string) (*Result, *telemetry.Trace, error) {
+	return e.query(sql, false)
+}
+
+func (e *Engine) query(sql string, forceTrace bool) (*Result, *telemetry.Trace, error) {
 	q, err := sqlparser.Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	resp, err := e.rt.Run(q)
+	var tr *telemetry.Trace
+	if q.Analyze || forceTrace {
+		tr = telemetry.New("query")
+	}
+	resp, err := e.rt.RunTraced(q, tr)
+	tr.Finish()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	return buildResult(q, resp, tr), tr, nil
+}
+
+// buildResult maps an elp response onto the public Result shape.
+func buildResult(q *sqlparser.Query, resp *elp.Response, tr *telemetry.Trace) *Result {
 	out := &Result{
 		Confidence:        resp.Confidence,
 		SimLatencySeconds: resp.SimLatency,
@@ -662,6 +736,7 @@ func (e *Engine) Query(sql string) (*Result, error) {
 		RowsMatched:       resp.Result.RowsMatched,
 		PlanCache:         resp.Cache,
 		ResultCache:       resp.ResultCache,
+		Trace:             tr.Render(),
 	}
 	var expl, desc []string
 	for _, d := range resp.Decisions {
@@ -670,6 +745,9 @@ func (e *Engine) Query(sql string) (*Result, error) {
 			desc = append(desc, "base table")
 		} else {
 			desc = append(desc, d.View.String())
+		}
+		if d.PredictedBound > out.PredictedBound {
+			out.PredictedBound = d.PredictedBound
 		}
 	}
 	out.Explanation = strings.Join(expl, " | ")
@@ -693,7 +771,16 @@ func (e *Engine) Query(sql string) (*Result, error) {
 		}
 		out.Rows = append(out.Rows, row)
 	}
-	return out, nil
+	return out
+}
+
+// Telemetry folds the engine's per-template histograms into a snapshot:
+// p50/p95/p99 latency (wall-clock and simulated), rows/bytes scanned,
+// and predicted-vs-observed error half-width per template. Returns an
+// empty snapshot when Config.DisableTelemetry is set. Safe for
+// concurrent use with Query.
+func (e *Engine) Telemetry() telemetry.Snapshot {
+	return e.tele.Snapshot()
 }
 
 // EngineStats is a snapshot of the engine's serving counters.
@@ -740,8 +827,34 @@ func (s EngineStats) ResultCacheHitRate() float64 {
 	return float64(s.ResultCacheHits+s.ResultCacheShared) / float64(total)
 }
 
-// Stats returns the engine's cumulative serving counters. Safe for
-// concurrent use with Query.
+// Delta returns the counters accumulated since prev was taken: s - prev,
+// field by field. AnswersByLevel keeps only levels whose count changed.
+// Use it to window cumulative snapshots (e.g. per-interval hit rates).
+func (s EngineStats) Delta(prev EngineStats) EngineStats {
+	d := EngineStats{
+		PlanExecs:         s.PlanExecs - prev.PlanExecs,
+		ProbeExecs:        s.ProbeExecs - prev.ProbeExecs,
+		Prepares:          s.Prepares - prev.Prepares,
+		PlanCacheHits:     s.PlanCacheHits - prev.PlanCacheHits,
+		PlanCacheMisses:   s.PlanCacheMisses - prev.PlanCacheMisses,
+		ResultCacheHits:   s.ResultCacheHits - prev.ResultCacheHits,
+		ResultCacheMisses: s.ResultCacheMisses - prev.ResultCacheMisses,
+		ResultCacheShared: s.ResultCacheShared - prev.ResultCacheShared,
+	}
+	for level, n := range s.AnswersByLevel {
+		if diff := n - prev.AnswersByLevel[level]; diff != 0 {
+			if d.AnswersByLevel == nil {
+				d.AnswersByLevel = make(map[int]int64)
+			}
+			d.AnswersByLevel[level] = diff
+		}
+	}
+	return d
+}
+
+// Stats returns the engine's cumulative serving counters. The snapshot is
+// taken under a single lock, so counters are mutually consistent (no torn
+// reads between e.g. hits and misses). Safe for concurrent use with Query.
 func (e *Engine) Stats() EngineStats {
 	s := e.rt.Stats()
 	return EngineStats{

@@ -29,6 +29,7 @@ import (
 	"blinkdb/internal/experiments"
 	"blinkdb/internal/sqlparser"
 	"blinkdb/internal/storage"
+	"blinkdb/internal/telemetry"
 	"blinkdb/internal/types"
 	"blinkdb/internal/zipf"
 )
@@ -150,6 +151,37 @@ type kernelRecord struct {
 	SelVecVsBitmap float64 `json:"selvec_vs_bitmap"`
 }
 
+// templateTelemetry is one template's histogram summary in the snapshot.
+type templateTelemetry struct {
+	Template string `json:"template"`
+	Queries  uint64 `json:"queries"`
+	// P50Ms/P95Ms/P99Ms summarize the wall-clock latency histogram.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// PredictedOverObservedLatency compares the ELP's simulated-latency
+	// projection against simulated-latency observations (mean/mean; a
+	// calibration ratio, not a wall-clock comparison). Analogous for the
+	// error half-width below — that pair IS same-units, so ≈1 means the
+	// 1/√n extrapolation was honest.
+	PredictedOverObservedLatency float64 `json:"predicted_over_observed_latency"`
+	PredictedOverObservedBound   float64 `json:"predicted_over_observed_bound"`
+}
+
+// telemetryRecord reports the telemetry layer itself: the concurrent Zipf
+// replay of resultReplayBench repeated against two engines differing only
+// in Config.DisableTelemetry (answers are bit-identical by construction —
+// the span API is nil-safe and decisions are computed unconditionally).
+// OverheadFraction is the relative QPS cost of leaving telemetry on; the
+// acceptance target is ≤ 5% on this cache-hit-heavy path, the worst case
+// because per-query work is smallest there.
+type telemetryRecord struct {
+	QpsTelemetryOn   float64             `json:"qps_telemetry_on"`
+	QpsTelemetryOff  float64             `json:"qps_telemetry_off"`
+	OverheadFraction float64             `json:"overhead_fraction"`
+	Templates        []templateTelemetry `json:"templates"`
+}
+
 // snapshot is the BENCH_<date>.json schema.
 type snapshot struct {
 	Date        string             `json:"date"`
@@ -161,6 +193,7 @@ type snapshot struct {
 	PlanCache   replayRecord       `json:"plan_cache"`
 	ResultCache resultReplayRecord `json:"result_cache"`
 	Kernels     kernelRecord       `json:"kernels"`
+	Telemetry   telemetryRecord    `json:"telemetry"`
 }
 
 func main() {
@@ -174,6 +207,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "write a BENCH_<date>.json perf snapshot")
 		jsonPath = flag.String("json-path", "", "override the snapshot path (implies -json)")
 		smoke    = flag.Bool("smoke", false, "shrink the executor/replay micro-benchmarks (CI path coverage; numbers not comparable to tracked snapshots)")
+		trace    = flag.String("trace", "", "write a Chrome trace-event file of a cold+warm query pair to this path")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -265,11 +299,20 @@ func main() {
 		})
 	}
 
+	if *trace != "" {
+		if err := traceExport(*trace, *smoke); err != nil {
+			fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace written to %s (open via chrome://tracing or ui.perfetto.dev)\n", *trace)
+	}
+
 	if *jsonOut || *jsonPath != "" {
 		snap.Executor = executorBench(*smoke)
 		snap.PlanCache = replayBench(*smoke)
 		snap.ResultCache = resultReplayBench(*smoke)
 		snap.Kernels = kernelsBench(*smoke)
+		snap.Telemetry = telemetryBench(*smoke)
 		path := *jsonPath
 		if path == "" {
 			path = "BENCH_" + snap.Date + ".json"
@@ -524,7 +567,7 @@ func replayBench(smoke bool) replayRecord {
 	// plan-cache amortization in isolation (resultReplayBench measures
 	// the result-cache layer on top).
 	build := func(planCache int) *blinkdb.Engine {
-		return buildTrafficEngine(rows, sampleK, planCache, -1)
+		return buildTrafficEngine(rows, sampleK, planCache, -1, false)
 	}
 	engOn := build(0)   // default: cache on
 	engOff := build(-1) // disabled
@@ -586,10 +629,11 @@ func replayBench(smoke bool) replayRecord {
 // expensive) into an engine with explicit cache knobs. Shared by the
 // plan-cache and result-cache replay benches so the two records measure
 // the same data.
-func buildTrafficEngine(rows int, sampleK int64, planCache, resultCache int) *blinkdb.Engine {
+func buildTrafficEngine(rows int, sampleK int64, planCache, resultCache int, disableTelemetry bool) *blinkdb.Engine {
 	eng := blinkdb.Open(blinkdb.Config{
 		Seed: 11, Scale: 1e4, CacheTables: true,
 		PlanCacheSize: planCache, ResultCacheSize: resultCache,
+		DisableTelemetry: disableTelemetry,
 	})
 	load := eng.CreateTable("traffic",
 		blinkdb.Col("city", blinkdb.String),
@@ -652,8 +696,8 @@ func resultReplayBench(smoke bool) resultReplayRecord {
 	if smoke {
 		rows, sampleK, window = 50000, 2000, 300*time.Millisecond
 	}
-	engOn := buildTrafficEngine(rows, sampleK, 0, 0)   // both caches default-on
-	engOff := buildTrafficEngine(rows, sampleK, 0, -1) // result cache disabled
+	engOn := buildTrafficEngine(rows, sampleK, 0, 0, false)   // both caches default-on
+	engOff := buildTrafficEngine(rows, sampleK, 0, -1, false) // result cache disabled
 
 	// Zipf-distributed constants over the 200-city space: hot cities
 	// repeat heavily (result hits) while the long tail keeps surfacing
@@ -738,6 +782,136 @@ func resultReplayBench(smoke bool) resultReplayRecord {
 		rec.SharedRate = float64(s.ResultCacheShared) / float64(total)
 	}
 	return rec
+}
+
+// telemetryBench prices the telemetry layer on the worst-case path: the
+// concurrent Zipf replay of resultReplayBench, where most queries are
+// result-cache hits and per-query work is minimal, so fixed telemetry
+// cost (one wall-clock read + one histogram Observe per query) is the
+// largest fraction of total time it will ever be. Two engines differ only
+// in Config.DisableTelemetry; the per-template percentiles come from the
+// telemetry-on engine's registry after its timed run.
+func telemetryBench(smoke bool) telemetryRecord {
+	rows, sampleK, window := 200000, int64(8000), 2*time.Second
+	if smoke {
+		rows, sampleK, window = 50000, 2000, 300*time.Millisecond
+	}
+	engOn := buildTrafficEngine(rows, sampleK, 0, 0, false)
+	engOff := buildTrafficEngine(rows, sampleK, 0, 0, true)
+
+	// Warm the template with a HOT constant on both engines. The error
+	// projection is derived from the template's cached probe, so whichever
+	// constant goes cold first determines it: a tail city's stratum is
+	// fully sampled (exact probe → projected half-width 0, honestly — the
+	// planner believed the answer exact) and would pin the template's
+	// predicted-vs-observed ratio at 0 for the whole run. city1's stratum
+	// is capped, so its probe carries sampling error and the recorded
+	// ratio is the meaningful calibration signal.
+	for _, eng := range []*blinkdb.Engine{engOn, engOff} {
+		if _, err := eng.Query(`SELECT AVG(sessiontime) FROM traffic WHERE city = 'city1' ERROR WITHIN 10%`); err != nil {
+			panic(err)
+		}
+	}
+
+	cityGen := zipf.NewGeneratorCDF(rand.New(rand.NewSource(23)), 1.1, 200)
+	const replaySize = 1024
+	replay := make([]string, replaySize)
+	for i := range replay {
+		replay[i] = fmt.Sprintf(
+			`SELECT AVG(sessiontime) FROM traffic WHERE city = 'city%d' ERROR WITHIN 10%%`,
+			cityGen.Next())
+	}
+
+	goroutines := 4
+	measure := func(eng *blinkdb.Engine) float64 {
+		var total atomic.Int64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := eng.Query(replay[i%replaySize]); err != nil {
+						panic(err)
+					}
+					total.Add(1)
+				}
+			}()
+		}
+		start := time.Now()
+		time.Sleep(window)
+		close(stop)
+		wg.Wait()
+		return float64(total.Load()) / time.Since(start).Seconds()
+	}
+	rec := telemetryRecord{}
+	rec.QpsTelemetryOn = measure(engOn)
+	rec.QpsTelemetryOff = measure(engOff)
+	if rec.QpsTelemetryOff > 0 {
+		rec.OverheadFraction = 1 - rec.QpsTelemetryOn/rec.QpsTelemetryOff
+	}
+	snap := engOn.Telemetry()
+	for _, t := range snap.Templates {
+		rec.Templates = append(rec.Templates, templateTelemetry{
+			Template:                     t.Key,
+			Queries:                      t.Queries,
+			P50Ms:                        t.Latency.P50 * 1e3,
+			P95Ms:                        t.Latency.P95 * 1e3,
+			P99Ms:                        t.Latency.P99 * 1e3,
+			PredictedOverObservedLatency: t.PredictedOverObservedLatency,
+			PredictedOverObservedBound:   t.PredictedOverObservedBound,
+		})
+	}
+	return rec
+}
+
+// traceExport captures span trees for a cold query, a warm (result-cache
+// hit) replay, and a fresh-constant (plan-cache hit) query, and writes
+// them as one Chrome trace-event file — each query gets its own pid lane
+// in chrome://tracing / ui.perfetto.dev.
+func traceExport(path string, smoke bool) error {
+	rows, sampleK := 200000, int64(8000)
+	if smoke {
+		rows, sampleK = 50000, 2000
+	}
+	eng := buildTrafficEngine(rows, sampleK, 0, 0, false)
+	queries := []string{
+		`SELECT AVG(sessiontime) FROM traffic WHERE city = 'city1' ERROR WITHIN 10%`, // cold
+		`SELECT AVG(sessiontime) FROM traffic WHERE city = 'city1' ERROR WITHIN 10%`, // result-cache hit
+		`SELECT AVG(sessiontime) FROM traffic WHERE city = 'city2' ERROR WITHIN 10%`, // plan-cache hit
+	}
+	var traces []*telemetry.Trace
+	for _, q := range queries {
+		_, tr, err := eng.QueryTraced(q)
+		if err != nil {
+			return err
+		}
+		traces = append(traces, tr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := telemetry.WriteChrome(f, traces); err != nil {
+		return err
+	}
+	// The CI bench smoke opens the file back up and checks it parses; do
+	// it here too so a local run fails loudly on malformed output.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if !json.Valid(data) {
+		return fmt.Errorf("exported trace is not valid JSON")
+	}
+	return nil
 }
 
 func compileBench(q string, schema *types.Schema) (*exec.Plan, error) {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
 	"blinkdb/internal/catalog"
@@ -27,6 +28,7 @@ import (
 	"blinkdb/internal/sample"
 	"blinkdb/internal/sqlparser"
 	"blinkdb/internal/storage"
+	"blinkdb/internal/telemetry"
 	"blinkdb/internal/workload"
 )
 
@@ -109,6 +111,7 @@ func run(dataset string, rows int, budget float64, seed int64, tb float64) error
 	}
 
 	clus := cluster.New(cluster.PaperConfig())
+	reg := telemetry.NewRegistry()
 	rt := elp.New(cat, clus, elp.Options{
 		Scale:             scale,
 		ProbeOverheadOnly: true,
@@ -121,13 +124,16 @@ func run(dataset string, rows int, budget float64, seed int64, tb float64) error
 		// result=hit|miss|shared.
 		PlanCacheSize:   256,
 		ResultCacheSize: 1024,
+		Telemetry:       reg,
 	})
 
 	fmt.Printf("\ntable %q ready; pretending it is %.0f TB on a 100-node cluster.\n", data.Table.Name, tb)
 	fmt.Println(`enter SQL (end with ';'), e.g.:
   SELECT COUNT(*) FROM ` + data.Table.Name + ` ERROR WITHIN 10% AT CONFIDENCE 95%;
-  SELECT AVG(sessiontimems) FROM sessions WHERE country = 'country02' GROUP BY endedflag WITHIN 5 SECONDS;`)
+  SELECT AVG(sessiontimems) FROM sessions WHERE country = 'country02' GROUP BY endedflag WITHIN 5 SECONDS;
+backslash commands: \stats  \trace on|off`)
 
+	sh := &shell{rt: rt, reg: reg}
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -135,6 +141,15 @@ func run(dataset string, rows int, budget float64, seed int64, tb float64) error
 	prompt()
 	for scanner.Scan() {
 		line := scanner.Text()
+		// Backslash commands are line-oriented: only recognized when no
+		// SQL statement is in progress, and they never need a ';'.
+		if buf.Len() == 0 && strings.HasPrefix(strings.TrimSpace(line), `\`) {
+			if err := sh.command(strings.TrimSpace(line)); err != nil {
+				fmt.Println("error:", err)
+			}
+			prompt()
+			continue
+		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if !strings.Contains(line, ";") {
@@ -147,7 +162,7 @@ func run(dataset string, rows int, budget float64, seed int64, tb float64) error
 			prompt()
 			continue
 		}
-		if err := execute(rt, src); err != nil {
+		if err := sh.execute(src); err != nil {
 			fmt.Println("error:", err)
 		}
 		prompt()
@@ -156,12 +171,109 @@ func run(dataset string, rows int, budget float64, seed int64, tb float64) error
 	return scanner.Err()
 }
 
-func execute(rt *elp.Runtime, src string) error {
+// shell holds REPL state that outlives a single statement: the runtime,
+// the telemetry registry, the \trace toggle, and the stats baseline from
+// the previous \stats call (so each \stats also shows a delta window).
+type shell struct {
+	rt      *elp.Runtime
+	reg     *telemetry.Registry
+	tracing bool
+	prev    elp.Stats
+	hasPrev bool
+}
+
+// command dispatches a backslash command.
+func (sh *shell) command(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\stats`:
+		sh.printStats()
+		return nil
+	case `\trace`:
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			return fmt.Errorf(`usage: \trace on|off`)
+		}
+		sh.tracing = fields[1] == "on"
+		fmt.Printf("  tracing %s\n", fields[1])
+		return nil
+	default:
+		return fmt.Errorf(`unknown command %s (try \stats or \trace on|off)`, fields[0])
+	}
+}
+
+// printStats shows cumulative serving counters, the delta since the last
+// \stats, and the top templates by p99 latency.
+func (sh *shell) printStats() {
+	cur := sh.rt.Stats()
+	fmt.Printf("  queries: plan execs %d (probes %d), prepares %d\n",
+		cur.PlanExecs, cur.ProbeExecs, cur.Prepares)
+	fmt.Printf("  plan cache: %d hits / %d misses (%.0f%% hit rate)\n",
+		cur.CacheHits, cur.CacheMisses, 100*cur.HitRate())
+	fmt.Printf("  result cache: %d hits / %d misses / %d shared (%.0f%% served without executing)\n",
+		cur.ResultHits, cur.ResultMisses, cur.ResultShared, 100*cur.ResultHitRate())
+	if len(cur.AnswersByLevel) > 0 {
+		fmt.Print("  answers by level:")
+		levels := make([]int, 0, len(cur.AnswersByLevel))
+		for l := range cur.AnswersByLevel {
+			levels = append(levels, l)
+		}
+		sort.Ints(levels)
+		for _, l := range levels {
+			name := fmt.Sprintf("L%d", l)
+			if l == -1 {
+				name = "base"
+			}
+			fmt.Printf(" %s=%d", name, cur.AnswersByLevel[l])
+		}
+		fmt.Println()
+	}
+	if sh.hasPrev {
+		d := cur.Delta(sh.prev)
+		fmt.Printf("  since last \\stats: %d execs, plan cache %d/%d, result cache %d/%d/%d\n",
+			d.PlanExecs, d.CacheHits, d.CacheMisses, d.ResultHits, d.ResultMisses, d.ResultShared)
+	}
+	sh.prev, sh.hasPrev = cur, true
+
+	snap := sh.reg.Snapshot()
+	if len(snap.Templates) == 0 {
+		fmt.Println("  no per-template telemetry yet")
+		return
+	}
+	sort.Slice(snap.Templates, func(i, j int) bool {
+		return snap.Templates[i].Latency.P99 > snap.Templates[j].Latency.P99
+	})
+	top := snap.Templates
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	fmt.Println("  top templates by p99 latency:")
+	for _, t := range top {
+		fmt.Printf("    %6d q  p50 %7.3fms  p95 %7.3fms  p99 %7.3fms  pred/obs bound %.2f  %s\n",
+			t.Queries, t.Latency.P50*1e3, t.Latency.P95*1e3, t.Latency.P99*1e3,
+			t.PredictedOverObservedBound, compactKey(t.Key))
+	}
+}
+
+// compactKey trims a normalized template key for one-line display.
+func compactKey(key string) string {
+	key = strings.Join(strings.Fields(key), " ")
+	if len(key) > 88 {
+		key = key[:85] + "..."
+	}
+	return key
+}
+
+func (sh *shell) execute(src string) error {
 	q, err := sqlparser.Parse(src)
 	if err != nil {
 		return err
 	}
-	resp, err := rt.Run(q)
+	var tr *telemetry.Trace
+	if sh.tracing || q.Analyze {
+		tr = telemetry.New("query")
+	}
+	resp, err := sh.rt.RunTraced(q, tr)
+	tr.Finish()
 	if err != nil {
 		return err
 	}
@@ -193,5 +305,8 @@ func execute(rt *elp.Runtime, src string) error {
 	}
 	fmt.Printf("  simulated latency: %.2fs; scanned %d sample rows\n",
 		resp.SimLatency, resp.Result.RowsScanned)
+	if tr != nil {
+		fmt.Print(tr.Render())
+	}
 	return nil
 }

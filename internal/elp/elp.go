@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"sync/atomic"
+
 	"time"
 
 	"blinkdb/internal/catalog"
@@ -25,6 +25,7 @@ import (
 	"blinkdb/internal/sqlparser"
 	"blinkdb/internal/stats"
 	"blinkdb/internal/storage"
+	"blinkdb/internal/telemetry"
 	"blinkdb/internal/types"
 )
 
@@ -105,6 +106,13 @@ type Options struct {
 	// 0 (the default) means no TTL: entries live until evicted or
 	// epoch-invalidated.
 	ResultCacheTTL time.Duration
+	// Telemetry, when non-nil, receives one Observation per completed Run
+	// (keyed by template): wall-clock and predicted latency, rows/bytes
+	// scanned, and predicted-vs-observed error half-width. nil (the
+	// default) disables recording with zero overhead on the query path —
+	// answers are bit-identical either way (the PredictedBound projection
+	// is computed unconditionally).
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) normalize() Options {
@@ -174,18 +182,11 @@ type Runtime struct {
 	results *resultcache.Cache[*resultEntry]
 	flights resultcache.Flights[*resultEntry]
 
-	// Serving counters behind Stats(); atomics (plus levelMu for the
-	// by-level map) so concurrent Run calls stay race-free.
-	planExecs      atomic.Int64
-	probeExecs     atomic.Int64
-	prepares       atomic.Int64
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
-	resultHits     atomic.Int64
-	resultMisses   atomic.Int64
-	resultShared   atomic.Int64
-	levelMu        sync.Mutex
-	answersByLevel map[int]int64
+	// Serving counters behind Stats(), guarded by one mutex so a snapshot
+	// is internally consistent — per-counter atomics let Stats observe a
+	// hits/misses pair that never coexisted, skewing HitRate under load.
+	statMu sync.Mutex
+	stats  statCounters
 }
 
 // resultEntry is one cached answer: the canonical (never-annotated,
@@ -226,6 +227,14 @@ type Decision struct {
 	// RequiredRows is the matched-row target derived from the error
 	// bound (0 when no error bound).
 	RequiredRows float64
+	// PredictedBound is the ELP-projected worst-group CI half-width at
+	// the chosen resolution (probe stderr scaled by the 1/√n law, times
+	// the z score) — what the profile promised before scanning. 0 for
+	// exact/base-table execution. Computed unconditionally and
+	// deterministically, so it is identical with telemetry on or off;
+	// comparing it against the result's reported half-width is the
+	// calibration signal the adaptive loop consumes.
+	PredictedBound float64
 	// Reason summarises the choice for EXPLAIN-style output.
 	Reason string
 }
@@ -279,9 +288,65 @@ type Response struct {
 // concurrent misses of one cold key collapse into a single execution
 // whose answer every caller shares.
 func (rt *Runtime) Run(q *sqlparser.Query) (*Response, error) {
+	return rt.RunTraced(q, nil)
+}
+
+// RunTraced is Run with query-lifecycle telemetry: span children of the
+// trace's root record each pipeline phase (normalize, cache lookups, the
+// singleflight execution with its probes and per-shard scans, result
+// materialization), and — when Options.Telemetry is set — the completed
+// query is recorded against its template key. tr may be nil: with a nil
+// trace and a nil registry this is exactly Run, with zero telemetry
+// overhead and no allocations on the telemetry paths.
+func (rt *Runtime) RunTraced(q *sqlparser.Query, tr *telemetry.Trace) (*Response, error) {
+	reg := rt.opt.Telemetry
+	var started time.Time
+	if reg != nil {
+		started = time.Now()
+	}
+	root := tr.Root()
+	nsp := root.Child("normalize")
 	key, params := sqlparser.Normalize(q)
+	nsp.End()
+	resp, err := rt.runKeyed(q, key, params, root)
+	if err != nil {
+		return nil, err
+	}
+	if reg != nil {
+		reg.Observe(key, observationFor(resp, time.Since(started).Seconds()))
+	}
+	return resp, nil
+}
+
+// observationFor folds one completed response into a telemetry
+// Observation. Predicted latency is the cluster simulator's seconds (a
+// different clock from wall time — the ratio is a per-template
+// calibration constant); the bound pair is same-units.
+func observationFor(resp *Response, wallSeconds float64) telemetry.Observation {
+	o := telemetry.Observation{
+		WallSeconds:      wallSeconds,
+		PredictedSeconds: resp.SimLatency,
+		// A result-cache hit (or a singleflight share of one execution)
+		// scanned nothing this time around; only executed queries feed
+		// the scan-shaped histograms.
+		Executed:      resp.ResultCache != "hit" && resp.ResultCache != "shared",
+		RowsScanned:   resp.Result.RowsScanned,
+		BytesScanned:  resp.Result.BytesScanned,
+		ObservedBound: resp.Result.MaxAbsErr(),
+	}
+	for _, d := range resp.Decisions {
+		if d.PredictedBound > o.PredictedBound {
+			o.PredictedBound = d.PredictedBound
+		}
+	}
+	return o
+}
+
+// runKeyed is the Run body with normalization precomputed and an optional
+// parent span (nil when untraced).
+func (rt *Runtime) runKeyed(q *sqlparser.Query, key string, params []types.Value, root *telemetry.Span) (*Response, error) {
 	if rt.results == nil {
-		resp, note, _, err := rt.runPrepared(q, key, params)
+		resp, note, _, err := rt.runPrepared(q, key, params, root)
 		if err != nil {
 			return nil, err
 		}
@@ -289,11 +354,16 @@ func (rt *Runtime) Run(q *sqlparser.Query) (*Response, error) {
 		return resp, nil
 	}
 	rkey := key + "\x1e" + sqlparser.ParamsKey(params)
+	lsp := root.Child("result-cache lookup")
 	if ent, ok := rt.results.Get(rkey); ok {
 		if rt.freshDeps(ent.deps) {
-			rt.resultHits.Add(1)
+			lsp.End()
+			lsp.Note("result=hit")
+			rt.bump(&rt.stats.resultHits)
+			msp := root.Child("materialize")
 			resp := ent.resp.clone()
 			annotateResult(resp, "hit")
+			msp.End()
 			return resp, nil
 		}
 		// A stale entry means a sample refresh/rebuild happened since the
@@ -301,13 +371,19 @@ func (rt *Runtime) Run(q *sqlparser.Query) (*Response, error) {
 		// plan cache's sweep) rather than letting dead epochs ride the LRU.
 		rt.results.Sweep(func(_ string, cand *resultEntry) bool { return rt.freshDeps(cand.deps) })
 	}
+	lsp.End()
 	var cachedHit bool
+	fsp := root.Child("execute")
 	ent, shared, err := rt.flights.Do(rkey, func() (*resultEntry, error) {
 		var err error
 		var e *resultEntry
-		e, cachedHit, err = rt.resultLeader(q, key, params, rkey)
+		// Only the singleflight leader's closure runs, so only the
+		// leader's trace carries the pipeline spans; waiters' "execute"
+		// spans cover their wait and are noted result=shared below.
+		e, cachedHit, err = rt.resultLeader(q, key, params, rkey, fsp)
 		return e, err
 	})
+	fsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -318,7 +394,9 @@ func (rt *Runtime) Run(q *sqlparser.Query) (*Response, error) {
 		// post-refresh query. Fall back to a fresh leader pass — outside
 		// the (already landed) flight; concurrent stale waiters each
 		// re-execute, an acceptable cost for the rare refresh window.
-		ent, cachedHit, err = rt.resultLeader(q, key, params, rkey)
+		rsp := root.Child("stale-shared re-execute")
+		ent, cachedHit, err = rt.resultLeader(q, key, params, rkey, rsp)
+		rsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -327,18 +405,23 @@ func (rt *Runtime) Run(q *sqlparser.Query) (*Response, error) {
 	// Every caller — leader and singleflight waiters alike — receives a
 	// private deep copy; the canonical response in the entry is never
 	// annotated and never handed out.
+	msp := root.Child("materialize")
 	resp := ent.resp.clone()
 	switch {
 	case shared:
-		rt.resultShared.Add(1)
+		rt.bump(&rt.stats.resultShared)
 		annotateResult(resp, "shared")
+		fsp.Note("result=shared")
 	case cachedHit:
-		rt.resultHits.Add(1)
+		rt.bump(&rt.stats.resultHits)
 		annotateResult(resp, "hit")
+		fsp.Note("result=hit")
 	default:
 		annotate(resp, ent.note)
 		annotateResult(resp, "miss")
+		fsp.Note("result=miss")
 	}
+	msp.End()
 	return resp, nil
 }
 
@@ -349,17 +432,17 @@ func (rt *Runtime) Run(q *sqlparser.Query) (*Response, error) {
 // would re-run the whole pipeline for an answer that is already cached
 // (and skew the exactly-one-execution Stats contract). cached reports
 // whether the answer came from the cache (a hit) rather than execution.
-func (rt *Runtime) resultLeader(q *sqlparser.Query, key string, params []types.Value, rkey string) (*resultEntry, bool, error) {
+func (rt *Runtime) resultLeader(q *sqlparser.Query, key string, params []types.Value, rkey string, sp *telemetry.Span) (*resultEntry, bool, error) {
 	if cached, ok := rt.results.Get(rkey); ok && rt.freshDeps(cached.deps) {
 		return cached, true, nil
 	}
-	resp, note, deps, err := rt.runPrepared(q, key, params)
+	resp, note, deps, err := rt.runPrepared(q, key, params, sp)
 	if err != nil {
 		return nil, false, err
 	}
 	// Count the miss only for executions that enter the cache, like the
 	// plan cache's convention.
-	rt.resultMisses.Add(1)
+	rt.bump(&rt.stats.resultMisses)
 	ent := &resultEntry{resp: resp, note: note, deps: deps}
 	rt.results.Put(rkey, ent)
 	return ent, false, nil
@@ -370,20 +453,23 @@ func (rt *Runtime) resultLeader(q *sqlparser.Query, key string, params []types.V
 // response, the plan-cache note ("hit"/"miss", "" when disabled) and the
 // table-epoch deps the answer was computed against. Callers own the
 // annotation so the result cache can store canonical responses.
-func (rt *Runtime) runPrepared(q *sqlparser.Query, key string, params []types.Value) (*Response, string, []tableDep, error) {
+func (rt *Runtime) runPrepared(q *sqlparser.Query, key string, params []types.Value, sp *telemetry.Span) (*Response, string, []tableDep, error) {
 	if rt.cache == nil {
-		pq, err := rt.prepareKeyed(q, key, params)
+		pq, err := rt.prepareKeyed(q, key, params, sp)
 		if err != nil {
 			return nil, "", nil, err
 		}
-		resp, err := rt.executeParams(pq, q, pq.prepParams)
+		resp, err := rt.executeParams(pq, q, pq.prepParams, sp)
 		return resp, "", pq.deps, err
 	}
+	lsp := sp.Child("plan-cache lookup")
 	if pq, ok := rt.cache.Get(key); ok {
 		if rt.fresh(pq) {
-			resp, err := rt.executeParams(pq, q, params)
+			lsp.End()
+			resp, err := rt.executeParams(pq, q, params, sp)
 			if err == nil {
-				rt.cacheHits.Add(1)
+				lsp.Note("cache=hit")
+				rt.bump(&rt.stats.cacheHits)
 				return resp, "hit", pq.deps, nil
 			}
 			if err != errTemplateMismatch {
@@ -400,15 +486,17 @@ func (rt *Runtime) runPrepared(q *sqlparser.Query, key string, params []types.Va
 		// queried again.
 		rt.cache.Sweep(func(_ string, cand *PreparedQuery) bool { return rt.fresh(cand) })
 	}
-	pq, err := rt.prepareKeyed(q, key, params)
+	lsp.End() // idempotent on the template-mismatch fall-through
+	lsp.Note("cache=miss")
+	pq, err := rt.prepareKeyed(q, key, params, sp)
 	if err != nil {
 		return nil, "", nil, err
 	}
 	// Count the miss only for queries that actually entered the cache;
 	// errored prepares would otherwise skew the hit rate.
-	rt.cacheMisses.Add(1)
+	rt.bump(&rt.stats.cacheMisses)
 	rt.cache.Put(key, pq)
-	resp, err := rt.executeParams(pq, q, params)
+	resp, err := rt.executeParams(pq, q, params, sp)
 	return resp, "miss", pq.deps, err
 }
 
@@ -419,7 +507,7 @@ func (rt *Runtime) runPrepared(q *sqlparser.Query, key string, params []types.Va
 // which selectResolution reuses so each (family, view) executes at most
 // once per query.
 func (rt *Runtime) selectFamily(entry *catalog.Entry, plan *exec.Plan,
-	phi types.ColumnSet, conf float64, joins []exec.JoinSpec) (*sample.Family, Decision, *exec.Result) {
+	phi types.ColumnSet, conf float64, joins []exec.JoinSpec, sp *telemetry.Span) (*sample.Family, Decision, *exec.Result) {
 
 	var dec Decision
 	if len(entry.Families) == 0 {
@@ -476,7 +564,12 @@ func (rt *Runtime) selectFamily(entry *catalog.Entry, plan *exec.Plan,
 	maxProbe := 0.0
 	for _, f := range cands {
 		in, blocks := viewInput(rt.probeView(f), plan)
-		res := rt.runProbe(plan, in, conf, joins)
+		var psp *telemetry.Span
+		if sp != nil {
+			psp = sp.Child("probe " + f.Label())
+		}
+		res := rt.runProbe(plan, in, conf, joins, psp)
+		psp.End()
 		lat := rt.latencyOfProbe(blocks)
 		if lat > maxProbe {
 			maxProbe = lat // probes run in parallel
@@ -600,6 +693,36 @@ func expectedMatches(fam *sample.Family, probe *exec.Result, lvl int, pv sample.
 	return expected
 }
 
+// predictedBound projects the worst-group CI half-width the chosen
+// resolution should deliver: the probe's worst non-exact stderr scaled to
+// the level's expected matches by the 1/√n law, times the z score —
+// the same extrapolation Profile's curve plots. Deterministic and derived
+// only from prepared probe state, so it is identical with telemetry on or
+// off (the bit-identity invariant). 0 when the probe carries no
+// statistical signal (no matches, or all-exact estimates).
+func predictedBound(fam *sample.Family, probe *exec.Result, level int, pv sample.View, conf float64) float64 {
+	probeMatched := float64(probe.RowsMatched)
+	if probeMatched <= 0 {
+		return 0
+	}
+	worstStd := 0.0
+	for _, g := range probe.Groups {
+		for _, e := range g.Estimates {
+			if !e.Exact && e.StdErr > worstStd {
+				worstStd = e.StdErr
+			}
+		}
+	}
+	if worstStd == 0 {
+		return 0
+	}
+	em := expectedMatches(fam, probe, level, pv)
+	if em <= 0 {
+		return 0
+	}
+	return worstStd * math.Sqrt(probeMatched/em) * stats.ZForConfidence(conf)
+}
+
 // levelForTime finds the largest resolution executable within the bound,
 // accounting for probe time already spent and §4.4 delta reuse.
 func (rt *Runtime) levelForTime(fam *sample.Family, plan *exec.Plan, budget, spent float64, pv sample.View) int {
@@ -648,7 +771,7 @@ type ProfilePoint struct {
 func (rt *Runtime) Profile(fam *sample.Family, plan *exec.Plan, conf float64) []ProfilePoint {
 	pv := rt.probeView(fam)
 	smallIn, _ := viewInput(pv, plan)
-	probe := rt.runPlan(plan, smallIn, conf, nil)
+	probe := rt.runPlan(plan, smallIn, conf, nil, nil)
 	probeMatched := float64(probe.RowsMatched)
 
 	// Worst-group probe error.
@@ -682,24 +805,33 @@ func (rt *Runtime) Profile(fam *sample.Family, plan *exec.Plan, conf float64) []
 
 // runProbe is runPlan counted as an ELP probe (§4.1.1 candidate probes
 // and §4.2 escalations) — the executions the plan cache amortizes away.
-func (rt *Runtime) runProbe(plan *exec.Plan, in exec.Input, conf float64, joins []exec.JoinSpec) *exec.Result {
-	rt.probeExecs.Add(1)
-	return rt.runPlan(plan, in, conf, joins)
+func (rt *Runtime) runProbe(plan *exec.Plan, in exec.Input, conf float64, joins []exec.JoinSpec, sp *telemetry.Span) *exec.Result {
+	rt.bump(&rt.stats.probeExecs)
+	return rt.runPlan(plan, in, conf, joins, sp)
 }
 
 // runPlan executes the plan over the input, joining dimension tables when
 // the query has JOIN clauses (§2.1: fact-side sampling, exact broadcast
-// dimensions). The scan schedule follows Options.Affine.
-func (rt *Runtime) runPlan(plan *exec.Plan, in exec.Input, conf float64, joins []exec.JoinSpec) *exec.Result {
-	rt.planExecs.Add(1)
+// dimensions). The scan schedule follows Options.Affine. With sp non-nil
+// the scan records a span tree (per-shard partials + merge) beneath it.
+func (rt *Runtime) runPlan(plan *exec.Plan, in exec.Input, conf float64, joins []exec.JoinSpec, sp *telemetry.Span) *exec.Result {
+	rt.bump(&rt.stats.planExecs)
 	sched := exec.SchedNodeAffine
 	if !*rt.opt.Affine {
 		sched = exec.SchedBlind
 	}
-	if len(joins) == 0 {
-		return exec.RunParallelSched(plan, in, conf, rt.opt.Workers, sched)
+	var ssp *telemetry.Span
+	if sp != nil {
+		ssp = sp.Child(fmt.Sprintf("scan blocks=%d", len(in.Blocks)))
 	}
-	return exec.RunJoinParallelSched(plan, in, joins, conf, rt.opt.Workers, sched)
+	var res *exec.Result
+	if len(joins) == 0 {
+		res = exec.RunParallelSchedTraced(plan, in, conf, rt.opt.Workers, sched, ssp)
+	} else {
+		res = exec.RunJoinParallelSchedTraced(plan, in, joins, conf, rt.opt.Workers, sched, ssp)
+	}
+	ssp.End()
+	return res
 }
 
 // checkJoinAdmissible enforces §2.1's join rules: each join needs either a

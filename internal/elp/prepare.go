@@ -11,6 +11,7 @@ import (
 	"blinkdb/internal/sample"
 	"blinkdb/internal/sqlparser"
 	"blinkdb/internal/storage"
+	"blinkdb/internal/telemetry"
 	"blinkdb/internal/types"
 )
 
@@ -100,16 +101,17 @@ type prepDisjunct struct {
 // reusable, memoizing) on miss. reusable is true only when the caller's
 // parameter vector equals prepParams — results computed for different
 // constants must never be served from or stored into the memo.
-func (pd *prepDisjunct) runMemo(rt *Runtime, level int, plan *exec.Plan, in exec.Input, conf float64, joins []exec.JoinSpec, reusable bool) *exec.Result {
+func (pd *prepDisjunct) runMemo(rt *Runtime, level int, plan *exec.Plan, in exec.Input, conf float64, joins []exec.JoinSpec, reusable bool, sp *telemetry.Span) *exec.Result {
 	if reusable {
 		pd.mu.Lock()
 		r, ok := pd.results[level]
 		pd.mu.Unlock()
 		if ok {
+			sp.Note("memo=hit")
 			return r
 		}
 	}
-	r := rt.runPlan(plan, in, conf, joins)
+	r := rt.runPlan(plan, in, conf, joins, sp)
 	if reusable {
 		pd.mu.Lock()
 		if prev, ok := pd.results[level]; ok {
@@ -123,8 +125,8 @@ func (pd *prepDisjunct) runMemo(rt *Runtime, level int, plan *exec.Plan, in exec
 }
 
 // baseMemo is runMemo for the base table (level -1).
-func (pd *prepDisjunct) baseMemo(rt *Runtime, plan *exec.Plan, tab *storage.Table, conf float64, joins []exec.JoinSpec, reusable bool) *exec.Result {
-	return pd.runMemo(rt, -1, plan, exec.FromTable(tab), conf, joins, reusable)
+func (pd *prepDisjunct) baseMemo(rt *Runtime, plan *exec.Plan, tab *storage.Table, conf float64, joins []exec.JoinSpec, reusable bool, sp *telemetry.Span) *exec.Result {
+	return pd.runMemo(rt, -1, plan, exec.FromTable(tab), conf, joins, reusable, sp)
 }
 
 // confidenceFor derives the CI level for a query.
@@ -147,13 +149,16 @@ func (rt *Runtime) confidenceFor(q *sqlparser.Query) float64 {
 // plan cache) when any involved table's catalog epoch changes.
 func (rt *Runtime) Prepare(q *sqlparser.Query) (*PreparedQuery, error) {
 	key, params := sqlparser.Normalize(q)
-	return rt.prepareKeyed(q, key, params)
+	return rt.prepareKeyed(q, key, params, nil)
 }
 
 // prepareKeyed is Prepare with the normalization precomputed (Run already
-// normalized the query for the cache lookup).
-func (rt *Runtime) prepareKeyed(q *sqlparser.Query, key string, params []types.Value) (*PreparedQuery, error) {
-	rt.prepares.Add(1)
+// normalized the query for the cache lookup) and an optional parent span
+// under which the prepare phase and its probes are recorded.
+func (rt *Runtime) prepareKeyed(q *sqlparser.Query, key string, params []types.Value, sp *telemetry.Span) (*PreparedQuery, error) {
+	psp := sp.Child("prepare")
+	defer psp.End()
+	rt.bump(&rt.stats.prepares)
 	entry, err := rt.cat.Lookup(q.Table)
 	if err != nil {
 		return nil, err
@@ -208,7 +213,7 @@ func (rt *Runtime) prepareKeyed(q *sqlparser.Query, key string, params []types.V
 		// Sample selection considers only fact-table columns: samples
 		// exist on the fact side; dimension columns are joined exactly.
 		phi := factColumns(pred.Columns().Union(groupCols), entry.Table.Schema)
-		pq.disjuncts = append(pq.disjuncts, rt.prepareConjunctive(entry, sub, phi, q, conf, joins))
+		pq.disjuncts = append(pq.disjuncts, rt.prepareConjunctive(entry, sub, phi, q, conf, joins, psp))
 	}
 	return pq, nil
 }
@@ -220,9 +225,9 @@ func (rt *Runtime) prepareKeyed(q *sqlparser.Query, key string, params []types.V
 // probe enjoys the cheap-probe assumption; escalations read real delta
 // blocks and are priced (and budget-limited) accordingly.
 func (rt *Runtime) prepareConjunctive(entry *catalog.Entry, plan *exec.Plan,
-	phi types.ColumnSet, q *sqlparser.Query, conf float64, joins []exec.JoinSpec) *prepDisjunct {
+	phi types.ColumnSet, q *sqlparser.Query, conf float64, joins []exec.JoinSpec, sp *telemetry.Span) *prepDisjunct {
 
-	fam, dec, famProbe := rt.selectFamily(entry, plan, phi, conf, joins)
+	fam, dec, famProbe := rt.selectFamily(entry, plan, phi, conf, joins, sp)
 	pd := &prepDisjunct{fam: fam, famDec: dec, results: map[int]*exec.Result{}}
 	if fam == nil {
 		return pd
@@ -231,7 +236,12 @@ func (rt *Runtime) prepareConjunctive(entry *catalog.Entry, plan *exec.Plan,
 	in, probeBlocks := viewInput(pv, plan)
 	probe := famProbe
 	if probe == nil {
-		probe = rt.runProbe(plan, in, conf, joins)
+		var psp *telemetry.Span
+		if sp != nil {
+			psp = sp.Child("probe " + fam.Label())
+		}
+		probe = rt.runProbe(plan, in, conf, joins, psp)
+		psp.End()
 	}
 	probeLat := rt.latencyOfProbe(probeBlocks)
 	for q.Err != nil && probe.RowsMatched < 20 && pv.Level < fam.Resolutions()-1 {
@@ -242,7 +252,12 @@ func (rt *Runtime) prepareConjunctive(entry *catalog.Entry, plan *exec.Plan,
 		}
 		pv = next
 		in, _ = viewInput(pv, plan)
-		probe = rt.runProbe(plan, in, conf, joins)
+		var esp *telemetry.Span
+		if sp != nil {
+			esp = sp.Child(fmt.Sprintf("probe escalate L%d %s", pv.Level, fam.Label()))
+		}
+		probe = rt.runProbe(plan, in, conf, joins, esp)
+		esp.End()
 		probeLat += step
 	}
 	pd.pv, pd.probe, pd.probeLat = pv, probe, probeLat
@@ -263,13 +278,15 @@ func (rt *Runtime) Execute(pq *PreparedQuery, q *sqlparser.Query) (*Response, er
 	if key != pq.Key {
 		return nil, errTemplateMismatch
 	}
-	return rt.executeParams(pq, q, params)
+	return rt.executeParams(pq, q, params, nil)
 }
 
 // executeParams is Execute with the normalization precomputed. The
 // response is returned unannotated; Run applies the plan/result cache
 // markers so cached canonical responses stay pristine.
-func (rt *Runtime) executeParams(pq *PreparedQuery, q *sqlparser.Query, params []types.Value) (*Response, error) {
+func (rt *Runtime) executeParams(pq *PreparedQuery, q *sqlparser.Query, params []types.Value, sp *telemetry.Span) (*Response, error) {
+	bsp := sp.Child("bind+scan")
+	defer bsp.End()
 	plan := pq.prepPlan
 	if q != pq.prepQ {
 		var err error
@@ -282,7 +299,7 @@ func (rt *Runtime) executeParams(pq *PreparedQuery, q *sqlparser.Query, params [
 	paramsEq := sqlparser.ParamsEqual(params, pq.prepParams)
 
 	if pq.exact {
-		res := pq.base.baseMemo(rt, plan, pq.entry.Table, conf, pq.joins, paramsEq)
+		res := pq.base.baseMemo(rt, plan, pq.entry.Table, conf, pq.joins, paramsEq, bsp)
 		d := Decision{UsedBase: true, Reason: "no bounds: exact execution on base table"}
 		d.ReadLatency = rt.latencyOfBase(pq.entry.Table.Blocks) + rt.broadcastCost(pq.joins)
 		rt.recordLevel(-1)
@@ -299,7 +316,7 @@ func (rt *Runtime) executeParams(pq *PreparedQuery, q *sqlparser.Query, params [
 	simLatency := 0.0
 	for i, pred := range disjuncts {
 		sub := plan.WithPred(pred)
-		res, dec := rt.executeConjunctive(pq, pq.disjuncts[i], sub, q, conf, paramsEq)
+		res, dec := rt.executeConjunctive(pq, pq.disjuncts[i], sub, q, conf, paramsEq, bsp)
 		parts = append(parts, res)
 		decisions = append(decisions, dec)
 		if l := dec.Latency(); l > simLatency {
@@ -322,13 +339,13 @@ func (rt *Runtime) executeParams(pq *PreparedQuery, q *sqlparser.Query, params [
 // §4.2 resolution selection from the cached probe, §4.4 delta-reuse
 // accounting, and the single chosen-view scan.
 func (rt *Runtime) executeConjunctive(pq *PreparedQuery, pd *prepDisjunct, plan *exec.Plan,
-	q *sqlparser.Query, conf float64, paramsEq bool) (*exec.Result, Decision) {
+	q *sqlparser.Query, conf float64, paramsEq bool, sp *telemetry.Span) (*exec.Result, Decision) {
 
 	entry, joins := pq.entry, pq.joins
 	dec := pd.famDec // copy; Probed slice is shared and immutable
 	if pd.fam == nil {
 		// No samples at all: exact execution.
-		res := pd.baseMemo(rt, plan, entry.Table, conf, joins, paramsEq)
+		res := pd.baseMemo(rt, plan, entry.Table, conf, joins, paramsEq, sp)
 		dec.UsedBase = true
 		dec.Reason = "no sample families available: exact execution"
 		dec.ReadLatency = rt.latencyOfBase(entry.Table.Blocks) + rt.broadcastCost(joins)
@@ -373,7 +390,7 @@ func (rt *Runtime) executeConjunctive(pq *PreparedQuery, pd *prepDisjunct, plan 
 			// Even the largest resolution cannot meet the error bound and
 			// no time bound caps the work: fall back to exact execution.
 			dec.Reason += "; largest sample insufficient for error bound"
-			res := pd.baseMemo(rt, plan, entry.Table, conf, joins, paramsEq)
+			res := pd.baseMemo(rt, plan, entry.Table, conf, joins, paramsEq, sp)
 			dec.UsedBase = true
 			dec.Reason += "; error bound unreachable on samples: exact execution"
 			dec.ReadLatency = rt.latencyOfBase(entry.Table.Blocks) + rt.broadcastCost(joins)
@@ -395,6 +412,9 @@ func (rt *Runtime) executeConjunctive(pq *PreparedQuery, pd *prepDisjunct, plan 
 	}
 	view := fam.View(level)
 	dec.View = view
+	// The projected half-width at the chosen level — recorded whether or
+	// not telemetry is enabled, so enabling it never perturbs answers.
+	dec.PredictedBound = predictedBound(fam, probe, level, pv, conf)
 
 	// Execute on the chosen view (zone-pruned) — unless the probe already
 	// ran on exactly this view with these very parameters, in which case
@@ -407,7 +427,7 @@ func (rt *Runtime) executeConjunctive(pq *PreparedQuery, pd *prepDisjunct, plan 
 		res = probe
 	}
 	if res == nil {
-		res = pd.runMemo(rt, level, plan, in, conf, joins, paramsEq)
+		res = pd.runMemo(rt, level, plan, in, conf, joins, paramsEq, sp)
 	}
 	if *rt.opt.DeltaReuse && probe != nil {
 		dec.ReadLatency = rt.latencyOfSample(prunedBlocks(view.DeltaBlocks(pv), plan))

@@ -419,7 +419,7 @@ func TestResultCacheSecondLeaderServesCachedAnswer(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := f.rt.Stats()
-	ent, cached, err := f.rt.resultLeader(q, key, params, rkey)
+	ent, cached, err := f.rt.resultLeader(q, key, params, rkey, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,8 +3,8 @@ package elp
 // Stats is a point-in-time snapshot of the runtime's serving counters,
 // the observability surface for the prepare/execute pipeline (consumed by
 // blinkdb-bench's JSON snapshot and the concurrency tests). All counters
-// are cumulative since the runtime was created; compute deltas across two
-// snapshots to measure an interval.
+// are cumulative since the runtime was created; use Delta to measure an
+// interval between two snapshots.
 type Stats struct {
 	// PlanExecs counts executor invocations of any kind — family probes,
 	// probe escalations, and final reads. It is the physical-work
@@ -39,6 +39,30 @@ type Stats struct {
 	AnswersByLevel map[int]int64
 }
 
+// statCounters is the runtime's live counter block, guarded as a unit by
+// Runtime.statMu so snapshots are internally consistent (no torn
+// hits/misses pairs). Field meanings mirror Stats.
+type statCounters struct {
+	planExecs      int64
+	probeExecs     int64
+	prepares       int64
+	cacheHits      int64
+	cacheMisses    int64
+	resultHits     int64
+	resultMisses   int64
+	resultShared   int64
+	answersByLevel map[int]int64
+}
+
+// bump increments one counter under the stats mutex. Call sites pass a
+// pointer to the field (`rt.bump(&rt.stats.cacheHits)`); computing the
+// field address outside the lock is safe — only the write is guarded.
+func (rt *Runtime) bump(counter *int64) {
+	rt.statMu.Lock()
+	*counter++
+	rt.statMu.Unlock()
+}
+
 // HitRate returns CacheHits/(CacheHits+CacheMisses), or 0 before any
 // cache-eligible query ran.
 func (s Stats) HitRate() float64 {
@@ -60,34 +84,60 @@ func (s Stats) ResultHitRate() float64 {
 	return float64(s.ResultHits+s.ResultShared) / float64(total)
 }
 
-// Stats returns a snapshot of the runtime's counters. Safe for
+// Delta returns the interval counters s − prev: what happened between
+// the prev snapshot and this one. AnswersByLevel holds only levels whose
+// count changed. Derived rates (HitRate, ResultHitRate) on the returned
+// value are then interval rates, not cumulative ones.
+func (s Stats) Delta(prev Stats) Stats {
+	d := Stats{
+		PlanExecs:    s.PlanExecs - prev.PlanExecs,
+		ProbeExecs:   s.ProbeExecs - prev.ProbeExecs,
+		Prepares:     s.Prepares - prev.Prepares,
+		CacheHits:    s.CacheHits - prev.CacheHits,
+		CacheMisses:  s.CacheMisses - prev.CacheMisses,
+		ResultHits:   s.ResultHits - prev.ResultHits,
+		ResultMisses: s.ResultMisses - prev.ResultMisses,
+		ResultShared: s.ResultShared - prev.ResultShared,
+	}
+	d.AnswersByLevel = make(map[int]int64)
+	for k, v := range s.AnswersByLevel {
+		if dv := v - prev.AnswersByLevel[k]; dv != 0 {
+			d.AnswersByLevel[k] = dv
+		}
+	}
+	return d
+}
+
+// Stats returns a consistent snapshot of the runtime's counters: all
+// fields are copied under one mutex, so ratios like HitRate never mix a
+// hits value from one moment with a misses value from another. Safe for
 // concurrent use with Run/Prepare/Execute.
 func (rt *Runtime) Stats() Stats {
+	rt.statMu.Lock()
+	defer rt.statMu.Unlock()
 	s := Stats{
-		PlanExecs:    rt.planExecs.Load(),
-		ProbeExecs:   rt.probeExecs.Load(),
-		Prepares:     rt.prepares.Load(),
-		CacheHits:    rt.cacheHits.Load(),
-		CacheMisses:  rt.cacheMisses.Load(),
-		ResultHits:   rt.resultHits.Load(),
-		ResultMisses: rt.resultMisses.Load(),
-		ResultShared: rt.resultShared.Load(),
+		PlanExecs:    rt.stats.planExecs,
+		ProbeExecs:   rt.stats.probeExecs,
+		Prepares:     rt.stats.prepares,
+		CacheHits:    rt.stats.cacheHits,
+		CacheMisses:  rt.stats.cacheMisses,
+		ResultHits:   rt.stats.resultHits,
+		ResultMisses: rt.stats.resultMisses,
+		ResultShared: rt.stats.resultShared,
 	}
-	rt.levelMu.Lock()
-	s.AnswersByLevel = make(map[int]int64, len(rt.answersByLevel))
-	for k, v := range rt.answersByLevel {
+	s.AnswersByLevel = make(map[int]int64, len(rt.stats.answersByLevel))
+	for k, v := range rt.stats.answersByLevel {
 		s.AnswersByLevel[k] = v
 	}
-	rt.levelMu.Unlock()
 	return s
 }
 
 // recordLevel counts one served answer at a resolution level (-1 base).
 func (rt *Runtime) recordLevel(level int) {
-	rt.levelMu.Lock()
-	if rt.answersByLevel == nil {
-		rt.answersByLevel = make(map[int]int64)
+	rt.statMu.Lock()
+	if rt.stats.answersByLevel == nil {
+		rt.stats.answersByLevel = make(map[int]int64)
 	}
-	rt.answersByLevel[level]++
-	rt.levelMu.Unlock()
+	rt.stats.answersByLevel[level]++
+	rt.statMu.Unlock()
 }

@@ -26,6 +26,7 @@ import (
 	"blinkdb/internal/sqlparser"
 	"blinkdb/internal/stats"
 	"blinkdb/internal/storage"
+	"blinkdb/internal/telemetry"
 	"blinkdb/internal/types"
 )
 
@@ -772,7 +773,14 @@ func RunParallel(p *Plan, in Input, confidence float64, workers int) *Result {
 
 // RunParallelSched is RunParallel with an explicit scheduling mode.
 func RunParallelSched(p *Plan, in Input, confidence float64, workers int, sched Sched) *Result {
-	return runRanges(p, p.runtime(), in, confidence, workers, sched, nil)
+	return runRanges(p, p.runtime(), in, confidence, workers, sched, nil, nil)
+}
+
+// RunParallelSchedTraced is RunParallelSched with a telemetry span under
+// which the scan records per-unit (shard or range) child spans and the
+// merge phase. sp may be nil (identical to RunParallelSched).
+func RunParallelSchedTraced(p *Plan, in Input, confidence float64, workers int, sched Sched, sp *telemetry.Span) *Result {
+	return runRanges(p, p.runtime(), in, confidence, workers, sched, nil, sp)
 }
 
 // runRanges is the shared scan driver for plain and join execution. The
@@ -781,8 +789,10 @@ func RunParallelSched(p *Plan, in Input, confidence float64, workers int, sched 
 // range's Partial lands at its partition index and MergePartials folds in
 // range order, so every float accumulation — and hence the Result — is
 // identical across schedules and worker counts.
+// Span bookkeeping (sp non-nil) adds one child span per claim unit plus a
+// merge span; with sp nil the scan performs no telemetry work at all.
 func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers int,
-	sched Sched, jr *joinRuntime) *Result {
+	sched Sched, jr *joinRuntime, sp *telemetry.Span) *Result {
 
 	// Affine scheduling only pays off while every worker can own a
 	// shard; with fewer shards (simulated nodes) than workers it would
@@ -813,11 +823,22 @@ func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers i
 	// more than the out-of-order window of partials is ever retained.
 	merger := NewMerger(p, len(ranges))
 	if workers <= 1 {
+		var scanSp *telemetry.Span
+		if sp != nil {
+			scanSp = sp.Child(fmt.Sprintf("partials ranges=%d", len(ranges)))
+		}
 		sc := &colScratch{}
 		for i, r := range ranges {
 			merger.Add(i, runPartial(p, rt, in, r.Lo, r.Hi, jr, sc))
 		}
-		return merger.Finish(confidence)
+		scanSp.End()
+		var mergeSp *telemetry.Span
+		if sp != nil {
+			mergeSp = sp.Child("merge")
+		}
+		res := merger.Finish(confidence)
+		mergeSp.End()
+		return res
 	}
 	var mu sync.Mutex // serializes merger.Add across workers
 	var next atomic.Int64
@@ -838,19 +859,35 @@ func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers i
 					return
 				}
 				if shards == nil {
+					var unitSp *telemetry.Span
+					if sp != nil {
+						unitSp = sp.Child(fmt.Sprintf("range %d blocks=%d", u, ranges[u].Hi-ranges[u].Lo))
+					}
 					deliver(u, runPartial(p, rt, in, ranges[u].Lo, ranges[u].Hi, jr, sc))
+					unitSp.End()
 					continue
+				}
+				var unitSp *telemetry.Span
+				if sp != nil {
+					unitSp = sp.Child(fmt.Sprintf("shard node=%d ranges=%d", shards[u].Node, len(shards[u].Ranges)))
 				}
 				// A shard's ranges are disjoint from every other shard's,
 				// so each index is delivered exactly once.
 				for _, ri := range shards[u].Ranges {
 					deliver(ri, runPartial(p, rt, in, ranges[ri].Lo, ranges[ri].Hi, jr, sc))
 				}
+				unitSp.End()
 			}
 		}()
 	}
 	wg.Wait()
-	return merger.Finish(confidence)
+	var mergeSp *telemetry.Span
+	if sp != nil {
+		mergeSp = sp.Child("merge")
+	}
+	res := merger.Finish(confidence)
+	mergeSp.End()
+	return res
 }
 
 func compareKeys(a, b []types.Value) int {

@@ -7,6 +7,7 @@ import (
 
 	"blinkdb/internal/sqlparser"
 	"blinkdb/internal/storage"
+	"blinkdb/internal/telemetry"
 	"blinkdb/internal/types"
 )
 
@@ -309,7 +310,19 @@ func RunJoinParallel(p *Plan, in Input, joins []JoinSpec, confidence float64, wo
 // RunJoinParallelSched is RunJoinParallel with an explicit scheduling
 // mode.
 func RunJoinParallelSched(p *Plan, in Input, joins []JoinSpec, confidence float64, workers int, sched Sched) *Result {
+	return RunJoinParallelSchedTraced(p, in, joins, confidence, workers, sched, nil)
+}
+
+// RunJoinParallelSchedTraced is RunJoinParallelSched with a telemetry
+// span covering the join-index build and the fact-side scan. sp may be
+// nil (identical to RunJoinParallelSched).
+func RunJoinParallelSchedTraced(p *Plan, in Input, joins []JoinSpec, confidence float64, workers int, sched Sched, sp *telemetry.Span) *Result {
+	var buildSp *telemetry.Span
+	if sp != nil {
+		buildSp = sp.Child("join-index build")
+	}
 	jr := newJoinRuntime(p, joins)
+	buildSp.End()
 	joined := Input{
 		Schema: p.Schema,
 		Blocks: in.Blocks,
@@ -319,5 +332,5 @@ func RunJoinParallelSched(p *Plan, in Input, joins []JoinSpec, confidence float6
 	// late-materialization path (fact predicate first, probe keys straight
 	// from the columns, materialise only matched rows), row blocks expand
 	// into the pooled buffer.
-	return runRanges(p, p.runtime(), joined, confidence, workers, sched, jr)
+	return runRanges(p, p.runtime(), joined, confidence, workers, sched, jr, sp)
 }

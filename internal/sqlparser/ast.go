@@ -179,6 +179,12 @@ type Query struct {
 	Time *TimeBound
 	// Limit caps output rows (0 = unlimited).
 	Limit int
+	// Analyze is set by the EXPLAIN ANALYZE prefix: execute the query
+	// normally AND capture a query-lifecycle span tree for the response.
+	// Normalize ignores it, so an analyzed query shares plan- and
+	// result-cache state with its plain form — EXPLAIN ANALYZE on a warm
+	// template shows the warm path, not an artificial cold one.
+	Analyze bool
 }
 
 // Columns returns the query-template column set: the union of columns in
@@ -198,6 +204,9 @@ func (q *Query) Columns(schema *types.Schema) (types.ColumnSet, error) {
 // String renders the query back to SQL.
 func (q *Query) String() string {
 	var b strings.Builder
+	if q.Analyze {
+		b.WriteString("EXPLAIN ANALYZE ")
+	}
 	b.WriteString("SELECT ")
 	for i, a := range q.Aggs {
 		if i > 0 {

@@ -13,7 +13,8 @@ import (
 //
 // Grammar (case-insensitive keywords):
 //
-//	query    := SELECT aggs [, RELATIVE ERROR AT num% CONFIDENCE]
+//	query    := [EXPLAIN ANALYZE]
+//	            SELECT aggs [, RELATIVE ERROR AT num% CONFIDENCE]
 //	            FROM ident {JOIN ident ON ident = ident}
 //	            [WHERE expr] [GROUP BY ident {, ident}]
 //	            [ERROR WITHIN num[%] AT CONFIDENCE num[%]]
@@ -121,6 +122,12 @@ func (p *parser) percentage() (float64, bool, error) {
 
 func (p *parser) parseQuery() (*Query, error) {
 	q := &Query{ReportConfidence: 0.95}
+	if p.acceptKw("EXPLAIN") {
+		if err := p.expectKw("ANALYZE"); err != nil {
+			return nil, err
+		}
+		q.Analyze = true
+	}
 	if err := p.expectKw("SELECT"); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one Chrome trace-event ("X" = complete event). The
+// format is the trace-event JSON array consumed by chrome://tracing and
+// Perfetto: ts/dur in microseconds, pid/tid grouping lanes.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   float64           `json:"dur"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteChrome exports traces as a Chrome trace-event JSON array — load
+// the file in chrome://tracing or ui.perfetto.dev. Each trace becomes
+// one pid; overlapping spans within a trace are spread across tids by
+// greedy lane assignment (a span takes the first lane whose previous
+// span ended before it started), so parallel shard scans render as
+// parallel rows.
+func WriteChrome(w io.Writer, traces []*Trace) error {
+	var events []chromeEvent
+	for ti, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		origin := tr.Root().spanStart()
+		var laneEnds []float64 // per-lane last end time, µs
+		for _, s := range tr.sortedSpans() {
+			ts := float64(s.spanStart().Sub(origin).Nanoseconds()) / 1e3
+			dur := float64(s.Duration().Nanoseconds()) / 1e3
+			lane := -1
+			for i, end := range laneEnds {
+				if end <= ts {
+					lane = i
+					break
+				}
+			}
+			if lane < 0 {
+				lane = len(laneEnds)
+				laneEnds = append(laneEnds, 0)
+			}
+			laneEnds[lane] = ts + dur
+			ev := chromeEvent{
+				Name:  s.Name(),
+				Phase: "X",
+				TS:    ts,
+				Dur:   dur,
+				PID:   ti + 1,
+				TID:   lane + 1,
+			}
+			if notes := s.Notes(); len(notes) > 0 {
+				ev.Args = map[string]string{}
+				for i, n := range notes {
+					k := "note"
+					if i > 0 {
+						k = "note" + string(rune('0'+i))
+					}
+					ev.Args[k] = n
+				}
+			}
+			events = append(events, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := New("query")
+	root := tr.Root()
+	if root.Name() != "query" {
+		t.Fatalf("root name = %q", root.Name())
+	}
+	norm := root.Child("normalize")
+	norm.End()
+	exec := root.Child("execute")
+	scan := exec.Child("scan")
+	scan.Note("blocks=4")
+	scan.End()
+	exec.End()
+	root.Note("result=miss")
+	tr.Finish()
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "normalize" || kids[1].Name() != "execute" {
+		t.Fatalf("children = %v", kids)
+	}
+	if got := kids[1].Children()[0].Notes(); len(got) != 1 || got[0] != "blocks=4" {
+		t.Fatalf("scan notes = %v", got)
+	}
+	if root.Duration() <= 0 {
+		t.Fatalf("root duration = %v", root.Duration())
+	}
+	// Parent spans cover their children.
+	if exec.Duration() < scan.Duration() {
+		t.Fatalf("exec %v < scan %v", exec.Duration(), scan.Duration())
+	}
+
+	var names []string
+	tr.Walk(func(s *Span, depth int) { names = append(names, fmt.Sprintf("%d:%s", depth, s.Name())) })
+	want := []string{"0:query", "1:normalize", "1:execute", "2:scan"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("walk = %v, want %v", names, want)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := New("q")
+	sp := tr.Root().Child("phase")
+	sp.End()
+	d := sp.Duration()
+	time.Sleep(2 * time.Millisecond)
+	sp.End() // second End must not extend the span
+	if got := sp.Duration(); got != d {
+		t.Fatalf("duration changed after second End: %v -> %v", d, got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.Root() != nil {
+		t.Fatal("nil trace Root should be nil")
+	}
+	tr.Finish()
+	tr.Walk(func(*Span, int) { t.Fatal("nil trace walked") })
+	if tr.Render() != "" {
+		t.Fatal("nil trace render should be empty")
+	}
+	var sp *Span
+	c := sp.Child("x")
+	if c != nil {
+		t.Fatal("nil span Child should be nil")
+	}
+	c.End()
+	c.Note("n")
+	if c.Name() != "" || c.Duration() != 0 || c.Notes() != nil || c.Children() != nil {
+		t.Fatal("nil span accessors should be zero")
+	}
+	var reg *Registry
+	reg.Observe("k", Observation{WallSeconds: 1})
+	if got := reg.Snapshot(); len(got.Templates) != 0 {
+		t.Fatalf("nil registry snapshot = %+v", got)
+	}
+}
+
+// TestDisabledPathZeroAllocs pins the disabled-path guarantee from the
+// package doc: the full span-op sequence a traced query performs must be
+// free when the trace is nil.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var tr *Trace
+	var reg *Registry
+	allocs := testing.AllocsPerRun(100, func() {
+		root := tr.Root()
+		sp := root.Child("execute")
+		sp.Note("cache=hit")
+		inner := sp.Child("scan")
+		inner.End()
+		sp.End()
+		tr.Finish()
+		reg.Observe("key", Observation{})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-path allocs/op = %v, want 0", allocs)
+	}
+}
+
+func TestHistogramRecordZeroAllocs(t *testing.T) {
+	var h Histogram
+	v := 0.001
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Record(v)
+		v *= 1.01
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocs/op = %v, want 0", allocs)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	tr := New("query")
+	root := tr.Root()
+	lookup := root.Child("result-cache lookup")
+	lookup.End()
+	lookup.Note("result=miss")
+	ex := root.Child("execute")
+	for i := 0; i < 20; i++ {
+		c := ex.Child(fmt.Sprintf("shard %d", i))
+		c.End()
+	}
+	ex.End()
+	tr.Finish()
+
+	out := tr.Render()
+	for _, want := range []string{"query", "result-cache lookup", "[result=miss]", "execute", "shard 0", "… (+8 more spans"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "shard 15") {
+		t.Fatalf("render should elide children beyond %d:\n%s", maxRenderChildren, out)
+	}
+}
+
+func TestConcurrentSpansRace(t *testing.T) {
+	tr := New("query")
+	ex := tr.Root().Child("execute")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := ex.Child(fmt.Sprintf("shard g%d i%d", g, i))
+				sp.Note("n")
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	ex.End()
+	tr.Finish()
+	if got := len(ex.Children()); got != 400 {
+		t.Fatalf("children = %d, want 400", got)
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	tr := New("query")
+	root := tr.Root()
+	a := root.Child("plan-cache lookup")
+	a.Note("cache=miss")
+	a.End()
+	b := root.Child("execute")
+	b.End()
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, []*Trace{tr, nil}); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.String())
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			t.Fatalf("phase = %v", ev["ph"])
+		}
+		if ev["pid"].(float64) != 1 {
+			t.Fatalf("pid = %v", ev["pid"])
+		}
+	}
+	// The root overlaps both children, so it must not share their lane.
+	if events[0]["name"] != "query" {
+		t.Fatalf("first event = %v", events[0]["name"])
+	}
+}
+
+func TestChromeLaneAssignment(t *testing.T) {
+	// Two spans created under the same parent where the second starts
+	// before the first ends must land in different lanes; a third starting
+	// after both end reuses lane 1's slot.
+	tr := New("root")
+	root := tr.Root()
+	a := root.Child("a")
+	b := root.Child("b") // overlaps a
+	time.Sleep(time.Millisecond)
+	a.End()
+	b.End()
+	c := root.Child("c") // starts after a and b ended
+	c.End()
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, []*Trace{tr}); err != nil {
+		t.Fatal(err)
+	}
+	var events []chromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	tid := map[string]int{}
+	for _, ev := range events {
+		tid[ev.Name] = ev.TID
+	}
+	if tid["a"] == tid["b"] {
+		t.Fatalf("overlapping spans share a lane: %v", tid)
+	}
+	// root is still open while c starts, so c shares with a or b, not root.
+	if tid["c"] == tid["root"] {
+		t.Fatalf("c should not share the root's lane: %v", tid)
+	}
+}
