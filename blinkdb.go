@@ -76,6 +76,20 @@
 // the typed hash indexes straight from the key columns, and only matched
 // rows are expanded into pooled combined-row buffers.
 //
+// # Serving
+//
+// The engine is serving-ready as a library: QueryCtx threads a
+// context.Context through the planner into the executor's worker loops,
+// so a disconnected client stops paying for its scan between block
+// ranges, and QueryStream runs a query as a streaming-refinement session
+// — one StreamUpdate per sample resolution along the §4.4 delta chain,
+// each a complete answer with bounds, ending in a Final update
+// bit-identical to Query's. cmd/blinkdb-server wraps these in HTTP/JSON
+// (NDJSON and SSE streaming) with admission control priced by the ELP's
+// predicted latencies: overload is shed with 429 + Retry-After before
+// any scanning happens, which the Admitted/Shed/Cancelled counters in
+// EngineStats make auditable.
+//
 // A minimal session:
 //
 //	eng := blinkdb.Open(blinkdb.Config{})
@@ -97,6 +111,7 @@
 package blinkdb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -644,6 +659,10 @@ type Result struct {
 	// SimLatencySeconds is the latency the simulated cluster attributes
 	// to this query (probes + sample read).
 	SimLatencySeconds float64
+	// Level is the sample resolution that served the answer: -1 when any
+	// disjunct ran on the base table, otherwise the max resolution level
+	// across disjuncts.
+	Level int
 	// SampleDescription says which sample answered the query, e.g.
 	// "S([city], K=1000)" or "base table".
 	SampleDescription string
@@ -697,20 +716,30 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	return res, err
 }
 
+// QueryCtx is Query with cancellation: a ctx that is cancelled before the
+// call returns immediately without planning or scanning, and a ctx
+// cancelled mid-scan stops the executor's workers between block ranges.
+// Cancelled queries return ctx.Err() (or a wrapped form satisfying
+// errors.Is) and count toward EngineStats.Cancelled.
+func (e *Engine) QueryCtx(ctx context.Context, sql string) (*Result, error) {
+	res, _, err := e.query(ctx, sql, false)
+	return res, err
+}
+
 // QueryTraced is Query with the structured span tree returned alongside
 // the result: the trace is always captured, whether or not the query has
 // an EXPLAIN ANALYZE prefix. Use it to feed telemetry.WriteChrome or to
 // walk span durations programmatically; plain Query keeps the zero-
 // overhead untraced path.
 func (e *Engine) QueryTraced(sql string) (*Result, *telemetry.Trace, error) {
-	return e.query(sql, true)
+	return e.query(context.Background(), sql, true)
 }
 
 func (e *Engine) queryTraced(sql string) (*Result, *telemetry.Trace, error) {
-	return e.query(sql, false)
+	return e.query(context.Background(), sql, false)
 }
 
-func (e *Engine) query(sql string, forceTrace bool) (*Result, *telemetry.Trace, error) {
+func (e *Engine) query(ctx context.Context, sql string, forceTrace bool) (*Result, *telemetry.Trace, error) {
 	q, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, nil, err
@@ -719,12 +748,60 @@ func (e *Engine) query(sql string, forceTrace bool) (*Result, *telemetry.Trace, 
 	if q.Analyze || forceTrace {
 		tr = telemetry.New("query")
 	}
-	resp, err := e.rt.RunTraced(q, tr)
+	resp, err := e.rt.RunCtxTraced(ctx, q, tr)
 	tr.Finish()
 	if err != nil {
 		return nil, nil, err
 	}
 	return buildResult(q, resp, tr), tr, nil
+}
+
+// StreamUpdate is one refinement of a streaming query session: a
+// complete Result at one sample resolution. Seq numbers updates from 0;
+// exactly one update has Final set, and it is bit-identical (including
+// latencies and cache markers) to what Query would have returned for the
+// same SQL against the same engine state.
+type StreamUpdate struct {
+	// Result is the full answer at this refinement's resolution.
+	Result *Result
+	// Level is the sample resolution that served it (-1 = base table).
+	Level int
+	// Seq numbers refinements from 0 within the session.
+	Seq int
+	// Final marks the session's last, authoritative answer.
+	Final bool
+}
+
+// QueryStream executes sql as a streaming-refinement session: emit is
+// called once per refinement in increasing-resolution order, ending with
+// exactly one Final update. Sessions that cannot refine — exact queries,
+// result-cache hits, answers shared from a concurrent identical query,
+// or a probe already at the final resolution — emit a single Final
+// update, so emit always runs at least once on success. An error from
+// emit aborts the session and is returned; ctx cancellation behaves as
+// in QueryCtx, checked between refinements and inside scans.
+func (e *Engine) QueryStream(ctx context.Context, sql string, emit func(StreamUpdate) error) error {
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return err
+	}
+	var tr *telemetry.Trace
+	if q.Analyze {
+		tr = telemetry.New("query")
+	}
+	err = e.rt.RunStreamTraced(ctx, q, tr, func(r elp.Refinement) error {
+		if r.Final {
+			tr.Finish()
+		}
+		return emit(StreamUpdate{
+			Result: buildResult(q, r.Resp, tr),
+			Level:  r.Level,
+			Seq:    r.Seq,
+			Final:  r.Final,
+		})
+	})
+	tr.Finish()
+	return err
 }
 
 // buildResult maps an elp response onto the public Result shape.
@@ -743,8 +820,12 @@ func buildResult(q *sqlparser.Query, resp *elp.Response, tr *telemetry.Trace) *R
 		expl = append(expl, d.Reason)
 		if d.UsedBase {
 			desc = append(desc, "base table")
+			out.Level = -1
 		} else {
 			desc = append(desc, d.View.String())
+			if out.Level >= 0 && d.View.Level > out.Level {
+				out.Level = d.View.Level
+			}
 		}
 		if d.PredictedBound > out.PredictedBound {
 			out.PredictedBound = d.PredictedBound
@@ -803,6 +884,15 @@ type EngineStats struct {
 	// concurrent miss's execution. Stale or TTL-expired entries count as
 	// misses. All 0 when the result cache is disabled.
 	ResultCacheHits, ResultCacheMisses, ResultCacheShared int64
+	// Admitted / Shed count serving-layer admission outcomes, recorded by
+	// the admission queue's owner (blinkdb-server) via NoteAdmitted /
+	// NoteShed. A shed query never reaches the pipeline: Shed can grow
+	// while PlanExecs stands still. Both stay 0 in library-only use.
+	Admitted, Shed int64
+	// Cancelled counts queries aborted by context cancellation (client
+	// disconnect, deadline) before or during scanning. Cancelled queries
+	// produce no answer and are not counted in AnswersByLevel.
+	Cancelled int64
 	// AnswersByLevel counts answers by serving resolution level
 	// (-1 = base table).
 	AnswersByLevel map[int]int64
@@ -840,6 +930,9 @@ func (s EngineStats) Delta(prev EngineStats) EngineStats {
 		ResultCacheHits:   s.ResultCacheHits - prev.ResultCacheHits,
 		ResultCacheMisses: s.ResultCacheMisses - prev.ResultCacheMisses,
 		ResultCacheShared: s.ResultCacheShared - prev.ResultCacheShared,
+		Admitted:          s.Admitted - prev.Admitted,
+		Shed:              s.Shed - prev.Shed,
+		Cancelled:         s.Cancelled - prev.Cancelled,
 	}
 	for level, n := range s.AnswersByLevel {
 		if diff := n - prev.AnswersByLevel[level]; diff != 0 {
@@ -866,9 +959,30 @@ func (e *Engine) Stats() EngineStats {
 		ResultCacheHits:   s.ResultHits,
 		ResultCacheMisses: s.ResultMisses,
 		ResultCacheShared: s.ResultShared,
+		Admitted:          s.Admitted,
+		Shed:              s.Shed,
+		Cancelled:         s.Cancelled,
 		AnswersByLevel:    s.AnswersByLevel,
 	}
 }
+
+// TemplateWallSeconds returns the mean observed wall-clock seconds for
+// queries of the given normalized template key, or false when the
+// template has never completed (or telemetry is disabled). The serving
+// layer uses it to price admission before any planning happens.
+func (e *Engine) TemplateWallSeconds(key string) (float64, bool) {
+	return e.tele.ObservedWallSeconds(key)
+}
+
+// NoteAdmitted records one admission-control accept in the engine's
+// stats. The serving layer (blinkdb-server) owns the admission decision;
+// the engine only keeps the counter so one Stats snapshot covers the
+// whole serving picture.
+func (e *Engine) NoteAdmitted() { e.rt.NoteAdmitted() }
+
+// NoteShed records one admission-control rejection: a query shed by the
+// serving layer before any planning or scanning happened.
+func (e *Engine) NoteShed() { e.rt.NoteShed() }
 
 // Tables lists registered table names.
 func (e *Engine) Tables() []string { return e.cat.Tables() }

@@ -12,21 +12,28 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"blinkdb"
+	"blinkdb/internal/admission"
 	"blinkdb/internal/exec"
 	"blinkdb/internal/experiments"
+	"blinkdb/internal/server"
 	"blinkdb/internal/sqlparser"
 	"blinkdb/internal/storage"
 	"blinkdb/internal/telemetry"
@@ -182,6 +189,32 @@ type telemetryRecord struct {
 	Templates        []templateTelemetry `json:"templates"`
 }
 
+// serverRecord reports the HTTP serving layer under 2× overload: a
+// blinkdb-server (in-process, httptest listener) with MaxConcurrent=1
+// and a short admission queue is hammered by more streaming clients than
+// it can seat, so a steady fraction of arrivals is shed with 429 before
+// any scanning. Served requests report client-observed time-to-first-
+// answer (first NDJSON frame) vs time-to-final — the gap is what
+// streaming refinement buys an impatient dashboard.
+type serverRecord struct {
+	// Goroutines is the client concurrency; the admission queue seats
+	// MaxConcurrent+MaxQueue of them, so the offered load is ~2× capacity.
+	Goroutines int `json:"goroutines"`
+	// Queries / Shed count 200-OK sessions vs 429 rejections.
+	Queries int `json:"queries"`
+	Shed    int `json:"shed"`
+	// Qps is completed sessions per second over the measurement window.
+	Qps float64 `json:"http_qps"`
+	// TTFAP50Ms / TTFP50Ms are the p50 of client-observed first-frame and
+	// final-frame latency (ms) across served streaming sessions.
+	TTFAP50Ms float64 `json:"time_to_first_answer_p50_ms"`
+	TTFP50Ms  float64 `json:"time_to_final_p50_ms"`
+	// ShedRate is Shed/(Queries+Shed) — the fraction of the 2× offered
+	// load the admission controller refused instead of queueing without
+	// bound.
+	ShedRate float64 `json:"shed_rate_2x_overload"`
+}
+
 // snapshot is the BENCH_<date>.json schema.
 type snapshot struct {
 	Date        string             `json:"date"`
@@ -194,6 +227,7 @@ type snapshot struct {
 	ResultCache resultReplayRecord `json:"result_cache"`
 	Kernels     kernelRecord       `json:"kernels"`
 	Telemetry   telemetryRecord    `json:"telemetry"`
+	Server      serverRecord       `json:"server"`
 }
 
 func main() {
@@ -313,6 +347,7 @@ func main() {
 		snap.ResultCache = resultReplayBench(*smoke)
 		snap.Kernels = kernelsBench(*smoke)
 		snap.Telemetry = telemetryBench(*smoke)
+		snap.Server = serverBench(*smoke)
 		path := *jsonPath
 		if path == "" {
 			path = "BENCH_" + snap.Date + ".json"
@@ -869,6 +904,123 @@ func telemetryBench(smoke bool) telemetryRecord {
 		})
 	}
 	return rec
+}
+
+// serverBench drives the HTTP serving layer at 2× its admission capacity
+// (see serverRecord). The engine runs with the result cache OFF so every
+// admitted session actually scans — with it on nothing queues and nothing
+// sheds, which would measure the cache again instead of the server.
+func serverBench(smoke bool) serverRecord {
+	rows, sampleK, window := 200000, int64(8000), 2*time.Second
+	if smoke {
+		rows, sampleK, window = 50000, 2000, 300*time.Millisecond
+	}
+	eng := buildTrafficEngine(rows, sampleK, 0, -1, false)
+	srv := server.New(eng, server.Config{Admission: admission.Config{
+		MaxConcurrent:     1,
+		MaxQueue:          3,
+		MaxBacklogSeconds: -1, // bound by seats: the 2× ratio stays exact
+	}})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	// Warm the template (plan cache + latency calibration, which prices
+	// admission for the rest of the run) before the clock starts.
+	warm, err := http.Post(hs.URL+"/query", "application/json",
+		strings.NewReader(`{"sql": "SELECT AVG(sessiontime) FROM traffic WHERE city = 'city1' ERROR WITHIN 10%"}`))
+	if err != nil {
+		panic(err)
+	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close()
+
+	cityGen := zipf.NewGeneratorCDF(rand.New(rand.NewSource(23)), 1.1, 200)
+	const replaySize = 256
+	replay := make([]string, replaySize)
+	for i := range replay {
+		replay[i] = fmt.Sprintf(
+			`{"sql": "SELECT AVG(sessiontime) FROM traffic WHERE city = 'city%d' ERROR WITHIN 10%%", "stream": true}`,
+			cityGen.Next())
+	}
+
+	// 2× overload: the admission queue seats MaxConcurrent+MaxQueue = 4
+	// sessions; 8 always-on clients offer twice that.
+	const goroutines = 8
+	var mu sync.Mutex
+	var ttfa, ttf []float64
+	served, shed := 0, 0
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; ; i++ { // staggered offsets: clients mostly miss each other's keys
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				begin := time.Now()
+				resp, err := http.Post(hs.URL+"/query", "application/json",
+					strings.NewReader(replay[i%replaySize]))
+				if err != nil {
+					panic(err)
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					mu.Lock()
+					shed++
+					mu.Unlock()
+					continue
+				}
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 1<<20), 1<<20)
+				first := 0.0
+				for sc.Scan() {
+					if first == 0 {
+						first = time.Since(begin).Seconds()
+					}
+				}
+				final := time.Since(begin).Seconds()
+				resp.Body.Close()
+				mu.Lock()
+				served++
+				ttfa = append(ttfa, first)
+				ttf = append(ttf, final)
+				mu.Unlock()
+			}
+		}(g)
+	}
+	start := time.Now()
+	time.Sleep(window)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rec := serverRecord{
+		Goroutines: goroutines,
+		Queries:    served,
+		Shed:       shed,
+		Qps:        float64(served) / elapsed,
+		TTFAP50Ms:  p50(ttfa) * 1e3,
+		TTFP50Ms:   p50(ttf) * 1e3,
+	}
+	if total := served + shed; total > 0 {
+		rec.ShedRate = float64(shed) / float64(total)
+	}
+	return rec
+}
+
+// p50 returns the median of xs (0 when empty).
+func p50(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
 }
 
 // traceExport captures span trees for a cold query, a warm (result-cache

@@ -1,0 +1,282 @@
+// Command blinkdb-server serves a BlinkDB engine over HTTP/JSON: bounded
+// queries as single answers, streaming-refinement sessions as NDJSON or
+// SSE, with ELP-priced admission control shedding overload before any
+// scanning happens (429 + Retry-After) and graceful drain on SIGTERM.
+//
+//	$ blinkdb-server -rows 100000 -addr :8080
+//	$ curl -s localhost:8080/query -d \
+//	    '{"sql": "SELECT AVG(sessiontimems) FROM sessions GROUP BY os", "error": "10%", "stream": true}'
+//
+// See cmd/blinkdb-server/README.md for the endpoint reference.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"blinkdb"
+	"blinkdb/internal/admission"
+	"blinkdb/internal/server"
+)
+
+type options struct {
+	addr       string
+	rows       int
+	budget     float64
+	seed       int64
+	scale      float64
+	maxConc    int
+	maxQueue   int
+	maxBacklog float64
+	selfcheck  bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&o.rows, "rows", 100000, "fact table rows")
+	flag.Float64Var(&o.budget, "budget", 0.5, "sample storage budget as a fraction of the table")
+	flag.Int64Var(&o.seed, "seed", 42, "random seed")
+	flag.Float64Var(&o.scale, "scale", 1e4, "stored-to-logical byte scale (latency model)")
+	flag.IntVar(&o.maxConc, "max-concurrent", 1, "queries executing at once")
+	flag.IntVar(&o.maxQueue, "max-queue", 16, "queued queries before shedding")
+	flag.Float64Var(&o.maxBacklog, "max-backlog-seconds", 30, "predicted backlog seconds before shedding (negative disables)")
+	flag.BoolVar(&o.selfcheck, "selfcheck", false, "start on a loopback port, run an end-to-end smoke against it, exit")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "blinkdb-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	fmt.Printf("loading sessions dataset (%d rows)...\n", o.rows)
+	eng, err := buildEngine(o.rows, o.budget, o.seed, o.scale)
+	if err != nil {
+		return err
+	}
+	srv := server.New(eng, server.Config{
+		Admission: admission.Config{
+			MaxConcurrent:     o.maxConc,
+			MaxQueue:          o.maxQueue,
+			MaxBacklogSeconds: o.maxBacklog,
+		},
+	})
+
+	if o.selfcheck {
+		return runSelfcheck(srv, o)
+	}
+
+	hs := &http.Server{Addr: o.addr, Handler: srv}
+	// SIGTERM/SIGINT starts a graceful drain: the listener closes, queued
+	// admissions keep their place, in-flight queries (and their streams)
+	// run to completion, then the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("serving on %s (POST /query, GET /healthz, GET /stats)\n", o.addr)
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("signal received; draining in-flight queries...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("drained; bye")
+	return nil
+}
+
+// buildEngine loads a Conviva-shaped sessions table through the public
+// engine API and builds city/os-stratified sample families. Deterministic
+// per (rows, seed): two engines built with the same arguments answer
+// bit-identically, which is what the selfcheck's library-mode comparison
+// relies on.
+func buildEngine(rows int, budget float64, seed int64, scale float64) (*blinkdb.Engine, error) {
+	eng := blinkdb.Open(blinkdb.Config{Scale: scale, Seed: seed, CacheTables: true})
+	load := eng.CreateTable("sessions",
+		blinkdb.Col("city", blinkdb.String),
+		blinkdb.Col("os", blinkdb.String),
+		blinkdb.Col("genre", blinkdb.String),
+		blinkdb.Col("sessiontimems", blinkdb.Float),
+		blinkdb.Col("bufferingms", blinkdb.Float),
+	)
+	rng := rand.New(rand.NewSource(seed))
+	oses := []string{"Win7", "OSX", "WinXP", "Linux", "iOS", "Android"}
+	genres := []string{"western", "drama", "news", "sports"}
+	zipfCity := rand.NewZipf(rng, 1.5, 1, 11)
+	for i := 0; i < rows; i++ {
+		city := fmt.Sprintf("city%03d", zipfCity.Uint64())
+		if err := load.Append(
+			city, oses[rng.Intn(len(oses))], genres[rng.Intn(len(genres))],
+			rng.ExpFloat64()*120000, rng.ExpFloat64()*800,
+		); err != nil {
+			return nil, err
+		}
+	}
+	if err := load.Close(); err != nil {
+		return nil, err
+	}
+	rep, err := eng.CreateSamples("sessions", blinkdb.SampleOptions{
+		BudgetFraction: budget,
+		K:              2000,
+		Templates: []blinkdb.Template{
+			{Columns: []string{"city"}, Weight: 0.6},
+			{Columns: []string{"os"}, Weight: 0.4},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range rep.Families {
+		fmt.Printf("  built sample family %v (%d rows, %d resolutions)\n",
+			f.Columns, f.Rows, f.Resolutions)
+	}
+	return eng, nil
+}
+
+// runSelfcheck is the CI end-to-end smoke: serve on a loopback port,
+// stream one bounded query over real HTTP, validate the NDJSON frames,
+// and compare the final frame against library mode on a twin engine.
+func runSelfcheck(srv *server.Server, o options) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Liveness.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %d", resp.StatusCode)
+	}
+
+	// Stream a bounded query and validate the frames.
+	const sql = `SELECT AVG(sessiontimems) FROM sessions WHERE city = 'city001' ERROR WITHIN 5% AT CONFIDENCE 95%`
+	body := fmt.Sprintf(`{"sql": %q, "stream": true}`, sql)
+	resp, err = http.Post(base+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("query: %d", resp.StatusCode)
+	}
+	type cell struct {
+		Value float64 `json:"value"`
+		Bound float64 `json:"bound"`
+	}
+	type frame struct {
+		Seq    int    `json:"seq"`
+		Final  bool   `json:"final"`
+		Error  string `json:"error"`
+		Result *struct {
+			Rows []struct {
+				Group string `json:"group"`
+				Cells []cell `json:"cells"`
+			} `json:"rows"`
+			Sample      string `json:"sample"`
+			Explanation string `json:"explanation"`
+		} `json:"result"`
+	}
+	var frames []frame
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var f frame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			return fmt.Errorf("bad NDJSON frame %q: %w", sc.Text(), err)
+		}
+		frames = append(frames, f)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(frames) < 2 {
+		return fmt.Errorf("want at least one refinement before the final answer, got %d frame(s)", len(frames))
+	}
+	for i, f := range frames {
+		if f.Error != "" {
+			return fmt.Errorf("frame %d carries error %q", i, f.Error)
+		}
+		if f.Seq != i || f.Final != (i == len(frames)-1) || f.Result == nil {
+			return fmt.Errorf("malformed frame sequence at %d: %+v", i, f)
+		}
+	}
+
+	// The final frame must match library mode on a twin engine built with
+	// the same arguments (floats survive the JSON round trip exactly).
+	twin, err := buildEngine(o.rows, o.budget, o.seed, o.scale)
+	if err != nil {
+		return err
+	}
+	want, err := twin.Query(sql)
+	if err != nil {
+		return err
+	}
+	final := frames[len(frames)-1].Result
+	if len(final.Rows) != len(want.Rows) {
+		return fmt.Errorf("final frame has %d rows, library mode %d", len(final.Rows), len(want.Rows))
+	}
+	for i, row := range want.Rows {
+		got := final.Rows[i]
+		if got.Group != row.Group || len(got.Cells) != len(row.Cells) {
+			return fmt.Errorf("row %d mismatch: %+v vs %+v", i, got, row)
+		}
+		for j, c := range row.Cells {
+			if got.Cells[j].Value != c.Value || got.Cells[j].Bound != c.Bound {
+				return fmt.Errorf("cell %d/%d mismatch: %+v vs %+v", i, j, got.Cells[j], c)
+			}
+		}
+	}
+	if final.Sample != want.SampleDescription || final.Explanation != want.Explanation {
+		return fmt.Errorf("final frame annotations diverge from library mode:\n got %q / %q\nwant %q / %q",
+			final.Sample, final.Explanation, want.SampleDescription, want.Explanation)
+	}
+
+	// Stats must show the admissions.
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Engine struct {
+			Admitted int64 `json:"Admitted"`
+		} `json:"engine"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return err
+	}
+	if stats.Engine.Admitted < 1 {
+		return fmt.Errorf("stats report no admissions")
+	}
+	fmt.Printf("selfcheck ok: %d frames, final matches library mode\n", len(frames))
+	return nil
+}

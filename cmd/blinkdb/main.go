@@ -14,8 +14,10 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -131,7 +133,7 @@ func run(dataset string, rows int, budget float64, seed int64, tb float64) error
 	fmt.Println(`enter SQL (end with ';'), e.g.:
   SELECT COUNT(*) FROM ` + data.Table.Name + ` ERROR WITHIN 10% AT CONFIDENCE 95%;
   SELECT AVG(sessiontimems) FROM sessions WHERE country = 'country02' GROUP BY endedflag WITHIN 5 SECONDS;
-backslash commands: \stats  \trace on|off`)
+backslash commands: \stats  \trace on|off  \stream on|off  \help`)
 
 	sh := &shell{rt: rt, reg: reg}
 	scanner := bufio.NewScanner(os.Stdin)
@@ -175,11 +177,12 @@ backslash commands: \stats  \trace on|off`)
 // the telemetry registry, the \trace toggle, and the stats baseline from
 // the previous \stats call (so each \stats also shows a delta window).
 type shell struct {
-	rt      *elp.Runtime
-	reg     *telemetry.Registry
-	tracing bool
-	prev    elp.Stats
-	hasPrev bool
+	rt        *elp.Runtime
+	reg       *telemetry.Registry
+	tracing   bool
+	streaming bool
+	prev      elp.Stats
+	hasPrev   bool
 }
 
 // command dispatches a backslash command.
@@ -196,9 +199,36 @@ func (sh *shell) command(line string) error {
 		sh.tracing = fields[1] == "on"
 		fmt.Printf("  tracing %s\n", fields[1])
 		return nil
+	case `\stream`:
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			return fmt.Errorf(`usage: \stream on|off`)
+		}
+		sh.streaming = fields[1] == "on"
+		fmt.Printf("  streaming %s\n", fields[1])
+		return nil
+	case `\help`, `\h`, `\?`:
+		sh.printHelp()
+		return nil
 	default:
-		return fmt.Errorf(`unknown command %s (try \stats or \trace on|off)`, fields[0])
+		return fmt.Errorf(`unknown command %s (try \help)`, fields[0])
 	}
+}
+
+// printHelp lists backslash commands and the bound-clause grammar.
+func (sh *shell) printHelp() {
+	fmt.Print(`  \stats           serving counters, cache hit rates, top templates by p99
+  \trace on|off    print the query-lifecycle span tree after each answer
+  \stream on|off   stream refinements: one line per resolution along the
+                   delta chain, final answer printed in full (the final is
+                   bit-identical to the non-streaming answer)
+  \help            this text
+
+  bound clauses (either order, at the end of a query):
+    ERROR WITHIN 10% AT CONFIDENCE 95%    relative error bound
+    ERROR WITHIN 500                      absolute error bound
+    WITHIN 5 SECONDS                      response-time bound
+  prefix a query with EXPLAIN ANALYZE to capture its span tree.
+`)
 }
 
 // printStats shows cumulative serving counters, the delta since the last
@@ -272,7 +302,21 @@ func (sh *shell) execute(src string) error {
 	if sh.tracing || q.Analyze {
 		tr = telemetry.New("query")
 	}
-	resp, err := sh.rt.RunTraced(q, tr)
+	var resp *elp.Response
+	if sh.streaming {
+		err = sh.rt.RunStreamTraced(context.Background(), q, tr, func(r elp.Refinement) error {
+			if r.Final {
+				resp = r.Resp
+				return nil
+			}
+			fmt.Printf("  ~ refinement %d (L%d): %d groups, worst rel err %.1f%%, sim latency %.2fs\n",
+				r.Seq, r.Level, len(r.Resp.Result.Groups),
+				100*worstRelErr(r.Resp), r.Resp.SimLatency)
+			return nil
+		})
+	} else {
+		resp, err = sh.rt.RunTraced(q, tr)
+	}
 	tr.Finish()
 	if err != nil {
 		return err
@@ -309,4 +353,18 @@ func (sh *shell) execute(src string) error {
 		fmt.Print(tr.Render())
 	}
 	return nil
+}
+
+// worstRelErr is the worst finite relative error across a response's
+// estimates (0 when every cell is exact or empty).
+func worstRelErr(resp *elp.Response) float64 {
+	worst := 0.0
+	for _, g := range resp.Result.Groups {
+		for _, e := range g.Estimates {
+			if re := e.RelErr(); re > worst && !math.IsInf(re, 1) {
+				worst = re
+			}
+		}
+	}
+	return worst
 }

@@ -10,6 +10,8 @@
 package elp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -288,7 +290,17 @@ type Response struct {
 // concurrent misses of one cold key collapse into a single execution
 // whose answer every caller shares.
 func (rt *Runtime) Run(q *sqlparser.Query) (*Response, error) {
-	return rt.RunTraced(q, nil)
+	return rt.RunCtxTraced(context.Background(), q, nil)
+}
+
+// RunCtx is Run with a cancellation context: a context cancelled before
+// the call returns ctx.Err() without planning or scanning anything, and a
+// context cancelled mid-query stops the scan workers within one block
+// range's worth of work. Cancelled queries bump Stats.Cancelled and
+// return no partial answer. The background context makes this exactly
+// Run.
+func (rt *Runtime) RunCtx(ctx context.Context, q *sqlparser.Query) (*Response, error) {
+	return rt.RunCtxTraced(ctx, q, nil)
 }
 
 // RunTraced is Run with query-lifecycle telemetry: span children of the
@@ -299,23 +311,44 @@ func (rt *Runtime) Run(q *sqlparser.Query) (*Response, error) {
 // trace and a nil registry this is exactly Run, with zero telemetry
 // overhead and no allocations on the telemetry paths.
 func (rt *Runtime) RunTraced(q *sqlparser.Query, tr *telemetry.Trace) (*Response, error) {
+	return rt.RunCtxTraced(context.Background(), q, tr)
+}
+
+// RunCtxTraced is RunTraced with a cancellation context (see RunCtx).
+func (rt *Runtime) RunCtxTraced(ctx context.Context, q *sqlparser.Query, tr *telemetry.Trace) (*Response, error) {
 	reg := rt.opt.Telemetry
 	var started time.Time
 	if reg != nil {
 		started = time.Now()
 	}
+	// An already-cancelled context never enters the pipeline: no
+	// normalization, no cache consultation, no scan (the QueryCtx
+	// promptness pin).
+	if err := ctx.Err(); err != nil {
+		rt.bump(&rt.stats.cancelled)
+		return nil, err
+	}
 	root := tr.Root()
 	nsp := root.Child("normalize")
 	key, params := sqlparser.Normalize(q)
 	nsp.End()
-	resp, err := rt.runKeyed(q, key, params, root)
+	resp, err := rt.runKeyed(ctx, q, key, params, root)
 	if err != nil {
+		if isCancellation(err) {
+			rt.bump(&rt.stats.cancelled)
+		}
 		return nil, err
 	}
 	if reg != nil {
 		reg.Observe(key, observationFor(resp, time.Since(started).Seconds()))
 	}
 	return resp, nil
+}
+
+// isCancellation reports whether an error is a context cancellation or
+// deadline expiry (possibly wrapped).
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // observationFor folds one completed response into a telemetry
@@ -344,9 +377,9 @@ func observationFor(resp *Response, wallSeconds float64) telemetry.Observation {
 
 // runKeyed is the Run body with normalization precomputed and an optional
 // parent span (nil when untraced).
-func (rt *Runtime) runKeyed(q *sqlparser.Query, key string, params []types.Value, root *telemetry.Span) (*Response, error) {
+func (rt *Runtime) runKeyed(ctx context.Context, q *sqlparser.Query, key string, params []types.Value, root *telemetry.Span) (*Response, error) {
 	if rt.results == nil {
-		resp, note, _, err := rt.runPrepared(q, key, params, root)
+		resp, note, _, err := rt.runPrepared(ctx, q, key, params, root)
 		if err != nil {
 			return nil, err
 		}
@@ -380,11 +413,36 @@ func (rt *Runtime) runKeyed(q *sqlparser.Query, key string, params []types.Value
 		// Only the singleflight leader's closure runs, so only the
 		// leader's trace carries the pipeline spans; waiters' "execute"
 		// spans cover their wait and are noted result=shared below.
-		e, cachedHit, err = rt.resultLeader(q, key, params, rkey, fsp)
+		e, cachedHit, err = rt.resultLeader(ctx, q, key, params, rkey, fsp)
 		return e, err
 	})
 	fsp.End()
 	if err != nil {
+		// A leader cancelled mid-flight poisons the shared error for every
+		// waiter, but a waiter whose OWN context is still live owes its
+		// caller an answer: run a private leader pass outside the (landed)
+		// flight. Real query errors are shared as-is — re-executing would
+		// reproduce them.
+		if shared && isCancellation(err) && ctx.Err() == nil {
+			rsp := root.Child("cancelled-leader re-execute")
+			ent, cachedHit, err = rt.resultLeader(ctx, q, key, params, rkey, rsp)
+			rsp.End()
+			if err != nil {
+				return nil, err
+			}
+			shared = false
+			msp := root.Child("materialize")
+			resp := ent.resp.clone()
+			if cachedHit {
+				rt.bump(&rt.stats.resultHits)
+				annotateResult(resp, "hit")
+			} else {
+				annotate(resp, ent.note)
+				annotateResult(resp, "miss")
+			}
+			msp.End()
+			return resp, nil
+		}
 		return nil, err
 	}
 	if shared && !rt.freshDeps(ent.deps) {
@@ -395,7 +453,7 @@ func (rt *Runtime) runKeyed(q *sqlparser.Query, key string, params []types.Value
 		// the (already landed) flight; concurrent stale waiters each
 		// re-execute, an acceptable cost for the rare refresh window.
 		rsp := root.Child("stale-shared re-execute")
-		ent, cachedHit, err = rt.resultLeader(q, key, params, rkey, rsp)
+		ent, cachedHit, err = rt.resultLeader(ctx, q, key, params, rkey, rsp)
 		rsp.End()
 		if err != nil {
 			return nil, err
@@ -432,11 +490,11 @@ func (rt *Runtime) runKeyed(q *sqlparser.Query, key string, params []types.Value
 // would re-run the whole pipeline for an answer that is already cached
 // (and skew the exactly-one-execution Stats contract). cached reports
 // whether the answer came from the cache (a hit) rather than execution.
-func (rt *Runtime) resultLeader(q *sqlparser.Query, key string, params []types.Value, rkey string, sp *telemetry.Span) (*resultEntry, bool, error) {
+func (rt *Runtime) resultLeader(ctx context.Context, q *sqlparser.Query, key string, params []types.Value, rkey string, sp *telemetry.Span) (*resultEntry, bool, error) {
 	if cached, ok := rt.results.Get(rkey); ok && rt.freshDeps(cached.deps) {
 		return cached, true, nil
 	}
-	resp, note, deps, err := rt.runPrepared(q, key, params, sp)
+	resp, note, deps, err := rt.runPrepared(ctx, q, key, params, sp)
 	if err != nil {
 		return nil, false, err
 	}
@@ -453,20 +511,30 @@ func (rt *Runtime) resultLeader(q *sqlparser.Query, key string, params []types.V
 // response, the plan-cache note ("hit"/"miss", "" when disabled) and the
 // table-epoch deps the answer was computed against. Callers own the
 // annotation so the result cache can store canonical responses.
-func (rt *Runtime) runPrepared(q *sqlparser.Query, key string, params []types.Value, sp *telemetry.Span) (*Response, string, []tableDep, error) {
+func (rt *Runtime) runPrepared(ctx context.Context, q *sqlparser.Query, key string, params []types.Value, sp *telemetry.Span) (*Response, string, []tableDep, error) {
+	resp, note, deps, err := rt.streamPrepared(ctx, q, key, params, sp, nil)
+	return resp, note, deps, err
+}
+
+// streamPrepared is runPrepared with an optional intermediate-refinement
+// sink: when emitMid is non-nil, executeParams runs in streaming mode and
+// emitMid receives each pre-final refinement (see streamParams). The
+// returned Response is always the final answer — bit-identical to the
+// emitMid==nil path.
+func (rt *Runtime) streamPrepared(ctx context.Context, q *sqlparser.Query, key string, params []types.Value, sp *telemetry.Span, emitMid midEmitter) (*Response, string, []tableDep, error) {
 	if rt.cache == nil {
-		pq, err := rt.prepareKeyed(q, key, params, sp)
+		pq, err := rt.prepareKeyed(ctx, q, key, params, sp)
 		if err != nil {
 			return nil, "", nil, err
 		}
-		resp, err := rt.executeParams(pq, q, pq.prepParams, sp)
+		resp, err := rt.streamParams(ctx, pq, q, pq.prepParams, sp, emitMid)
 		return resp, "", pq.deps, err
 	}
 	lsp := sp.Child("plan-cache lookup")
 	if pq, ok := rt.cache.Get(key); ok {
 		if rt.fresh(pq) {
 			lsp.End()
-			resp, err := rt.executeParams(pq, q, params, sp)
+			resp, err := rt.streamParams(ctx, pq, q, params, sp, emitMid)
 			if err == nil {
 				lsp.Note("cache=hit")
 				rt.bump(&rt.stats.cacheHits)
@@ -476,7 +544,8 @@ func (rt *Runtime) runPrepared(q *sqlparser.Query, key string, params []types.Va
 				return nil, "", nil, err
 			}
 			// Defensive: equal keys should imply equal shape; if not,
-			// fall through and re-prepare.
+			// fall through and re-prepare. (The mismatch is detected
+			// before any refinement is emitted.)
 		}
 		// A stale (or mismatched) entry means a sample refresh/rebuild
 		// happened: a PreparedQuery pins its catalog snapshot — old
@@ -488,7 +557,7 @@ func (rt *Runtime) runPrepared(q *sqlparser.Query, key string, params []types.Va
 	}
 	lsp.End() // idempotent on the template-mismatch fall-through
 	lsp.Note("cache=miss")
-	pq, err := rt.prepareKeyed(q, key, params, sp)
+	pq, err := rt.prepareKeyed(ctx, q, key, params, sp)
 	if err != nil {
 		return nil, "", nil, err
 	}
@@ -496,7 +565,7 @@ func (rt *Runtime) runPrepared(q *sqlparser.Query, key string, params []types.Va
 	// errored prepares would otherwise skew the hit rate.
 	rt.bump(&rt.stats.cacheMisses)
 	rt.cache.Put(key, pq)
-	resp, err := rt.executeParams(pq, q, params, sp)
+	resp, err := rt.streamParams(ctx, pq, q, params, sp, emitMid)
 	return resp, "miss", pq.deps, err
 }
 
@@ -506,12 +575,12 @@ func (rt *Runtime) runPrepared(q *sqlparser.Query, key string, params []types.Va
 // winning family's smallest-sample probe result (nil when no probe ran),
 // which selectResolution reuses so each (family, view) executes at most
 // once per query.
-func (rt *Runtime) selectFamily(entry *catalog.Entry, plan *exec.Plan,
-	phi types.ColumnSet, conf float64, joins []exec.JoinSpec, sp *telemetry.Span) (*sample.Family, Decision, *exec.Result) {
+func (rt *Runtime) selectFamily(ctx context.Context, entry *catalog.Entry, plan *exec.Plan,
+	phi types.ColumnSet, conf float64, joins []exec.JoinSpec, sp *telemetry.Span) (*sample.Family, Decision, *exec.Result, error) {
 
 	var dec Decision
 	if len(entry.Families) == 0 {
-		return nil, dec, nil
+		return nil, dec, nil, nil
 	}
 
 	// Queries with no filter/group columns have no stratification to
@@ -520,14 +589,14 @@ func (rt *Runtime) selectFamily(entry *catalog.Entry, plan *exec.Plan,
 	if phi.Empty() {
 		if u := entry.Uniform(); u != nil {
 			dec.Reason = "no filter/group columns: uniform family"
-			return u, dec, nil
+			return u, dec, nil, nil
 		}
 	}
 
 	if covering := entry.CoveringFamilies(phi); len(covering) > 0 {
 		f := covering[0]
 		dec.Reason = fmt.Sprintf("covering family %s (fewest columns among %d covering)", f.Phi, len(covering))
-		return f, dec, nil
+		return f, dec, nil, nil
 	}
 
 	// No covering family: probe smallest samples. Candidate set per the
@@ -555,7 +624,7 @@ func (rt *Runtime) selectFamily(entry *catalog.Entry, plan *exec.Plan,
 		}
 	}
 	if len(cands) == 0 {
-		return nil, dec, nil
+		return nil, dec, nil, nil
 	}
 
 	var best, uniform *sample.Family
@@ -568,7 +637,11 @@ func (rt *Runtime) selectFamily(entry *catalog.Entry, plan *exec.Plan,
 		if sp != nil {
 			psp = sp.Child("probe " + f.Label())
 		}
-		res := rt.runProbe(plan, in, conf, joins, psp)
+		res, err := rt.runProbe(ctx, plan, in, conf, joins, psp)
+		if err != nil {
+			psp.End()
+			return nil, dec, nil, err
+		}
 		psp.End()
 		lat := rt.latencyOfProbe(blocks)
 		if lat > maxProbe {
@@ -594,7 +667,7 @@ func (rt *Runtime) selectFamily(entry *catalog.Entry, plan *exec.Plan,
 	dec.ProbeLatency = maxProbe
 	dec.Reason = fmt.Sprintf("no covering family: probed %d families, best selectivity %.4f on %s",
 		len(cands), bestRatio, best.Label())
-	return best, dec, bestRes
+	return best, dec, bestRes, nil
 }
 
 // requiredRows converts the error bound into a matched-row target using
@@ -771,7 +844,7 @@ type ProfilePoint struct {
 func (rt *Runtime) Profile(fam *sample.Family, plan *exec.Plan, conf float64) []ProfilePoint {
 	pv := rt.probeView(fam)
 	smallIn, _ := viewInput(pv, plan)
-	probe := rt.runPlan(plan, smallIn, conf, nil, nil)
+	probe, _ := rt.runPlan(context.Background(), plan, smallIn, conf, nil, nil)
 	probeMatched := float64(probe.RowsMatched)
 
 	// Worst-group probe error.
@@ -805,16 +878,19 @@ func (rt *Runtime) Profile(fam *sample.Family, plan *exec.Plan, conf float64) []
 
 // runProbe is runPlan counted as an ELP probe (§4.1.1 candidate probes
 // and §4.2 escalations) — the executions the plan cache amortizes away.
-func (rt *Runtime) runProbe(plan *exec.Plan, in exec.Input, conf float64, joins []exec.JoinSpec, sp *telemetry.Span) *exec.Result {
+func (rt *Runtime) runProbe(ctx context.Context, plan *exec.Plan, in exec.Input, conf float64, joins []exec.JoinSpec, sp *telemetry.Span) (*exec.Result, error) {
 	rt.bump(&rt.stats.probeExecs)
-	return rt.runPlan(plan, in, conf, joins, sp)
+	return rt.runPlan(ctx, plan, in, conf, joins, sp)
 }
 
 // runPlan executes the plan over the input, joining dimension tables when
 // the query has JOIN clauses (§2.1: fact-side sampling, exact broadcast
 // dimensions). The scan schedule follows Options.Affine. With sp non-nil
 // the scan records a span tree (per-shard partials + merge) beneath it.
-func (rt *Runtime) runPlan(plan *exec.Plan, in exec.Input, conf float64, joins []exec.JoinSpec, sp *telemetry.Span) *exec.Result {
+// The only possible error is ctx.Err(): a cancelled scan returns no
+// partial result. PlanExecs counts the attempt either way — a cancelled
+// scan may have done most of its work.
+func (rt *Runtime) runPlan(ctx context.Context, plan *exec.Plan, in exec.Input, conf float64, joins []exec.JoinSpec, sp *telemetry.Span) (*exec.Result, error) {
 	rt.bump(&rt.stats.planExecs)
 	sched := exec.SchedNodeAffine
 	if !*rt.opt.Affine {
@@ -825,13 +901,14 @@ func (rt *Runtime) runPlan(plan *exec.Plan, in exec.Input, conf float64, joins [
 		ssp = sp.Child(fmt.Sprintf("scan blocks=%d", len(in.Blocks)))
 	}
 	var res *exec.Result
+	var err error
 	if len(joins) == 0 {
-		res = exec.RunParallelSchedTraced(plan, in, conf, rt.opt.Workers, sched, ssp)
+		res, err = exec.RunParallelSchedCtx(ctx, plan, in, conf, rt.opt.Workers, sched, ssp)
 	} else {
-		res = exec.RunJoinParallelSchedTraced(plan, in, joins, conf, rt.opt.Workers, sched, ssp)
+		res, err = exec.RunJoinParallelSchedCtx(ctx, plan, in, joins, conf, rt.opt.Workers, sched, ssp)
 	}
 	ssp.End()
-	return res
+	return res, err
 }
 
 // checkJoinAdmissible enforces §2.1's join rules: each join needs either a

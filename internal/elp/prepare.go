@@ -1,6 +1,7 @@
 package elp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -101,17 +102,20 @@ type prepDisjunct struct {
 // reusable, memoizing) on miss. reusable is true only when the caller's
 // parameter vector equals prepParams — results computed for different
 // constants must never be served from or stored into the memo.
-func (pd *prepDisjunct) runMemo(rt *Runtime, level int, plan *exec.Plan, in exec.Input, conf float64, joins []exec.JoinSpec, reusable bool, sp *telemetry.Span) *exec.Result {
+func (pd *prepDisjunct) runMemo(ctx context.Context, rt *Runtime, level int, plan *exec.Plan, in exec.Input, conf float64, joins []exec.JoinSpec, reusable bool, sp *telemetry.Span) (*exec.Result, error) {
 	if reusable {
 		pd.mu.Lock()
 		r, ok := pd.results[level]
 		pd.mu.Unlock()
 		if ok {
 			sp.Note("memo=hit")
-			return r
+			return r, nil
 		}
 	}
-	r := rt.runPlan(plan, in, conf, joins, sp)
+	r, err := rt.runPlan(ctx, plan, in, conf, joins, sp)
+	if err != nil {
+		return nil, err
+	}
 	if reusable {
 		pd.mu.Lock()
 		if prev, ok := pd.results[level]; ok {
@@ -121,12 +125,12 @@ func (pd *prepDisjunct) runMemo(rt *Runtime, level int, plan *exec.Plan, in exec
 		}
 		pd.mu.Unlock()
 	}
-	return r
+	return r, nil
 }
 
 // baseMemo is runMemo for the base table (level -1).
-func (pd *prepDisjunct) baseMemo(rt *Runtime, plan *exec.Plan, tab *storage.Table, conf float64, joins []exec.JoinSpec, reusable bool, sp *telemetry.Span) *exec.Result {
-	return pd.runMemo(rt, -1, plan, exec.FromTable(tab), conf, joins, reusable, sp)
+func (pd *prepDisjunct) baseMemo(ctx context.Context, rt *Runtime, plan *exec.Plan, tab *storage.Table, conf float64, joins []exec.JoinSpec, reusable bool, sp *telemetry.Span) (*exec.Result, error) {
+	return pd.runMemo(ctx, rt, -1, plan, exec.FromTable(tab), conf, joins, reusable, sp)
 }
 
 // confidenceFor derives the CI level for a query.
@@ -149,13 +153,13 @@ func (rt *Runtime) confidenceFor(q *sqlparser.Query) float64 {
 // plan cache) when any involved table's catalog epoch changes.
 func (rt *Runtime) Prepare(q *sqlparser.Query) (*PreparedQuery, error) {
 	key, params := sqlparser.Normalize(q)
-	return rt.prepareKeyed(q, key, params, nil)
+	return rt.prepareKeyed(context.Background(), q, key, params, nil)
 }
 
 // prepareKeyed is Prepare with the normalization precomputed (Run already
 // normalized the query for the cache lookup) and an optional parent span
 // under which the prepare phase and its probes are recorded.
-func (rt *Runtime) prepareKeyed(q *sqlparser.Query, key string, params []types.Value, sp *telemetry.Span) (*PreparedQuery, error) {
+func (rt *Runtime) prepareKeyed(ctx context.Context, q *sqlparser.Query, key string, params []types.Value, sp *telemetry.Span) (*PreparedQuery, error) {
 	psp := sp.Child("prepare")
 	defer psp.End()
 	rt.bump(&rt.stats.prepares)
@@ -213,7 +217,11 @@ func (rt *Runtime) prepareKeyed(q *sqlparser.Query, key string, params []types.V
 		// Sample selection considers only fact-table columns: samples
 		// exist on the fact side; dimension columns are joined exactly.
 		phi := factColumns(pred.Columns().Union(groupCols), entry.Table.Schema)
-		pq.disjuncts = append(pq.disjuncts, rt.prepareConjunctive(entry, sub, phi, q, conf, joins, psp))
+		pd, err := rt.prepareConjunctive(ctx, entry, sub, phi, q, conf, joins, psp)
+		if err != nil {
+			return nil, err
+		}
+		pq.disjuncts = append(pq.disjuncts, pd)
 	}
 	return pq, nil
 }
@@ -224,13 +232,16 @@ func (rt *Runtime) prepareKeyed(q *sqlparser.Query, key string, params []types.V
 // probe carries statistical signal (≥20 matching rows). Only the FIRST
 // probe enjoys the cheap-probe assumption; escalations read real delta
 // blocks and are priced (and budget-limited) accordingly.
-func (rt *Runtime) prepareConjunctive(entry *catalog.Entry, plan *exec.Plan,
-	phi types.ColumnSet, q *sqlparser.Query, conf float64, joins []exec.JoinSpec, sp *telemetry.Span) *prepDisjunct {
+func (rt *Runtime) prepareConjunctive(ctx context.Context, entry *catalog.Entry, plan *exec.Plan,
+	phi types.ColumnSet, q *sqlparser.Query, conf float64, joins []exec.JoinSpec, sp *telemetry.Span) (*prepDisjunct, error) {
 
-	fam, dec, famProbe := rt.selectFamily(entry, plan, phi, conf, joins, sp)
+	fam, dec, famProbe, err := rt.selectFamily(ctx, entry, plan, phi, conf, joins, sp)
+	if err != nil {
+		return nil, err
+	}
 	pd := &prepDisjunct{fam: fam, famDec: dec, results: map[int]*exec.Result{}}
 	if fam == nil {
-		return pd
+		return pd, nil
 	}
 	pv := rt.probeView(fam)
 	in, probeBlocks := viewInput(pv, plan)
@@ -240,8 +251,11 @@ func (rt *Runtime) prepareConjunctive(entry *catalog.Entry, plan *exec.Plan,
 		if sp != nil {
 			psp = sp.Child("probe " + fam.Label())
 		}
-		probe = rt.runProbe(plan, in, conf, joins, psp)
+		probe, err = rt.runProbe(ctx, plan, in, conf, joins, psp)
 		psp.End()
+		if err != nil {
+			return nil, err
+		}
 	}
 	probeLat := rt.latencyOfProbe(probeBlocks)
 	for q.Err != nil && probe.RowsMatched < 20 && pv.Level < fam.Resolutions()-1 {
@@ -256,12 +270,15 @@ func (rt *Runtime) prepareConjunctive(entry *catalog.Entry, plan *exec.Plan,
 		if sp != nil {
 			esp = sp.Child(fmt.Sprintf("probe escalate L%d %s", pv.Level, fam.Label()))
 		}
-		probe = rt.runProbe(plan, in, conf, joins, esp)
+		probe, err = rt.runProbe(ctx, plan, in, conf, joins, esp)
 		esp.End()
+		if err != nil {
+			return nil, err
+		}
 		probeLat += step
 	}
 	pd.pv, pd.probe, pd.probeLat = pv, probe, probeLat
-	return pd
+	return pd, nil
 }
 
 // Execute answers a query from prepared state: it binds the query's
@@ -278,79 +295,46 @@ func (rt *Runtime) Execute(pq *PreparedQuery, q *sqlparser.Query) (*Response, er
 	if key != pq.Key {
 		return nil, errTemplateMismatch
 	}
-	return rt.executeParams(pq, q, params, nil)
+	return rt.executeParams(context.Background(), pq, q, params, nil)
 }
 
 // executeParams is Execute with the normalization precomputed. The
 // response is returned unannotated; Run applies the plan/result cache
-// markers so cached canonical responses stay pristine.
-func (rt *Runtime) executeParams(pq *PreparedQuery, q *sqlparser.Query, params []types.Value, sp *telemetry.Span) (*Response, error) {
-	bsp := sp.Child("bind+scan")
-	defer bsp.End()
-	plan := pq.prepPlan
-	if q != pq.prepQ {
-		var err error
-		plan, err = exec.Compile(q, pq.schema)
-		if err != nil {
-			return nil, err
-		}
-	}
-	conf := rt.confidenceFor(q)
-	paramsEq := sqlparser.ParamsEqual(params, pq.prepParams)
-
-	if pq.exact {
-		res := pq.base.baseMemo(rt, plan, pq.entry.Table, conf, pq.joins, paramsEq, bsp)
-		d := Decision{UsedBase: true, Reason: "no bounds: exact execution on base table"}
-		d.ReadLatency = rt.latencyOfBase(pq.entry.Table.Blocks) + rt.broadcastCost(pq.joins)
-		rt.recordLevel(-1)
-		return &Response{Result: res, Decisions: []Decision{d}, SimLatency: d.Latency(), Confidence: conf}, nil
-	}
-
-	// §4.1.2: rewrite disjunctions into parallel conjunctive sub-queries.
-	disjuncts := types.SplitDisjuncts(plan.Pred)
-	if len(disjuncts) != len(pq.disjuncts) {
-		return nil, errTemplateMismatch
-	}
-	var parts []*exec.Result
-	var decisions []Decision
-	simLatency := 0.0
-	for i, pred := range disjuncts {
-		sub := plan.WithPred(pred)
-		res, dec := rt.executeConjunctive(pq, pq.disjuncts[i], sub, q, conf, paramsEq, bsp)
-		parts = append(parts, res)
-		decisions = append(decisions, dec)
-		if l := dec.Latency(); l > simLatency {
-			simLatency = l // disjuncts execute in parallel
-		}
-	}
-	merged := exec.MergeResults(plan, parts)
-	if plan.Limit > 0 && len(merged.Groups) > plan.Limit {
-		// Copy-on-truncate: with one disjunct, merged IS the (possibly
-		// memoized, shared) disjunct result — never mutate it.
-		cp := *merged
-		cp.Groups = merged.Groups[:plan.Limit]
-		merged = &cp
-	}
-	return &Response{Result: merged, Decisions: decisions, SimLatency: simLatency, Confidence: conf}, nil
+// markers so cached canonical responses stay pristine. It is exactly
+// streamParams with no refinement sink.
+func (rt *Runtime) executeParams(ctx context.Context, pq *PreparedQuery, q *sqlparser.Query, params []types.Value, sp *telemetry.Span) (*Response, error) {
+	return rt.streamParams(ctx, pq, q, params, sp, nil)
 }
 
-// executeConjunctive finishes planning one conjunctive sub-query from its
-// prepared probe state (the scan-free half of the old monolithic path):
-// §4.2 resolution selection from the cached probe, §4.4 delta-reuse
-// accounting, and the single chosen-view scan.
-func (rt *Runtime) executeConjunctive(pq *PreparedQuery, pd *prepDisjunct, plan *exec.Plan,
-	q *sqlparser.Query, conf float64, paramsEq bool, sp *telemetry.Span) (*exec.Result, Decision) {
+// levelChoice is the scan-free half of executing one conjunctive
+// sub-query: the fully-built Decision (reason, latencies, chosen view,
+// predicted bound) plus the resolution the scan half must read. level -1
+// means base-table execution (no samples, unreachable error bound, or an
+// exact template). Everything here derives deterministically from
+// prepared probe state and block metadata — no scan runs — which is what
+// lets the streaming session price and announce every refinement before
+// executing it.
+type levelChoice struct {
+	dec   Decision
+	level int
+}
+
+// chooseConjunctive runs §4.2 resolution selection for one conjunctive
+// sub-query from its prepared probe state: the error bound's row
+// requirement (levelForRows), the time bound's latency cap (levelForTime),
+// the §4.4 delta-reuse bump to at least the probe's resolution, and the
+// full latency/bound accounting for the chosen level.
+func (rt *Runtime) chooseConjunctive(pq *PreparedQuery, pd *prepDisjunct, plan *exec.Plan,
+	q *sqlparser.Query, conf float64) levelChoice {
 
 	entry, joins := pq.entry, pq.joins
 	dec := pd.famDec // copy; Probed slice is shared and immutable
 	if pd.fam == nil {
 		// No samples at all: exact execution.
-		res := pd.baseMemo(rt, plan, entry.Table, conf, joins, paramsEq, sp)
 		dec.UsedBase = true
 		dec.Reason = "no sample families available: exact execution"
 		dec.ReadLatency = rt.latencyOfBase(entry.Table.Blocks) + rt.broadcastCost(joins)
-		rt.recordLevel(-1)
-		return res, dec
+		return levelChoice{dec: dec, level: -1}
 	}
 	fam, pv, probe := pd.fam, pd.pv, pd.probe
 	if pd.probeLat > dec.ProbeLatency {
@@ -390,12 +374,10 @@ func (rt *Runtime) executeConjunctive(pq *PreparedQuery, pd *prepDisjunct, plan 
 			// Even the largest resolution cannot meet the error bound and
 			// no time bound caps the work: fall back to exact execution.
 			dec.Reason += "; largest sample insufficient for error bound"
-			res := pd.baseMemo(rt, plan, entry.Table, conf, joins, paramsEq, sp)
 			dec.UsedBase = true
 			dec.Reason += "; error bound unreachable on samples: exact execution"
 			dec.ReadLatency = rt.latencyOfBase(entry.Table.Blocks) + rt.broadcastCost(joins)
-			rt.recordLevel(-1)
-			return res, dec
+			return levelChoice{dec: dec, level: -1}
 		}
 	case q.Time != nil:
 		level = maxLevel
@@ -415,28 +397,43 @@ func (rt *Runtime) executeConjunctive(pq *PreparedQuery, pd *prepDisjunct, plan 
 	// The projected half-width at the chosen level — recorded whether or
 	// not telemetry is enabled, so enabling it never perturbs answers.
 	dec.PredictedBound = predictedBound(fam, probe, level, pv, conf)
-
-	// Execute on the chosen view (zone-pruned) — unless the probe already
-	// ran on exactly this view with these very parameters, in which case
-	// its answer IS the final answer: re-running the same (family, view)
-	// was the double-probe bug. Latency accounting applies §4.4 delta
-	// reuse: the probe already read resolutions 0..pv.Level.
-	in, blocks := viewInput(view, plan)
-	var res *exec.Result
-	if level == pv.Level && paramsEq {
-		res = probe
-	}
-	if res == nil {
-		res = pd.runMemo(rt, level, plan, in, conf, joins, paramsEq, sp)
-	}
+	// Latency accounting applies §4.4 delta reuse: the probe already read
+	// resolutions 0..pv.Level.
 	if *rt.opt.DeltaReuse && probe != nil {
 		dec.ReadLatency = rt.latencyOfSample(prunedBlocks(view.DeltaBlocks(pv), plan))
 	} else {
-		dec.ReadLatency = rt.latencyOfSample(blocks)
+		dec.ReadLatency = rt.latencyOfSample(prunedBlocks(view.Blocks(), plan))
 	}
 	dec.ReadLatency += rt.broadcastCost(joins)
-	rt.recordLevel(level)
-	return res, dec
+	return levelChoice{dec: dec, level: level}
+}
+
+// scanConjunctive is the scan half: execute the level chooseConjunctive
+// picked (zone-pruned) — unless the probe already ran on exactly this
+// view with these very parameters, in which case its answer IS the final
+// answer: re-running the same (family, view) was the double-probe bug.
+func (rt *Runtime) scanConjunctive(ctx context.Context, pq *PreparedQuery, pd *prepDisjunct, plan *exec.Plan,
+	conf float64, paramsEq bool, lc levelChoice, sp *telemetry.Span) (*exec.Result, error) {
+
+	if lc.level < 0 {
+		res, err := pd.baseMemo(ctx, rt, plan, pq.entry.Table, conf, pq.joins, paramsEq, sp)
+		if err != nil {
+			return nil, err
+		}
+		rt.recordLevel(-1)
+		return res, nil
+	}
+	if lc.level == pd.pv.Level && paramsEq {
+		rt.recordLevel(lc.level)
+		return pd.probe, nil
+	}
+	in, _ := viewInput(pd.fam.View(lc.level), plan)
+	res, err := pd.runMemo(ctx, rt, lc.level, plan, in, conf, pq.joins, paramsEq, sp)
+	if err != nil {
+		return nil, err
+	}
+	rt.recordLevel(lc.level)
+	return res, nil
 }
 
 // fresh reports whether every table the prepared query depends on still

@@ -1,6 +1,7 @@
 package elp
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -419,7 +420,7 @@ func TestResultCacheSecondLeaderServesCachedAnswer(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := f.rt.Stats()
-	ent, cached, err := f.rt.resultLeader(q, key, params, rkey, nil)
+	ent, cached, err := f.rt.resultLeader(context.Background(), q, key, params, rkey, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

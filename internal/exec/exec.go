@@ -15,6 +15,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -761,6 +762,18 @@ func Run(p *Plan, in Input, confidence float64) *Result {
 	return RunParallel(p, in, confidence, 1)
 }
 
+// RunParallelSchedCtx is RunParallelSchedTraced with a cancellation
+// context: workers re-check ctx between claim units (one scan range, or
+// one node shard's range under the affine schedule), so a cancelled
+// context stops the scan within one range's worth of work. A context
+// cancelled before the call scans nothing. On cancellation the partial
+// merge is abandoned and ctx.Err() is returned; a nil error guarantees
+// the Result is the same bit-identical answer the uncancellable
+// entry points produce.
+func RunParallelSchedCtx(ctx context.Context, p *Plan, in Input, confidence float64, workers int, sched Sched, sp *telemetry.Span) (*Result, error) {
+	return runRanges(ctx, p, p.runtime(), in, confidence, workers, sched, nil, sp)
+}
+
 // RunParallel executes the plan over the input using up to workers
 // goroutines under the default node-affine schedule. The block list is
 // split into contiguous ranges whose boundaries depend only on the block
@@ -773,14 +786,16 @@ func RunParallel(p *Plan, in Input, confidence float64, workers int) *Result {
 
 // RunParallelSched is RunParallel with an explicit scheduling mode.
 func RunParallelSched(p *Plan, in Input, confidence float64, workers int, sched Sched) *Result {
-	return runRanges(p, p.runtime(), in, confidence, workers, sched, nil, nil)
+	res, _ := runRanges(context.Background(), p, p.runtime(), in, confidence, workers, sched, nil, nil)
+	return res
 }
 
 // RunParallelSchedTraced is RunParallelSched with a telemetry span under
 // which the scan records per-unit (shard or range) child spans and the
 // merge phase. sp may be nil (identical to RunParallelSched).
 func RunParallelSchedTraced(p *Plan, in Input, confidence float64, workers int, sched Sched, sp *telemetry.Span) *Result {
-	return runRanges(p, p.runtime(), in, confidence, workers, sched, nil, sp)
+	res, _ := runRanges(context.Background(), p, p.runtime(), in, confidence, workers, sched, nil, sp)
+	return res
 }
 
 // runRanges is the shared scan driver for plain and join execution. The
@@ -791,9 +806,16 @@ func RunParallelSchedTraced(p *Plan, in Input, confidence float64, workers int, 
 // identical across schedules and worker counts.
 // Span bookkeeping (sp non-nil) adds one child span per claim unit plus a
 // merge span; with sp nil the scan performs no telemetry work at all.
-func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers int,
-	sched Sched, jr *joinRuntime, sp *telemetry.Span) *Result {
+// Cancellation is checked per claim unit and per range within a shard;
+// once ctx is cancelled no further range is scanned and ctx.Err() is
+// returned with a nil Result. The background-context entry points above
+// can therefore never observe an error.
+func runRanges(ctx context.Context, p *Plan, rt *planRuntime, in Input, confidence float64, workers int,
+	sched Sched, jr *joinRuntime, sp *telemetry.Span) (*Result, error) {
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Affine scheduling only pays off while every worker can own a
 	// shard; with fewer shards (simulated nodes) than workers it would
 	// idle cores that per-range claiming keeps busy, so fall back. Either
@@ -829,6 +851,10 @@ func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers i
 		}
 		sc := &colScratch{}
 		for i, r := range ranges {
+			if err := ctx.Err(); err != nil {
+				scanSp.End()
+				return nil, err
+			}
 			merger.Add(i, runPartial(p, rt, in, r.Lo, r.Hi, jr, sc))
 		}
 		scanSp.End()
@@ -838,7 +864,7 @@ func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers i
 		}
 		res := merger.Finish(confidence)
 		mergeSp.End()
-		return res
+		return res, nil
 	}
 	var mu sync.Mutex // serializes merger.Add across workers
 	var next atomic.Int64
@@ -854,6 +880,9 @@ func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers i
 			defer wg.Done()
 			sc := &colScratch{} // per-worker: buffers are not shared
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				u := int(next.Add(1)) - 1
 				if u >= units {
 					return
@@ -872,8 +901,14 @@ func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers i
 					unitSp = sp.Child(fmt.Sprintf("shard node=%d ranges=%d", shards[u].Node, len(shards[u].Ranges)))
 				}
 				// A shard's ranges are disjoint from every other shard's,
-				// so each index is delivered exactly once.
+				// so each index is delivered exactly once. Cancellation is
+				// re-checked between ranges so a large shard doesn't pin a
+				// worker past the client's disconnect.
 				for _, ri := range shards[u].Ranges {
+					if ctx.Err() != nil {
+						unitSp.End()
+						return
+					}
 					deliver(ri, runPartial(p, rt, in, ranges[ri].Lo, ranges[ri].Hi, jr, sc))
 				}
 				unitSp.End()
@@ -881,13 +916,18 @@ func runRanges(p *Plan, rt *planRuntime, in Input, confidence float64, workers i
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// Workers stopped early; the partial set is incomplete and folding
+		// it would silently yield a wrong (under-scanned) answer.
+		return nil, err
+	}
 	var mergeSp *telemetry.Span
 	if sp != nil {
 		mergeSp = sp.Child("merge")
 	}
 	res := merger.Finish(confidence)
 	mergeSp.End()
-	return res
+	return res, nil
 }
 
 func compareKeys(a, b []types.Value) int {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -317,6 +318,18 @@ func RunJoinParallelSched(p *Plan, in Input, joins []JoinSpec, confidence float6
 // span covering the join-index build and the fact-side scan. sp may be
 // nil (identical to RunJoinParallelSched).
 func RunJoinParallelSchedTraced(p *Plan, in Input, joins []JoinSpec, confidence float64, workers int, sched Sched, sp *telemetry.Span) *Result {
+	res, _ := RunJoinParallelSchedCtx(context.Background(), p, in, joins, confidence, workers, sched, sp)
+	return res
+}
+
+// RunJoinParallelSchedCtx is RunJoinParallelSchedTraced with a
+// cancellation context, under the same contract as RunParallelSchedCtx:
+// workers re-check ctx between claim units, a pre-cancelled context scans
+// nothing, and a nil error guarantees the bit-identical Result.
+func RunJoinParallelSchedCtx(ctx context.Context, p *Plan, in Input, joins []JoinSpec, confidence float64, workers int, sched Sched, sp *telemetry.Span) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var buildSp *telemetry.Span
 	if sp != nil {
 		buildSp = sp.Child("join-index build")
@@ -332,5 +345,5 @@ func RunJoinParallelSchedTraced(p *Plan, in Input, joins []JoinSpec, confidence 
 	// late-materialization path (fact predicate first, probe keys straight
 	// from the columns, materialise only matched rows), row blocks expand
 	// into the pooled buffer.
-	return runRanges(p, p.runtime(), joined, confidence, workers, sched, jr, sp)
+	return runRanges(ctx, p, p.runtime(), joined, confidence, workers, sched, jr, sp)
 }

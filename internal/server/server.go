@@ -1,0 +1,426 @@
+// Package server is the HTTP serving layer over a blinkdb.Engine: a
+// plain http.Handler (embeddable in any mux or test server) that exposes
+// bounded queries as JSON, streams refinement sessions as NDJSON or SSE,
+// and sheds overload *before any scanning happens* via ELP-priced
+// admission control.
+//
+// The admission gate sits between parse and plan: a request is parsed
+// (cheap, allocation-bounded) so its normalized template key prices the
+// queue entry — using the template's observed-latency calibration when
+// the engine has seen it, a flat default otherwise — and only admitted
+// requests ever reach the planner or executor. A rejected request costs
+// one parse and one mutex acquisition and gets 429 with a Retry-After
+// estimated from the predicted backlog, which is what keeps a 2×
+// overload burst from converting bounded-latency queries into an
+// unbounded queue.
+//
+// Endpoints:
+//
+//	POST /query   {"sql": "...", "stream": true, ...}  (also GET with ?sql=)
+//	GET  /healthz liveness
+//	GET  /stats   engine + admission + serving counters
+//
+// Streaming responses are NDJSON frames by default, Server-Sent Events
+// when the client sends Accept: text/event-stream. Every frame is a
+// complete answer with error bounds; the last frame has "final": true
+// and is bit-identical to what the non-streaming path returns.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"blinkdb"
+	"blinkdb/internal/admission"
+	"blinkdb/internal/sqlparser"
+	"blinkdb/internal/telemetry"
+)
+
+// Config tunes the serving layer. The zero value serves with the
+// admission defaults.
+type Config struct {
+	// Admission bounds the controller (see admission.Config).
+	Admission admission.Config
+	// DefaultCostSeconds prices templates the engine has never observed
+	// (default 0.1s).
+	DefaultCostSeconds float64
+	// Now overrides the clock (tests). Default time.Now.
+	Now func() time.Time
+}
+
+// Server is the HTTP handler. Use New.
+type Server struct {
+	eng *blinkdb.Engine
+	adm *admission.Controller
+	met *telemetry.ServerMetrics
+	mux *http.ServeMux
+	cfg Config
+}
+
+// New wraps eng in the serving layer.
+func New(eng *blinkdb.Engine, cfg Config) *Server {
+	if cfg.DefaultCostSeconds <= 0 {
+		cfg.DefaultCostSeconds = 0.1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Server{
+		eng: eng,
+		adm: admission.New(cfg.Admission),
+		met: &telemetry.ServerMetrics{},
+		mux: http.NewServeMux(),
+		cfg: cfg,
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics exposes the serving histograms (queue wait, TTFA, TTF) for
+// benchmarking and tests.
+func (s *Server) Metrics() *telemetry.ServerMetrics { return s.met }
+
+// queryRequest is the /query payload. GET requests supply the same
+// fields as URL parameters (sql, stream, error, confidence, time).
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// Stream requests a refinement session (NDJSON or SSE) instead of a
+	// single JSON answer.
+	Stream bool `json:"stream,omitempty"`
+	// Error is a per-request error bound ("10%" relative or "0.5"
+	// absolute), appended to the SQL as an ERROR WITHIN clause. Rejected
+	// when the SQL already carries one.
+	Error string `json:"error,omitempty"`
+	// Confidence qualifies Error ("95%"; default the engine's).
+	Confidence string `json:"confidence,omitempty"`
+	// TimeSeconds is a per-request response-time bound, appended as a
+	// WITHIN n SECONDS clause. Rejected when the SQL already carries one.
+	TimeSeconds float64 `json:"time_seconds,omitempty"`
+}
+
+// frame is one streamed refinement (or the single non-streaming answer,
+// which is a lone final frame).
+type frame struct {
+	Seq       int         `json:"seq"`
+	Level     int         `json:"level"`
+	Final     bool        `json:"final"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+	Result    *resultJSON `json:"result,omitempty"`
+	Error     string      `json:"error,omitempty"`
+}
+
+// resultJSON is the wire shape of blinkdb.Result.
+type resultJSON struct {
+	Rows              []rowJSON `json:"rows"`
+	Confidence        float64   `json:"confidence"`
+	SimLatencySeconds float64   `json:"sim_latency_seconds"`
+	Sample            string    `json:"sample"`
+	Explanation       string    `json:"explanation"`
+	PlanCache         string    `json:"plan_cache,omitempty"`
+	ResultCache       string    `json:"result_cache,omitempty"`
+	RowsScanned       int64     `json:"rows_scanned"`
+	RowsMatched       int64     `json:"rows_matched"`
+	PredictedBound    float64   `json:"predicted_bound"`
+}
+
+type rowJSON struct {
+	Group string     `json:"group"`
+	Cells []cellJSON `json:"cells"`
+}
+
+type cellJSON struct {
+	Name   string  `json:"name,omitempty"`
+	Value  float64 `json:"value"`
+	Bound  float64 `json:"bound"`
+	RelErr float64 `json:"rel_err"`
+	Exact  bool    `json:"exact"`
+	Rows   int64   `json:"rows"`
+}
+
+func toResultJSON(res *blinkdb.Result) *resultJSON {
+	out := &resultJSON{
+		Confidence:        res.Confidence,
+		SimLatencySeconds: res.SimLatencySeconds,
+		Sample:            res.SampleDescription,
+		Explanation:       res.Explanation,
+		PlanCache:         res.PlanCache,
+		ResultCache:       res.ResultCache,
+		RowsScanned:       res.RowsScanned,
+		RowsMatched:       res.RowsMatched,
+		PredictedBound:    res.PredictedBound,
+	}
+	for _, row := range res.Rows {
+		rj := rowJSON{Group: row.Group}
+		for _, c := range row.Cells {
+			re := c.RelErr
+			if math.IsInf(re, 0) || math.IsNaN(re) {
+				re = -1 // JSON has no Inf; -1 marks "undefined relative error"
+			}
+			rj.Cells = append(rj.Cells, cellJSON{
+				Name: c.Name, Value: c.Value, Bound: c.Bound,
+				RelErr: re, Exact: c.Exact, Rows: c.Rows,
+			})
+		}
+		out.Rows = append(out.Rows, rj)
+	}
+	return out
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"engine":    s.eng.Stats(),
+		"admission": s.adm.Snapshot(),
+		"server":    s.met.Snapshot(),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	arrival := s.cfg.Now()
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sql, key, err := s.bindBounds(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Admission: everything above was parse-only. Price the queue entry
+	// with the template's observed calibration when the engine has one.
+	predicted := s.cfg.DefaultCostSeconds
+	if obs, ok := s.eng.TemplateWallSeconds(key); ok {
+		predicted = obs
+	}
+	ticket, err := s.adm.Admit(r.Context(), key, predicted)
+	if err != nil {
+		var shed *admission.ShedError
+		if errors.As(err, &shed) {
+			s.eng.NoteShed()
+			s.met.RecordShed()
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int(shed.RetryAfter/time.Second)))
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":               "overloaded: query shed by admission control",
+				"retry_after_seconds": int(shed.RetryAfter / time.Second),
+				"queued":              shed.Queued,
+				"backlog_seconds":     shed.BacklogSeconds,
+			})
+			return
+		}
+		// Client went away while queued; nothing useful to write.
+		return
+	}
+	s.eng.NoteAdmitted()
+	s.met.RecordAdmit(ticket.WaitSeconds)
+
+	granted := s.cfg.Now()
+	if req.Stream {
+		s.streamQuery(w, r, sql, arrival)
+	} else {
+		s.singleQuery(w, r, sql, arrival)
+	}
+	ticket.Release(s.cfg.Now().Sub(granted).Seconds())
+}
+
+// singleQuery answers with one JSON frame.
+func (s *Server) singleQuery(w http.ResponseWriter, r *http.Request, sql string, arrival time.Time) {
+	res, err := s.eng.QueryCtx(r.Context(), sql)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; the engine already counted the cancel
+		}
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	elapsed := s.cfg.Now().Sub(arrival).Seconds()
+	s.met.RecordFirstAnswer(elapsed)
+	s.met.RecordFinal(elapsed)
+	writeJSON(w, http.StatusOK, frame{
+		Seq: 0, Level: res.Level, Final: true,
+		ElapsedMS: elapsed * 1000, Result: toResultJSON(res),
+	})
+}
+
+// streamQuery answers with one frame per refinement: NDJSON lines by
+// default, SSE "data:" events when the client asked for an event stream.
+func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, sql string, arrival time.Time) {
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(f frame) error {
+		if sse {
+			if _, err := fmt.Fprintf(w, "data: "); err != nil {
+				return err
+			}
+		}
+		if err := enc.Encode(f); err != nil { // Encode appends '\n'
+			return err
+		}
+		if sse {
+			if _, err := fmt.Fprintf(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	first := true
+	err := s.eng.QueryStream(r.Context(), sql, func(u blinkdb.StreamUpdate) error {
+		elapsed := s.cfg.Now().Sub(arrival).Seconds()
+		if first {
+			s.met.RecordFirstAnswer(elapsed)
+			first = false
+		}
+		if u.Final {
+			s.met.RecordFinal(elapsed)
+		}
+		return emit(frame{
+			Seq: u.Seq, Level: u.Level, Final: u.Final,
+			ElapsedMS: elapsed * 1000, Result: toResultJSON(u.Result),
+		})
+	})
+	if err != nil && r.Context().Err() == nil {
+		// Headers are gone; deliver the failure in-band as a final frame.
+		_ = emit(frame{Final: true, Error: err.Error(),
+			ElapsedMS: s.cfg.Now().Sub(arrival).Seconds() * 1000})
+	}
+}
+
+// decodeRequest reads a queryRequest from JSON (POST) or URL parameters
+// (GET).
+func decodeRequest(r *http.Request) (*queryRequest, error) {
+	req := &queryRequest{}
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(req); err != nil {
+			return nil, fmt.Errorf("bad request body: %w", err)
+		}
+	case http.MethodGet:
+		qv := r.URL.Query()
+		req.SQL = qv.Get("sql")
+		req.Stream = qv.Get("stream") == "1" || qv.Get("stream") == "true"
+		req.Error = qv.Get("error")
+		req.Confidence = qv.Get("confidence")
+		if t := qv.Get("time"); t != "" {
+			secs, err := strconv.ParseFloat(t, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad time parameter %q", t)
+			}
+			req.TimeSeconds = secs
+		}
+	default:
+		return nil, fmt.Errorf("method %s not allowed", r.Method)
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		return nil, errors.New("missing sql")
+	}
+	return req, nil
+}
+
+// bindBounds validates the SQL, applies per-request bound parameters as
+// clause text, and returns the final SQL plus its normalized template
+// key (the admission pricing key). Bound parameters conflict with bounds
+// already written in the SQL — that's an error, not an override.
+func (s *Server) bindBounds(req *queryRequest) (sql string, key string, err error) {
+	q, err := sqlparser.Parse(req.SQL)
+	if err != nil {
+		return "", "", fmt.Errorf("parse error: %w", err)
+	}
+	sql = strings.TrimRight(strings.TrimSpace(req.SQL), ";")
+	if req.Error != "" {
+		if q.Err != nil {
+			return "", "", errors.New("sql already specifies an ERROR bound; drop the error parameter")
+		}
+		bound, pct, err := parseBoundNumber(req.Error)
+		if err != nil {
+			return "", "", fmt.Errorf("bad error parameter: %w", err)
+		}
+		if pct {
+			sql += fmt.Sprintf(" ERROR WITHIN %g%%", bound)
+		} else {
+			sql += fmt.Sprintf(" ERROR WITHIN %g", bound)
+		}
+		if req.Confidence != "" {
+			conf, _, err := parseBoundNumber(req.Confidence)
+			if err != nil {
+				return "", "", fmt.Errorf("bad confidence parameter: %w", err)
+			}
+			sql += fmt.Sprintf(" AT CONFIDENCE %g%%", normalizeConfidencePct(conf))
+		}
+	} else if req.Confidence != "" {
+		return "", "", errors.New("confidence parameter requires an error parameter")
+	}
+	if req.TimeSeconds != 0 {
+		if req.TimeSeconds < 0 {
+			return "", "", errors.New("time parameter must be positive")
+		}
+		if q.Time != nil {
+			return "", "", errors.New("sql already specifies a WITHIN time bound; drop the time parameter")
+		}
+		sql += fmt.Sprintf(" WITHIN %g SECONDS", req.TimeSeconds)
+	}
+	final, err := sqlparser.Parse(sql)
+	if err != nil {
+		return "", "", fmt.Errorf("parse error after binding bounds: %w", err)
+	}
+	key, _ = sqlparser.Normalize(final)
+	return sql, key, nil
+}
+
+// parseBoundNumber parses "10%" or "0.1"-style parameters.
+func parseBoundNumber(s string) (v float64, pct bool, err error) {
+	s = strings.TrimSpace(s)
+	if strings.HasSuffix(s, "%") {
+		pct = true
+		s = strings.TrimSuffix(s, "%")
+	}
+	v, err = strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, false, fmt.Errorf("not a valid bound: %q", s)
+	}
+	return v, pct, nil
+}
+
+// normalizeConfidencePct maps 0.95 and 95 (and "95%") all to 95.
+func normalizeConfidencePct(v float64) float64 {
+	if v <= 1 {
+		return v * 100
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

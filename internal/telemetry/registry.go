@@ -92,6 +92,31 @@ func (r *Registry) Observe(key string, o Observation) {
 	}
 }
 
+// ObservedWallSeconds returns the mean observed wall-clock seconds of
+// one query of template key, or false when the template has never been
+// observed (or never completed with positive latency). This is the
+// registry's calibration answer to "how long will this template take":
+// the ELP's simulated-cluster prediction divided by the template's
+// predicted-over-observed ratio collapses algebraically to the observed
+// mean, so serving layers can price admission with one cheap lookup
+// instead of folding a full Snapshot. Nil-safe.
+func (r *Registry) ObservedWallSeconds(key string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.RLock()
+	ts := r.templates[key]
+	r.mu.RUnlock()
+	if ts == nil {
+		return 0, false
+	}
+	lat := ts.latency.Snapshot()
+	if m := lat.Mean(); lat.Count > 0 && m > 0 {
+		return m, true
+	}
+	return 0, false
+}
+
 // Percentiles summarizes one histogram for reporting.
 type Percentiles struct {
 	Count uint64

@@ -147,6 +147,17 @@ func (s *Span) Name() string {
 	return s.name
 }
 
+// Start returns the span's start time (zero for nil). Immutable after
+// creation, so no lock is needed; useful for asserting ordering between
+// sibling spans (e.g. a streaming session's first refinement starting
+// before its final one).
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
 // Duration returns the span's elapsed time — final after End, running
 // until then (0 for nil).
 func (s *Span) Duration() time.Duration {
