@@ -90,6 +90,30 @@
 // any scanning happens, which the Admitted/Shed/Cancelled counters in
 // EngineStats make auditable.
 //
+// # Persistence
+//
+// With Config.DataDir set, the expensive warm state survives restarts
+// (internal/blockfile, persistence.go). Stratified sample families
+// persist as columnar segment files — fixed-width little-endian
+// layouts, per-section CRC32C checksums, zone maps and sampling
+// metadata — keyed by a build signature over table content, sampling
+// options and engine knobs; a warm boot mmaps them back as zero-copy
+// column views instead of re-stratifying. SnapshotWarmup additionally
+// writes a warmup file: per-table catalog epochs with content
+// fingerprints, prepared-template probe state, cached results with
+// their original TTL deadlines, and the serving layer's admission-cost
+// EWMA; RestoreWarmup replays it into the caches on boot, so the first
+// query after a restart answers from the same steady state the previous
+// process died in — bit-identical, cache markers and simulated
+// latencies included. Everything under DataDir is a cache of
+// reproducible state: corruption, truncation, or staleness (a table
+// reloaded or resampled between snapshot and boot) is detected by
+// checksum, build signature, epoch and content fingerprint, and
+// degrades to a cold rebuild with the reason in PersistenceNotes —
+// deleting the directory costs a cold boot, never correctness. A
+// restart never extends a cached answer's TTL. Engines with loaded
+// segments must be released with Close.
+//
 // A minimal session:
 //
 //	eng := blinkdb.Open(blinkdb.Config{})
@@ -117,6 +141,7 @@ import (
 	"strings"
 	"time"
 
+	"blinkdb/internal/blockfile"
 	"blinkdb/internal/catalog"
 	"blinkdb/internal/cluster"
 	"blinkdb/internal/elp"
@@ -268,6 +293,15 @@ type Config struct {
 	// §4.1.1's assumption that the smallest per-family samples are
 	// memory-resident and "very fast" to query.
 	FullProbePricing bool
+	// DataDir enables persistence when set: CreateSamples writes built
+	// families as columnar segment files under it and loads them back
+	// on matching warm boots instead of re-stratifying, and
+	// SnapshotWarmup/RestoreWarmup persist the plan cache's probe
+	// state, the result cache's answers and per-table epochs across
+	// restarts. Empty (the default) keeps the engine fully in-memory.
+	// Everything under DataDir is a cache of reproducible state:
+	// deleting it costs a cold boot, never correctness.
+	DataDir string
 }
 
 func (c Config) normalize() Config {
@@ -332,6 +366,32 @@ type Engine struct {
 
 	maint    map[string]*maintenance.Maintainer
 	lastSnap map[string]*maintenance.Snapshot
+
+	// Persistence bookkeeping (persistence.go): the build signature and
+	// report CreateSamples recorded per table, and the fall-back audit
+	// trail behind PersistenceNotes.
+	sampleSigs    map[string]uint64
+	sampleReports map[string]*SampleReport
+	persistNotes  []string
+	// openSegs are the mmap'd segment files backing warm-loaded sample
+	// families; their mappings must outlive the families' column views.
+	openSegs []*blockfile.Segment
+}
+
+// Close releases resources the engine holds on the filesystem — the
+// mmap'd segment files backing warm-loaded samples. The engine must
+// not be queried after Close: column views into the unmapped segments
+// become invalid. Engines without Config.DataDir hold nothing and may
+// skip Close.
+func (e *Engine) Close() error {
+	var first error
+	for _, s := range e.openSegs {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	e.openSegs = nil
+	return first
 }
 
 // Open creates an engine.
@@ -602,6 +662,19 @@ func (e *Engine) CreateSamples(table string, opts SampleOptions) (*SampleReport,
 			Seed:         e.cfg.Seed,
 		},
 	}
+	// Warm path: when DataDir holds families persisted by an earlier
+	// run of this exact build (signature over table content, templates,
+	// budget and seed), load them instead of re-stratifying. Sampling
+	// is seeded-deterministic, so the loaded families are the ones the
+	// cold path below would produce.
+	var sig uint64
+	if e.cfg.DataDir != "" {
+		sig = e.sampleSignature(entry, opts, blockRows)
+		if rep, ok := e.loadPersistedSamples(table, sig); ok {
+			e.recordSampleReport(table, rep)
+			return rep, nil
+		}
+	}
 	plan, err := optimizer.ChooseSamples(entry.Table, specs, cfg)
 	if err != nil {
 		return nil, err
@@ -623,7 +696,20 @@ func (e *Engine) CreateSamples(table string, opts SampleOptions) (*SampleReport,
 		})
 		rep.TotalBytes += f.StorageBytes()
 	}
+	if e.cfg.DataDir != "" {
+		e.persistSamples(table, sig, fams, rep)
+	}
+	e.recordSampleReport(table, rep)
 	return rep, nil
+}
+
+// recordSampleReport remembers the report SnapshotWarmup re-persists
+// alongside refreshed families.
+func (e *Engine) recordSampleReport(table string, rep *SampleReport) {
+	if e.sampleReports == nil {
+		e.sampleReports = map[string]*SampleReport{}
+	}
+	e.sampleReports[strings.ToLower(table)] = rep
 }
 
 // Cell is one aggregate output with its error bar.

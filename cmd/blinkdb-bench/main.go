@@ -17,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -31,6 +33,7 @@ import (
 
 	"blinkdb"
 	"blinkdb/internal/admission"
+	"blinkdb/internal/blockfile"
 	"blinkdb/internal/exec"
 	"blinkdb/internal/experiments"
 	"blinkdb/internal/server"
@@ -215,6 +218,31 @@ type serverRecord struct {
 	ShedRate float64 `json:"shed_rate_2x_overload"`
 }
 
+// persistenceRecord captures warm-boot economics: seconds from
+// table-loaded to fully-warm (samples built/loaded, caches hot) on a
+// cold start vs a restart over persisted segments and warmup state,
+// plus sample-segment load throughput via mmap vs the portable
+// ReadFile fallback.
+type persistenceRecord struct {
+	Rows int `json:"rows"`
+	// ColdBootSeconds: stratify samples from scratch + execute the warm
+	// query set. WarmBootSeconds: load segments + restore warmup +
+	// replay the same set (cache hits).
+	ColdBootSeconds float64 `json:"cold_boot_seconds"`
+	WarmBootSeconds float64 `json:"warm_boot_seconds"`
+	WarmBootSpeedup float64 `json:"warm_boot_speedup"`
+	// RestoredPlans / RestoredResults count warmup-file cache entries
+	// the restarted engine accepted.
+	RestoredPlans   int `json:"restored_plans"`
+	RestoredResults int `json:"restored_results"`
+	// SegmentMB is the on-disk size of the persisted sample segments;
+	// the two throughputs time opening them and materializing every
+	// table, mmap vs ReadFile.
+	SegmentMB        float64 `json:"segment_mb"`
+	MmapLoadMBps     float64 `json:"mmap_load_mb_per_sec"`
+	ReadFileLoadMBps float64 `json:"readfile_load_mb_per_sec"`
+}
+
 // snapshot is the BENCH_<date>.json schema.
 type snapshot struct {
 	Date        string             `json:"date"`
@@ -228,6 +256,7 @@ type snapshot struct {
 	Kernels     kernelRecord       `json:"kernels"`
 	Telemetry   telemetryRecord    `json:"telemetry"`
 	Server      serverRecord       `json:"server"`
+	Persistence persistenceRecord  `json:"persistence"`
 }
 
 func main() {
@@ -348,6 +377,7 @@ func main() {
 		snap.Kernels = kernelsBench(*smoke)
 		snap.Telemetry = telemetryBench(*smoke)
 		snap.Server = serverBench(*smoke)
+		snap.Persistence = persistenceBench(*smoke)
 		path := *jsonPath
 		if path == "" {
 			path = "BENCH_" + snap.Date + ".json"
@@ -1072,4 +1102,150 @@ func compileBench(q string, schema *types.Schema) (*exec.Plan, error) {
 		return nil, err
 	}
 	return exec.Compile(parsed, schema)
+}
+
+// persistenceBench measures the warm-boot win end to end: one engine
+// life builds samples cold against a data directory and warms its
+// caches, snapshots, dies; a second life boots over the same directory.
+// Both lives time the stretch from table-loaded to fully-warm — sample
+// stratification + query execution cold, segment load + warmup restore
+// + cache-hit replay warm. The table load itself (identical ingest work
+// in both lives) stays outside the clock. A second pass times segment
+// loading alone, mmap vs the ReadFile fallback.
+func persistenceBench(smoke bool) persistenceRecord {
+	rows, sampleK, loadIters := 300000, int64(8000), 5
+	if smoke {
+		rows, sampleK, loadIters = 40000, 2000, 2
+	}
+	dir, err := os.MkdirTemp("", "blinkdb-bench-persist-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	warmQueries := []string{
+		`SELECT AVG(sessiontime) FROM sessions WHERE city = 'city1' ERROR WITHIN 10%`,
+		`SELECT SUM(sessiontime) FROM sessions WHERE os = 'os2' ERROR WITHIN 10%`,
+		`SELECT COUNT(sessiontime) FROM sessions WHERE city = 'city3' OR os = 'os1' ERROR WITHIN 15%`,
+		`SELECT AVG(sessiontime) FROM sessions WHERE os = 'os1' GROUP BY city ERROR WITHIN 20%`,
+	}
+
+	// boot runs one engine life: ingest (untimed), then the timed
+	// stretch a restart can win back — CreateSamples (stratify or load),
+	// RestoreWarmup, and the warm query set.
+	boot := func() (*blinkdb.Engine, *blinkdb.RestoreReport, float64) {
+		eng := blinkdb.Open(blinkdb.Config{
+			Seed: 11, Scale: 1e4, CacheTables: true, DataDir: dir,
+		})
+		load := eng.CreateTable("sessions",
+			blinkdb.Col("city", blinkdb.String),
+			blinkdb.Col("os", blinkdb.String),
+			blinkdb.Col("sessiontime", blinkdb.Float),
+		)
+		rng := rand.New(rand.NewSource(5))
+		cityGen := zipf.NewGeneratorCDF(rng, 1.3, 100)
+		osGen := zipf.NewGeneratorCDF(rng, 1.3, 20)
+		for i := 0; i < rows; i++ {
+			if err := load.Append(
+				fmt.Sprintf("city%d", cityGen.Next()),
+				fmt.Sprintf("os%d", osGen.Next()),
+				rng.ExpFloat64()*100,
+			); err != nil {
+				panic(err)
+			}
+		}
+		if err := load.Close(); err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		if _, err := eng.CreateSamples("sessions", blinkdb.SampleOptions{
+			BudgetFraction: 1.0,
+			K:              sampleK,
+			Templates: []blinkdb.Template{
+				{Columns: []string{"city"}, Weight: 0.7},
+				{Columns: []string{"os"}, Weight: 0.3},
+			},
+		}); err != nil {
+			panic(err)
+		}
+		rep, err := eng.RestoreWarmup()
+		if err != nil {
+			panic(err)
+		}
+		for _, q := range warmQueries {
+			if _, err := eng.Query(q); err != nil {
+				panic(err)
+			}
+		}
+		return eng, rep, time.Since(start).Seconds()
+	}
+
+	// Life 1: cold. Run the query set once more so the snapshot carries
+	// steady-state (result-cache-hit) entries, then snapshot and die.
+	eng1, _, cold := boot()
+	for _, q := range warmQueries {
+		if _, err := eng1.Query(q); err != nil {
+			panic(err)
+		}
+	}
+	if err := eng1.SnapshotWarmup(blinkdb.WarmupState{}); err != nil {
+		panic(err)
+	}
+	if err := eng1.Close(); err != nil {
+		panic(err)
+	}
+
+	// Life 2: warm boot over the same directory.
+	eng2, rep, warm := boot()
+	defer eng2.Close()
+	if notes := eng2.PersistenceNotes(); len(notes) != 0 {
+		panic(fmt.Sprintf("warm boot was not warm: %v", notes))
+	}
+	rec := persistenceRecord{
+		Rows:            rows,
+		ColdBootSeconds: cold,
+		WarmBootSeconds: warm,
+		WarmBootSpeedup: cold / warm,
+	}
+	if rep != nil {
+		rec.RestoredPlans, rec.RestoredResults = rep.Plans, rep.Results
+	}
+
+	// Segment-load throughput: open every persisted sample segment and
+	// materialize its tables, mmap vs the ReadFile fallback.
+	var segs []string
+	filepath.WalkDir(filepath.Join(dir, "samples"), func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".seg") {
+			segs = append(segs, path)
+		}
+		return nil
+	})
+	loadAll := func(open func(string) (*blockfile.Segment, error)) float64 {
+		var bytes int64
+		start := time.Now()
+		for it := 0; it < loadIters; it++ {
+			for _, path := range segs {
+				seg, err := open(path)
+				if err != nil {
+					panic(err)
+				}
+				for i := 0; i < seg.NumTables(); i++ {
+					if _, err := seg.Table(i); err != nil {
+						panic(err)
+					}
+				}
+				bytes += seg.SizeBytes()
+				seg.Close()
+			}
+		}
+		return float64(bytes) / 1e6 / time.Since(start).Seconds()
+	}
+	for _, path := range segs {
+		if st, err := os.Stat(path); err == nil {
+			rec.SegmentMB += float64(st.Size()) / 1e6
+		}
+	}
+	rec.MmapLoadMBps = loadAll(blockfile.Open)
+	rec.ReadFileLoadMBps = loadAll(blockfile.OpenReadFile)
+	return rec
 }

@@ -246,6 +246,42 @@ func (c *Controller) releaseLocked(cost float64) {
 	c.running--
 }
 
+// ExportEWMA returns a copy of the per-template cost model (template key
+// → EWMA of observed wall seconds). The warmup snapshot persists it so a
+// restarted server prices admissions from learned costs immediately,
+// instead of trusting caller predictions until each template is
+// re-observed.
+func (c *Controller) ExportEWMA() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]float64, len(c.ewma))
+	for k, v := range c.ewma {
+		out[k] = v
+	}
+	return out
+}
+
+// ImportEWMA seeds the cost model with previously learned costs. Keys
+// already observed in THIS process win (live observations are newer than
+// any snapshot); non-positive costs are ignored; the maxKeys bound is
+// respected. Intended for boot-time warmup restore.
+func (c *Controller) ImportEWMA(m map[string]float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range m {
+		if v <= 0 {
+			continue
+		}
+		if _, ok := c.ewma[k]; ok {
+			continue
+		}
+		if len(c.ewma) >= maxKeys {
+			break
+		}
+		c.ewma[k] = v
+	}
+}
+
 // Snapshot reports the controller's instantaneous state (for /stats).
 type Snapshot struct {
 	Running        int

@@ -182,3 +182,41 @@ func TestFIFOOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestEWMAExportImport: the learned cost model round-trips through the
+// warmup snapshot, live observations beat imported ones, and junk
+// (non-positive costs) is dropped.
+func TestEWMAExportImport(t *testing.T) {
+	c := New(Config{MaxConcurrent: 2})
+	for i, obs := range []float64{1.0, 3.0} {
+		tk, err := c.Admit(context.Background(), "t"+string(rune('A'+i)), 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk.Release(obs)
+	}
+	exported := c.ExportEWMA()
+	if len(exported) != 2 || exported["tA"] != 1.0 || exported["tB"] != 3.0 {
+		t.Fatalf("exported %v, want tA:1 tB:3", exported)
+	}
+	// Mutating the export must not reach the controller.
+	exported["tA"] = 99
+
+	c2 := New(Config{MaxConcurrent: 2})
+	tk, err := c2.Admit(context.Background(), "tB", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Release(7.0) // live observation, present before import
+	c2.ImportEWMA(map[string]float64{"tA": 1.0, "tB": 3.0, "bad": -1})
+	got := c2.ExportEWMA()
+	if got["tA"] != 1.0 {
+		t.Errorf("tA = %v, want imported 1.0", got["tA"])
+	}
+	if got["tB"] != 7.0 {
+		t.Errorf("tB = %v, want live 7.0 to beat imported 3.0", got["tB"])
+	}
+	if _, ok := got["bad"]; ok {
+		t.Errorf("non-positive imported cost was kept")
+	}
+}

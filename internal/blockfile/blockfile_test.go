@@ -1,0 +1,405 @@
+package blockfile
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"blinkdb/internal/colstore"
+	"blinkdb/internal/storage"
+	"blinkdb/internal/types"
+)
+
+// buildFixture assembles a table that exercises every encoding: a float
+// column with NaN/-0/nulls, an int column with nulls, a bool column, a
+// dict string column, a mixed-kind column (EncValue fallback), and a
+// sorted low-cardinality column that RLE-compresses under the builder's
+// hint. Blocks are small so several are produced, across 3 nodes.
+func buildFixture(t testing.TB, rows int, layout storage.Layout) *storage.Table {
+	t.Helper()
+	schema := types.NewSchema(
+		types.Column{Name: "f", Kind: types.KindFloat},
+		types.Column{Name: "i", Kind: types.KindInt},
+		types.Column{Name: "b", Kind: types.KindBool},
+		types.Column{Name: "s", Kind: types.KindString},
+		types.Column{Name: "mix", Kind: types.KindString},
+		types.Column{Name: "sorted", Kind: types.KindString},
+	)
+	tbl := storage.NewTable("fixture", schema)
+	bld := storage.NewBuilderLayout(tbl, 64, 3, storage.InMemory, layout)
+	bld.HintSortedColumns(5)
+	for r := 0; r < rows; r++ {
+		f := types.Float(float64(r) * 1.5)
+		switch r % 17 {
+		case 3:
+			f = types.Null()
+		case 5:
+			f = types.Float(math.NaN())
+		case 7:
+			f = types.Float(math.Copysign(0, -1))
+		}
+		i := types.Int(int64(r * 3))
+		if r%13 == 4 {
+			i = types.Null()
+		}
+		mix := types.Value(types.Int(int64(r)))
+		switch r % 5 {
+		case 1:
+			mix = types.Str(fmt.Sprintf("m%d", r%7))
+		case 2:
+			mix = types.Float(float64(r) / 3)
+		case 3:
+			mix = types.Null()
+		}
+		bld.Append(types.Row{
+			f, i, types.Bool(r%2 == 0),
+			types.Str(fmt.Sprintf("s%02d", r%23)),
+			mix,
+			types.Str(fmt.Sprintf("stratum%d", r/97)),
+		}, storage.RowMeta{Rate: 1 / (1 + float64(r%9)), StratumFreq: int64(r % 11)})
+	}
+	return bld.Finish()
+}
+
+func writeFixture(t testing.TB, tbl *storage.Table) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fixture.seg")
+	err := WriteSegment(path, func(w *Writer) error {
+		w.PutMeta("note", []byte("fixture-meta"))
+		return w.AddTable(tbl)
+	})
+	if err != nil {
+		t.Fatalf("WriteSegment: %v", err)
+	}
+	return path
+}
+
+// valueEq is exact struct equality with floats compared by bit pattern,
+// so NaN payloads (which the fixture deliberately contains, and which
+// reflect.DeepEqual would treat as unequal to themselves) round-trip.
+func valueEq(a, b types.Value) bool {
+	return a.Kind == b.Kind && a.I == b.I && a.S == b.S &&
+		math.Float64bits(a.F) == math.Float64bits(b.F)
+}
+
+func rowsEq(a, b []types.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if !valueEq(a[i][j], b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func zonesEq(a, b []storage.Zone) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Valid != b[i].Valid || !valueEq(a[i].Min, b[i].Min) || !valueEq(a[i].Max, b[i].Max) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanAll materializes every (row, meta) pair — the observable content
+// of a table, shared by both layouts.
+func scanAll(tbl *storage.Table) ([]types.Row, []storage.RowMeta) {
+	var rows []types.Row
+	var metas []storage.RowMeta
+	tbl.Scan(func(r types.Row, m storage.RowMeta) bool {
+		rows = append(rows, r.Clone())
+		metas = append(metas, m)
+		return true
+	})
+	return rows, metas
+}
+
+func assertTablesEqual(t *testing.T, want, got *storage.Table) {
+	t.Helper()
+	if got.Name != want.Name {
+		t.Fatalf("name %q != %q", got.Name, want.Name)
+	}
+	if !reflect.DeepEqual(got.Schema.Columns, want.Schema.Columns) {
+		t.Fatalf("schema %v != %v", got.Schema.Columns, want.Schema.Columns)
+	}
+	if got.NumRows() != want.NumRows() || got.Bytes() != want.Bytes() {
+		t.Fatalf("totals (%d rows, %d bytes) != (%d rows, %d bytes)",
+			got.NumRows(), got.Bytes(), want.NumRows(), want.Bytes())
+	}
+	if len(got.Blocks) != len(want.Blocks) {
+		t.Fatalf("%d blocks != %d", len(got.Blocks), len(want.Blocks))
+	}
+	for i, wb := range want.Blocks {
+		gb := got.Blocks[i]
+		if gb.ID != wb.ID || gb.Node != wb.Node || gb.Place != wb.Place || gb.Bytes != wb.Bytes {
+			t.Fatalf("block %d identity mismatch: %+v vs %+v", i, gb, wb)
+		}
+		if !zonesEq(gb.Zones, wb.Zones) {
+			t.Fatalf("block %d zones mismatch", i)
+		}
+		if gb.IsColumnar() != wb.IsColumnar() {
+			t.Fatalf("block %d layout mismatch", i)
+		}
+		if wb.IsColumnar() {
+			for c := range wb.Col.Cols {
+				if gb.Col.Cols[c].Enc != wb.Col.Cols[c].Enc {
+					t.Fatalf("block %d col %d encoding %v != %v",
+						i, c, gb.Col.Cols[c].Enc, wb.Col.Cols[c].Enc)
+				}
+				if gb.Col.Cols[c].NaNFree != wb.Col.Cols[c].NaNFree {
+					t.Fatalf("block %d col %d NaNFree mismatch", i, c)
+				}
+			}
+			if gb.Col.Uniform() != wb.Col.Uniform() {
+				t.Fatalf("block %d uniformity mismatch", i)
+			}
+		}
+	}
+	wantRows, wantMeta := scanAll(want)
+	gotRows, gotMeta := scanAll(got)
+	if !rowsEq(gotRows, wantRows) {
+		t.Fatalf("scanned rows differ")
+	}
+	if !reflect.DeepEqual(gotMeta, wantMeta) {
+		t.Fatalf("scanned row metadata differs")
+	}
+}
+
+// TestRoundTrip pins build → persist → load equivalence for every
+// encoding, both block layouts, and both load paths (mmap, ReadFile).
+func TestRoundTrip(t *testing.T) {
+	for _, layout := range []storage.Layout{storage.ColumnarLayout, storage.RowLayout} {
+		for _, mode := range []string{"mmap", "readfile"} {
+			t.Run(fmt.Sprintf("%s/%s", layout, mode), func(t *testing.T) {
+				want := buildFixture(t, 500, layout)
+				path := writeFixture(t, want)
+				var seg *Segment
+				var err error
+				if mode == "mmap" {
+					seg, err = Open(path)
+				} else {
+					seg, err = OpenReadFile(path)
+				}
+				if err != nil {
+					t.Fatalf("open: %v", err)
+				}
+				defer seg.Close()
+				if mode == "readfile" && seg.Mapped() {
+					t.Fatal("OpenReadFile produced a mapped segment")
+				}
+				if blob, ok := seg.Meta("note"); !ok || string(blob) != "fixture-meta" {
+					t.Fatalf("meta blob lost: %q %v", blob, ok)
+				}
+				if seg.NumTables() != 1 || seg.TableName(0) != "fixture" {
+					t.Fatalf("table index wrong: %d tables", seg.NumTables())
+				}
+				got, err := seg.Table(0)
+				if err != nil {
+					t.Fatalf("Table: %v", err)
+				}
+				assertTablesEqual(t, want, got)
+			})
+		}
+	}
+}
+
+// TestEncodingCoverage asserts the fixture actually exercises every
+// encoding, so the round-trip test can't silently lose coverage.
+func TestEncodingCoverage(t *testing.T) {
+	tbl := buildFixture(t, 500, storage.ColumnarLayout)
+	seen := map[colstore.Encoding]bool{}
+	withNulls := false
+	for _, b := range tbl.Blocks {
+		for c := range b.Col.Cols {
+			seen[b.Col.Cols[c].Enc] = true
+			if b.Col.Cols[c].Nulls != nil {
+				withNulls = true
+			}
+		}
+	}
+	for _, enc := range []colstore.Encoding{
+		colstore.EncFloat, colstore.EncInt, colstore.EncBool,
+		colstore.EncDict, colstore.EncValue, colstore.EncRLE,
+	} {
+		if !seen[enc] {
+			t.Errorf("fixture never produced encoding %v", enc)
+		}
+	}
+	if !withNulls {
+		t.Error("fixture never produced a null bitmap")
+	}
+}
+
+// TestMultiTableSegment checks several tables share one segment (the
+// sample-family layout: one table per delta).
+func TestMultiTableSegment(t *testing.T) {
+	t1 := buildFixture(t, 130, storage.ColumnarLayout)
+	t2 := buildFixture(t, 67, storage.ColumnarLayout)
+	t2.Name = "fixture2"
+	path := filepath.Join(t.TempDir(), "multi.seg")
+	err := WriteSegment(path, func(w *Writer) error {
+		if err := w.AddTable(t1); err != nil {
+			return err
+		}
+		return w.AddTable(t2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	if seg.NumTables() != 2 {
+		t.Fatalf("want 2 tables, got %d", seg.NumTables())
+	}
+	g1, err := seg.Table(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := seg.Table(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, t1, g1)
+	assertTablesEqual(t, t2, g2)
+}
+
+// TestCorruption: every corrupted variant of a valid segment must fail
+// with an error — wrong magic, wrong version, truncations at every
+// prefix step, and a flipped byte at every stride-13 offset (section
+// CRCs catch payload flips; footer/tail checks catch structural ones).
+// None may panic and none may silently load wrong data.
+func TestCorruption(t *testing.T) {
+	want := buildFixture(t, 200, storage.ColumnarLayout)
+	path := writeFixture(t, want)
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows, wantMeta := scanAll(want)
+
+	// tryLoad loads a mutated file; a nil error means full materialized
+	// content must still equal the original (flips in padding bytes are
+	// legitimately undetectable and harmless).
+	tryLoad := func(t *testing.T, mutated []byte) error {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), "corrupt.seg")
+		if err := os.WriteFile(p, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		seg, err := Open(p)
+		if err != nil {
+			return err
+		}
+		defer seg.Close()
+		for i := 0; i < seg.NumTables(); i++ {
+			tbl, err := seg.Table(i)
+			if err != nil {
+				return err
+			}
+			gotRows, gotMeta := scanAll(tbl)
+			if !rowsEq(gotRows, wantRows) || !reflect.DeepEqual(gotMeta, wantMeta) {
+				t.Fatal("corrupted segment loaded without error AND changed data")
+			}
+		}
+		return nil
+	}
+
+	t.Run("wrong-magic", func(t *testing.T) {
+		bad := append([]byte(nil), valid...)
+		bad[0] ^= 0xff
+		if err := tryLoad(t, bad); err == nil {
+			t.Fatal("wrong magic loaded")
+		}
+	})
+	t.Run("wrong-version", func(t *testing.T) {
+		bad := append([]byte(nil), valid...)
+		bad[4] = 0xee
+		if err := tryLoad(t, bad); err == nil {
+			t.Fatal("wrong version loaded")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for n := 0; n < len(valid); n += 997 {
+			if err := tryLoad(t, valid[:n]); err == nil {
+				t.Fatalf("truncation to %d bytes loaded", n)
+			}
+		}
+	})
+	t.Run("bitflip", func(t *testing.T) {
+		detected := 0
+		for off := 0; off < len(valid); off += 13 {
+			bad := append([]byte(nil), valid...)
+			bad[off] ^= 0x40
+			if err := tryLoad(t, bad); err != nil {
+				detected++
+			}
+		}
+		if detected == 0 {
+			t.Fatal("no bit flip was ever detected")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if err := tryLoad(t, nil); err == nil {
+			t.Fatal("empty file loaded")
+		}
+	})
+}
+
+// TestViewAllocsIndependentOfRows pins the zero-per-value-decode
+// contract: materializing a table whose columns are int/float (plus
+// their null bitmaps and rate/freq arrays) allocates a constant number
+// of objects regardless of row count, because payloads are slice views
+// over the mapping.
+func TestViewAllocsIndependentOfRows(t *testing.T) {
+	build := func(rows int) string {
+		schema := types.NewSchema(
+			types.Column{Name: "f", Kind: types.KindFloat},
+			types.Column{Name: "i", Kind: types.KindInt},
+		)
+		tbl := storage.NewTable("nums", schema)
+		bld := storage.NewBuilderLayout(tbl, rows, 1, storage.InMemory, storage.ColumnarLayout)
+		for r := 0; r < rows; r++ {
+			bld.Append(types.Row{types.Float(float64(r)), types.Int(int64(r))},
+				storage.RowMeta{Rate: 1 / (1 + float64(r%3)), StratumFreq: int64(r % 7)})
+		}
+		out := bld.Finish()
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("nums%d.seg", rows))
+		if err := WriteSegment(path, func(w *Writer) error { return w.AddTable(out) }); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	allocs := func(path string) float64 {
+		seg, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer seg.Close()
+		return testing.AllocsPerRun(20, func() {
+			if _, err := seg.Table(0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := allocs(build(1_000))
+	large := allocs(build(64_000))
+	if small != large {
+		t.Fatalf("per-value decode detected: %v allocs at 1k rows vs %v at 64k", small, large)
+	}
+}

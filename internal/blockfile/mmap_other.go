@@ -1,0 +1,11 @@
+//go:build !linux && !darwin
+
+package blockfile
+
+import "errors"
+
+// mmapFile is unavailable on this platform; Open always uses the
+// aligned ReadFile fallback.
+func mmapFile(string) ([]byte, func() error, error) {
+	return nil, nil, errors.New("blockfile: mmap unavailable on this platform")
+}

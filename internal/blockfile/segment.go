@@ -1,0 +1,614 @@
+package blockfile
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"unsafe"
+
+	"blinkdb/internal/colstore"
+	"blinkdb/internal/storage"
+	"blinkdb/internal/types"
+)
+
+// Segment is a loaded segment file. The backing bytes are either an
+// mmap'd read-only view of the file or an 8-aligned in-memory copy
+// (the portable ReadFile fallback); Mapped reports which. Tables
+// materialized from a mapped segment alias the mapping — they stay
+// valid only until Close, and their payload slices must never be
+// written to.
+type Segment struct {
+	data   []byte
+	mapped bool
+	unmap  func() error
+
+	sections []sectionInfo
+	metas    map[string][]byte
+	tables   []tableDesc
+}
+
+type tableDesc struct {
+	name   string
+	schema *types.Schema
+	blocks []blockDesc
+}
+
+type blockDesc struct {
+	node  int
+	place storage.Placement
+	bytes int64
+	nrows int
+	zones []storage.Zone
+
+	columnar    bool
+	uniformRate float64
+	uniformFreq int64
+	ratesSec    uint32
+	freqsSec    uint32
+	cols        []colDesc
+
+	rowsSec uint32 // row layout: value stream + rate/freq arrays
+}
+
+type colDesc struct {
+	enc     colstore.Encoding
+	nanFree bool
+	// Section refs by role: payload, nulls, dict (meaning depends on enc).
+	payload, nulls, dict uint32
+}
+
+// Open loads the segment at path, preferring mmap and falling back to an
+// aligned in-memory read where mapping is unavailable. The footer CRC
+// and structure are verified here; per-section CRCs are verified when a
+// section is first materialized (Table, Meta).
+func Open(path string) (*Segment, error) {
+	return open(path, false)
+}
+
+// OpenReadFile loads the segment without mmap (always the in-memory
+// fallback). Benchmarks use it to compare load paths; behavior is
+// otherwise identical to Open.
+func OpenReadFile(path string) (*Segment, error) {
+	return open(path, true)
+}
+
+func open(path string, forceRead bool) (*Segment, error) {
+	s := &Segment{}
+	if !forceRead {
+		if data, unmap, err := mmapFile(path); err == nil {
+			s.data, s.mapped, s.unmap = data, true, unmap
+		}
+	}
+	if s.data == nil {
+		data, err := readFileAligned(path)
+		if err != nil {
+			return nil, err
+		}
+		s.data = data
+	}
+	if err := s.parse(); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("blockfile: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Close releases the mapping. Tables materialized from a mapped segment
+// must not be used afterwards.
+func (s *Segment) Close() error {
+	if s.unmap != nil {
+		u := s.unmap
+		s.unmap = nil
+		s.data = nil
+		return u()
+	}
+	s.data = nil
+	return nil
+}
+
+// Mapped reports whether the segment is backed by an mmap view.
+func (s *Segment) Mapped() bool { return s.mapped }
+
+// SizeBytes is the on-disk segment size.
+func (s *Segment) SizeBytes() int64 { return int64(len(s.data)) }
+
+// readFileAligned reads the whole file into a buffer whose base address
+// is 8-aligned, so the same zero-copy slice views work on the fallback
+// path as on the mmap path.
+func readFileAligned(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	words := make([]uint64, (len(raw)+7)/8)
+	buf := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(raw))
+	copy(buf, raw)
+	return buf, nil
+}
+
+func (s *Segment) parse() error {
+	data := s.data
+	if len(data) < headerSize+tailSize {
+		return fmt.Errorf("file too small (%d bytes): %w", len(data), errTruncated)
+	}
+	hd := dec{b: data[:headerSize]}
+	if m := hd.u32(); m != magicV1 {
+		return fmt.Errorf("bad magic %#x", m)
+	}
+	if v := hd.u32(); v != FormatVersion {
+		return fmt.Errorf("unsupported format version %d (want %d)", v, FormatVersion)
+	}
+	td := dec{b: data[len(data)-tailSize:]}
+	footOff := td.u64()
+	footLen := td.u64()
+	footCRC := td.u32()
+	if m := td.u32(); m != magicV1 {
+		return fmt.Errorf("bad tail magic %#x", m)
+	}
+	if footOff < headerSize || footOff+footLen < footOff ||
+		footOff+footLen > uint64(len(data)-tailSize) {
+		return fmt.Errorf("footer out of bounds: %w", errTruncated)
+	}
+	foot := data[footOff : footOff+footLen]
+	if crc := crc32.Checksum(foot, crcTable); crc != footCRC {
+		return fmt.Errorf("footer CRC mismatch (%#x != %#x)", crc, footCRC)
+	}
+	d := dec{b: foot}
+	nsec := d.count(20)
+	s.sections = make([]sectionInfo, nsec)
+	for i := range s.sections {
+		s.sections[i] = sectionInfo{off: d.u64(), len: d.u64(), crc: d.u32()}
+		si := &s.sections[i]
+		if si.off < headerSize || si.off+si.len < si.off || si.off+si.len > footOff {
+			return fmt.Errorf("section %d out of bounds: %w", i, errTruncated)
+		}
+	}
+	nmeta := d.count(8)
+	s.metas = make(map[string][]byte, nmeta)
+	for i := 0; i < nmeta; i++ {
+		name := d.str()
+		sec := d.u32()
+		if d.err != nil {
+			return d.err
+		}
+		blob, err := s.section(sec)
+		if err != nil {
+			return fmt.Errorf("meta %q: %w", name, err)
+		}
+		s.metas[name] = blob
+	}
+	ntab := d.count(8)
+	s.tables = make([]tableDesc, 0, ntab)
+	for i := 0; i < ntab; i++ {
+		t, err := s.parseTable(&d)
+		if err != nil {
+			return fmt.Errorf("table %d: %w", i, err)
+		}
+		s.tables = append(s.tables, t)
+	}
+	if d.err != nil {
+		return d.err
+	}
+	return nil
+}
+
+func (s *Segment) parseTable(d *dec) (tableDesc, error) {
+	var t tableDesc
+	t.name = d.str()
+	ncols := d.count(5)
+	cols := make([]types.Column, ncols)
+	seen := make(map[string]bool, ncols)
+	for i := range cols {
+		cols[i].Name = d.str()
+		cols[i].Kind = types.Kind(d.u8())
+		if d.err != nil {
+			return t, d.err
+		}
+		if cols[i].Kind > types.KindBool {
+			return t, fmt.Errorf("column %q: invalid kind %d", cols[i].Name, cols[i].Kind)
+		}
+		lower := lowerASCII(cols[i].Name)
+		if seen[lower] {
+			return t, fmt.Errorf("duplicate column %q", cols[i].Name)
+		}
+		seen[lower] = true
+	}
+	if d.err != nil {
+		return t, d.err
+	}
+	t.schema = types.NewSchema(cols...)
+	nblocks := d.count(14)
+	t.blocks = make([]blockDesc, 0, nblocks)
+	for i := 0; i < nblocks; i++ {
+		b, err := s.parseBlock(d, ncols)
+		if err != nil {
+			return t, fmt.Errorf("block %d: %w", i, err)
+		}
+		t.blocks = append(t.blocks, b)
+	}
+	return t, d.err
+}
+
+func (s *Segment) parseBlock(d *dec, ncols int) (blockDesc, error) {
+	var b blockDesc
+	b.node = int(d.u32())
+	b.place = storage.Placement(d.u8())
+	b.bytes = d.i64()
+	b.nrows = int(d.u32())
+	nz := d.count(3)
+	if d.err == nil && nz != ncols {
+		return b, fmt.Errorf("zone count %d != %d columns", nz, ncols)
+	}
+	b.zones = make([]storage.Zone, nz)
+	for i := range b.zones {
+		b.zones[i].Valid = d.u8() != 0
+		b.zones[i].Min = d.val()
+		b.zones[i].Max = d.val()
+	}
+	if d.err != nil {
+		return b, d.err
+	}
+	switch layout := d.u8(); layout {
+	case 1:
+		b.columnar = true
+		b.uniformRate = d.f64()
+		b.uniformFreq = d.i64()
+		b.ratesSec = d.u32()
+		b.freqsSec = d.u32()
+		b.cols = make([]colDesc, ncols)
+		for i := range b.cols {
+			c := &b.cols[i]
+			c.enc = colstore.Encoding(d.u8())
+			c.nanFree = d.u8() != 0
+			c.payload, c.nulls, c.dict = noSection, noSection, noSection
+			switch c.enc {
+			case colstore.EncFloat, colstore.EncInt, colstore.EncBool:
+				c.payload = d.u32()
+				c.nulls = d.u32()
+			case colstore.EncDict:
+				c.payload = d.u32()
+				c.nulls = d.u32()
+				c.dict = d.u32()
+			case colstore.EncValue:
+				c.payload = d.u32()
+			case colstore.EncRLE:
+				c.payload = d.u32() // run values
+				c.dict = d.u32()    // run ends
+			default:
+				return b, fmt.Errorf("column %d: invalid encoding %d", i, c.enc)
+			}
+		}
+	case 0:
+		b.rowsSec = d.u32()
+		b.ratesSec = d.u32()
+		b.freqsSec = d.u32()
+	default:
+		if d.err == nil {
+			return b, fmt.Errorf("invalid block layout %d", layout)
+		}
+	}
+	return b, d.err
+}
+
+// section returns the verified bytes of section idx. The CRC is checked
+// on every call — cheap relative to a load, and it keeps the contract
+// simple: bytes handed out are always the bytes that were written.
+func (s *Segment) section(idx uint32) ([]byte, error) {
+	if int(idx) >= len(s.sections) {
+		return nil, fmt.Errorf("section ref %d out of range (%d sections)", idx, len(s.sections))
+	}
+	si := s.sections[idx]
+	data := s.data[si.off : si.off+si.len]
+	if crc := crc32.Checksum(data, crcTable); crc != si.crc {
+		return nil, fmt.Errorf("section %d CRC mismatch (%#x != %#x)", idx, crc, si.crc)
+	}
+	return data, nil
+}
+
+// Meta returns the named metadata blob.
+func (s *Segment) Meta(name string) ([]byte, bool) {
+	b, ok := s.metas[name]
+	return b, ok
+}
+
+// NumTables returns how many tables the segment holds.
+func (s *Segment) NumTables() int { return len(s.tables) }
+
+// TableName returns the name of table i.
+func (s *Segment) TableName(i int) string { return s.tables[i].name }
+
+// Table materializes table i. Columnar int/float payloads, null
+// bitmaps, dictionary codes and run ends are slice views over the
+// segment's backing bytes (zero per-value decode); strings and
+// mixed-kind value streams are decoded. Each referenced section's CRC
+// is verified, and all structural invariants the executor relies on
+// (payload lengths, run-end monotonicity, dictionary code bounds) are
+// validated — a corrupt segment returns an error, never a broken table.
+func (s *Segment) Table(i int) (*storage.Table, error) {
+	if i < 0 || i >= len(s.tables) {
+		return nil, fmt.Errorf("blockfile: table index %d out of range", i)
+	}
+	td := &s.tables[i]
+	t := storage.NewTable(td.name, td.schema)
+	for bi := range td.blocks {
+		blk, err := s.loadBlock(&td.blocks[bi], td.schema)
+		if err != nil {
+			return nil, fmt.Errorf("blockfile: table %q block %d: %w", td.name, bi, err)
+		}
+		t.AddBlock(blk)
+	}
+	return t, nil
+}
+
+func (s *Segment) loadBlock(bd *blockDesc, schema *types.Schema) (*storage.Block, error) {
+	b := &storage.Block{
+		Node:  bd.node,
+		Place: bd.place,
+		Bytes: bd.bytes,
+		Zones: append([]storage.Zone(nil), bd.zones...),
+	}
+	if !bd.columnar {
+		return s.loadRowBlock(b, bd, schema)
+	}
+	d := &colstore.Data{N: bd.nrows, UniformRate: bd.uniformRate, UniformFreq: bd.uniformFreq}
+	var err error
+	if bd.ratesSec != noSection {
+		if d.Rates, err = s.f64View(bd.ratesSec, bd.nrows); err != nil {
+			return nil, fmt.Errorf("rates: %w", err)
+		}
+	}
+	if bd.freqsSec != noSection {
+		if d.Freqs, err = s.i64View(bd.freqsSec, bd.nrows); err != nil {
+			return nil, fmt.Errorf("freqs: %w", err)
+		}
+	}
+	d.Cols = make([]colstore.Column, len(bd.cols))
+	for ci := range bd.cols {
+		if err := s.loadColumn(&d.Cols[ci], &bd.cols[ci], bd.nrows); err != nil {
+			return nil, fmt.Errorf("column %q: %w", schema.Columns[ci].Name, err)
+		}
+	}
+	b.Col = d
+	return b, nil
+}
+
+func (s *Segment) loadRowBlock(b *storage.Block, bd *blockDesc, schema *types.Schema) (*storage.Block, error) {
+	raw, err := s.section(bd.rowsSec)
+	if err != nil {
+		return nil, fmt.Errorf("rows: %w", err)
+	}
+	d := dec{b: raw}
+	vals := d.vals()
+	if d.err != nil {
+		return nil, d.err
+	}
+	ncols := schema.Len()
+	if len(vals) != bd.nrows*ncols {
+		return nil, fmt.Errorf("row stream has %d values, want %d", len(vals), bd.nrows*ncols)
+	}
+	rates, err := s.f64View(bd.ratesSec, bd.nrows)
+	if err != nil {
+		return nil, fmt.Errorf("rates: %w", err)
+	}
+	freqs, err := s.i64View(bd.freqsSec, bd.nrows)
+	if err != nil {
+		return nil, fmt.Errorf("freqs: %w", err)
+	}
+	b.Rows = make([]types.Row, bd.nrows)
+	b.Meta = make([]storage.RowMeta, bd.nrows)
+	for i := 0; i < bd.nrows; i++ {
+		b.Rows[i] = types.Row(vals[i*ncols : (i+1)*ncols : (i+1)*ncols])
+		b.Meta[i] = storage.RowMeta{Rate: rates[i], StratumFreq: freqs[i]}
+	}
+	return b, nil
+}
+
+func (s *Segment) loadColumn(c *colstore.Column, cd *colDesc, nrows int) error {
+	c.Enc = cd.enc
+	c.NaNFree = cd.nanFree
+	var err error
+	switch cd.enc {
+	case colstore.EncFloat:
+		if c.Floats, err = s.f64View(cd.payload, nrows); err != nil {
+			return err
+		}
+		return s.loadNulls(c, cd, nrows)
+	case colstore.EncInt, colstore.EncBool:
+		if c.Ints, err = s.i64View(cd.payload, nrows); err != nil {
+			return err
+		}
+		return s.loadNulls(c, cd, nrows)
+	case colstore.EncDict:
+		if c.Codes, err = s.u32View(cd.payload, nrows); err != nil {
+			return err
+		}
+		if err = s.loadNulls(c, cd, nrows); err != nil {
+			return err
+		}
+		raw, err := s.section(cd.dict)
+		if err != nil {
+			return fmt.Errorf("dict: %w", err)
+		}
+		d := dec{b: raw}
+		n := d.count(1)
+		c.Dict = make([]string, n)
+		for i := range c.Dict {
+			c.Dict[i] = d.str()
+		}
+		if d.err != nil {
+			return d.err
+		}
+		for _, code := range c.Codes {
+			if int(code) >= len(c.Dict) {
+				return fmt.Errorf("dict code %d out of range (%d entries)", code, len(c.Dict))
+			}
+		}
+		return nil
+	case colstore.EncValue:
+		raw, err := s.section(cd.payload)
+		if err != nil {
+			return err
+		}
+		d := dec{b: raw}
+		c.Values = d.vals()
+		if d.err != nil {
+			return d.err
+		}
+		if len(c.Values) != nrows {
+			return fmt.Errorf("value stream has %d values, want %d", len(c.Values), nrows)
+		}
+		return nil
+	case colstore.EncRLE:
+		raw, err := s.section(cd.payload)
+		if err != nil {
+			return err
+		}
+		d := dec{b: raw}
+		c.RunVals = d.vals()
+		if d.err != nil {
+			return d.err
+		}
+		if c.RunEnds, err = s.i32View(cd.dict, len(c.RunVals)); err != nil {
+			return fmt.Errorf("run ends: %w", err)
+		}
+		prev := int32(0)
+		for _, end := range c.RunEnds {
+			if end <= prev {
+				return fmt.Errorf("run ends not ascending (%d after %d)", end, prev)
+			}
+			prev = end
+		}
+		if int(prev) != nrows && !(nrows == 0 && len(c.RunEnds) == 0) {
+			return fmt.Errorf("runs cover %d rows, want %d", prev, nrows)
+		}
+		return nil
+	default:
+		return fmt.Errorf("invalid encoding %d", cd.enc)
+	}
+}
+
+func (s *Segment) loadNulls(c *colstore.Column, cd *colDesc, nrows int) error {
+	if cd.nulls == noSection {
+		return nil
+	}
+	words := (nrows + 63) / 64
+	var err error
+	if c.Nulls, err = s.u64View(cd.nulls, words); err != nil {
+		return fmt.Errorf("nulls: %w", err)
+	}
+	return nil
+}
+
+// The typed slice views. On a little-endian host with an aligned base
+// (always true: sections are 8-aligned in the file, the mapping is
+// page-aligned, and the fallback buffer is word-aligned) these alias
+// the backing bytes with zero decode and zero per-value allocation.
+// Otherwise they decode element-wise into a fresh slice.
+
+func (s *Segment) numericSection(idx uint32, n, width int) ([]byte, error) {
+	raw, err := s.section(idx)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) != n*width {
+		return nil, fmt.Errorf("section %d holds %d bytes, want %d×%d", idx, len(raw), n, width)
+	}
+	return raw, nil
+}
+
+func viewOK(b []byte, align int) bool {
+	return hostLittleEndian && (len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%uintptr(align) == 0)
+}
+
+func (s *Segment) f64View(idx uint32, n int) ([]float64, error) {
+	raw, err := s.numericSection(idx, n, 8)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	if viewOK(raw, 8) {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&raw[0])), n), nil
+	}
+	out := make([]float64, n)
+	d := dec{b: raw}
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out, d.err
+}
+
+func (s *Segment) i64View(idx uint32, n int) ([]int64, error) {
+	raw, err := s.numericSection(idx, n, 8)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	if viewOK(raw, 8) {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&raw[0])), n), nil
+	}
+	out := make([]int64, n)
+	d := dec{b: raw}
+	for i := range out {
+		out[i] = d.i64()
+	}
+	return out, d.err
+}
+
+func (s *Segment) u64View(idx uint32, n int) ([]uint64, error) {
+	raw, err := s.numericSection(idx, n, 8)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	if viewOK(raw, 8) {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&raw[0])), n), nil
+	}
+	out := make([]uint64, n)
+	d := dec{b: raw}
+	for i := range out {
+		out[i] = d.u64()
+	}
+	return out, d.err
+}
+
+func (s *Segment) u32View(idx uint32, n int) ([]uint32, error) {
+	raw, err := s.numericSection(idx, n, 4)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	if viewOK(raw, 4) {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&raw[0])), n), nil
+	}
+	out := make([]uint32, n)
+	d := dec{b: raw}
+	for i := range out {
+		out[i] = d.u32()
+	}
+	return out, d.err
+}
+
+func (s *Segment) i32View(idx uint32, n int) ([]int32, error) {
+	raw, err := s.numericSection(idx, n, 4)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	if viewOK(raw, 4) {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&raw[0])), n), nil
+	}
+	out := make([]int32, n)
+	d := dec{b: raw}
+	for i := range out {
+		out[i] = int32(d.u32())
+	}
+	return out, d.err
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

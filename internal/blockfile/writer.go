@@ -1,0 +1,403 @@
+// Package blockfile implements BlinkDB-Go's on-disk columnar segment
+// format — the persistence layer under cross-restart warmup.
+//
+// A segment file holds one or more storage.Tables (typically the deltas
+// of one stratified sample family) plus named metadata blobs, laid out
+// for mmap loading:
+//
+//	header   16 B   magic "BKF1", format version, flags
+//	sections ...    8-byte-aligned raw payloads (one per column payload,
+//	                null bitmap, dictionary, rate/freq array, …)
+//	footer   ...    index: section table (offset, length, CRC32C per
+//	                section) + logical structure (tables → blocks →
+//	                columns with their encodings and section refs)
+//	tail     24 B   footer offset/length, footer CRC32C, magic
+//
+// All fixed-width fields are little-endian. Numeric column payloads
+// (float64/int64 values, uint64 null-bitmap words, uint32 dictionary
+// codes, int32 run ends) are stored as raw machine-width arrays, so on a
+// little-endian host a loaded column's slices are views over the mapping
+// — zero per-value decode, zero per-value allocation. Strings
+// (dictionaries, mixed-kind value streams) are length-prefixed and
+// decoded on load.
+//
+// Every section and the footer carry a CRC32C; loaders verify the CRC of
+// each section they materialize, so a flipped byte surfaces as an error
+// (never a wrong answer, never a panic). Readers treat every count and
+// offset as untrusted: a truncated or forged file fails with
+// errTruncated-wrapped errors.
+package blockfile
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"unsafe"
+
+	"blinkdb/internal/colstore"
+	"blinkdb/internal/storage"
+)
+
+const (
+	// magicV1 spells "BKF1" when the u32 is laid out little-endian.
+	magicV1 = uint32('B') | uint32('K')<<8 | uint32('F')<<16 | uint32('1')<<24
+	// FormatVersion is the current segment format version. Readers
+	// reject any other version (a newer engine may understand older
+	// versions later; for now the contract is exact-match).
+	FormatVersion = 1
+
+	headerSize = 16
+	tailSize   = 24
+)
+
+// noSection marks an absent optional section reference (e.g. a column
+// with no null bitmap).
+const noSection = ^uint32(0)
+
+// crcTable is CRC32-Castagnoli, hardware-accelerated on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+type sectionInfo struct {
+	off uint64
+	len uint64
+	crc uint32
+}
+
+// Writer serializes tables and metadata blobs into the segment format.
+// Sections stream to the underlying writer as tables are added; Finish
+// writes the footer and tail. Errors are sticky: the first failure
+// poisons the writer and Finish reports it.
+type Writer struct {
+	w        io.Writer
+	off      uint64
+	sections []sectionInfo
+	metas    []byte // enc-encoded (name, section) pairs
+	nmetas   uint32
+	tables   []byte // enc-encoded table descriptors
+	ntables  uint32
+	err      error
+	started  bool
+	finished bool
+}
+
+// NewWriter starts a segment on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+func (w *Writer) writeAll(b []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.w.Write(b); err != nil {
+		w.err = err
+		return
+	}
+	w.off += uint64(len(b))
+}
+
+func (w *Writer) start() {
+	if w.started || w.err != nil {
+		return
+	}
+	w.started = true
+	var e enc
+	e.u32(magicV1)
+	e.u32(FormatVersion)
+	e.u32(0) // flags
+	e.u32(0) // reserved
+	w.writeAll(e.buf)
+}
+
+var zeroPad [8]byte
+
+// section writes one 8-aligned section and returns its index.
+func (w *Writer) section(data []byte) uint32 {
+	w.start()
+	if pad := int(w.off % 8); pad != 0 {
+		w.writeAll(zeroPad[:8-pad])
+	}
+	idx := uint32(len(w.sections))
+	w.sections = append(w.sections, sectionInfo{
+		off: w.off,
+		len: uint64(len(data)),
+		crc: crc32.Checksum(data, crcTable),
+	})
+	w.writeAll(data)
+	return idx
+}
+
+// PutMeta stores a named metadata blob (retrievable via Segment.Meta).
+func (w *Writer) PutMeta(name string, blob []byte) {
+	sec := w.section(blob)
+	var e enc
+	e.str(name)
+	e.u32(sec)
+	w.metas = append(w.metas, e.buf...)
+	w.nmetas++
+}
+
+// AddTable serializes t (any mix of row and columnar blocks) into the
+// segment. Blocks are written in order, so IDs round-trip through
+// Table.AddBlock on load.
+func (w *Writer) AddTable(t *storage.Table) error {
+	var e enc
+	e.str(t.Name)
+	e.u32(uint32(t.Schema.Len()))
+	for _, c := range t.Schema.Columns {
+		e.str(c.Name)
+		e.u8(uint8(c.Kind))
+	}
+	e.u32(uint32(len(t.Blocks)))
+	for _, b := range t.Blocks {
+		if err := w.addBlock(&e, t, b); err != nil {
+			if w.err == nil {
+				w.err = err
+			}
+			return err
+		}
+	}
+	w.tables = append(w.tables, e.buf...)
+	w.ntables++
+	return w.err
+}
+
+func (w *Writer) addBlock(e *enc, t *storage.Table, b *storage.Block) error {
+	e.u32(uint32(b.Node))
+	e.u8(uint8(b.Place))
+	e.i64(b.Bytes)
+	e.u32(uint32(b.NumRows()))
+	e.u32(uint32(len(b.Zones)))
+	for _, z := range b.Zones {
+		if z.Valid {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+		e.val(z.Min)
+		e.val(z.Max)
+	}
+	if d := b.Col; d != nil {
+		e.u8(1) // columnar
+		e.f64(d.UniformRate)
+		e.i64(d.UniformFreq)
+		e.u32(w.optSection(f64Bytes(d.Rates), d.Rates != nil))
+		e.u32(w.optSection(i64Bytes(d.Freqs), d.Freqs != nil))
+		if len(d.Cols) != t.Schema.Len() {
+			return fmt.Errorf("blockfile: block %d of %q has %d columns, schema %d",
+				b.ID, t.Name, len(d.Cols), t.Schema.Len())
+		}
+		for i := range d.Cols {
+			w.addColumn(e, &d.Cols[i])
+		}
+		return nil
+	}
+	e.u8(0) // row layout
+	var rows enc
+	rows.u32(uint32(len(b.Rows) * t.Schema.Len()))
+	rates := make([]float64, len(b.Rows))
+	freqs := make([]int64, len(b.Rows))
+	for i, r := range b.Rows {
+		if len(r) != t.Schema.Len() {
+			return fmt.Errorf("blockfile: row %d of block %d in %q has %d values, schema %d",
+				i, b.ID, t.Name, len(r), t.Schema.Len())
+		}
+		for _, v := range r {
+			rows.val(v)
+		}
+		rates[i] = b.Meta[i].Rate
+		freqs[i] = b.Meta[i].StratumFreq
+	}
+	e.u32(w.section(rows.buf))
+	e.u32(w.section(f64Bytes(rates)))
+	e.u32(w.section(i64Bytes(freqs)))
+	return nil
+}
+
+func (w *Writer) addColumn(e *enc, c *colstore.Column) {
+	e.u8(uint8(c.Enc))
+	if c.NaNFree {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	switch c.Enc {
+	case colstore.EncFloat:
+		e.u32(w.section(f64Bytes(c.Floats)))
+		e.u32(w.optSection(u64Bytes(c.Nulls), c.Nulls != nil))
+	case colstore.EncInt, colstore.EncBool:
+		e.u32(w.section(i64Bytes(c.Ints)))
+		e.u32(w.optSection(u64Bytes(c.Nulls), c.Nulls != nil))
+	case colstore.EncDict:
+		e.u32(w.section(u32Bytes(c.Codes)))
+		e.u32(w.optSection(u64Bytes(c.Nulls), c.Nulls != nil))
+		var dict enc
+		dict.u32(uint32(len(c.Dict)))
+		for _, s := range c.Dict {
+			dict.str(s)
+		}
+		e.u32(w.section(dict.buf))
+	case colstore.EncValue:
+		var vals enc
+		vals.encVals(c.Values)
+		e.u32(w.section(vals.buf))
+	case colstore.EncRLE:
+		var runs enc
+		runs.encVals(c.RunVals)
+		e.u32(w.section(runs.buf))
+		e.u32(w.section(i32Bytes(c.RunEnds)))
+	default:
+		if w.err == nil {
+			w.err = fmt.Errorf("blockfile: unknown encoding %d", c.Enc)
+		}
+	}
+}
+
+func (w *Writer) optSection(data []byte, present bool) uint32 {
+	if !present {
+		return noSection
+	}
+	return w.section(data)
+}
+
+// Finish writes the footer and tail. The writer is unusable afterwards.
+func (w *Writer) Finish() error {
+	if w.finished {
+		return w.err
+	}
+	w.finished = true
+	w.start()
+	var f enc
+	f.u32(uint32(len(w.sections)))
+	for _, s := range w.sections {
+		f.u64(s.off)
+		f.u64(s.len)
+		f.u32(s.crc)
+	}
+	f.u32(w.nmetas)
+	f.buf = append(f.buf, w.metas...)
+	f.u32(w.ntables)
+	f.buf = append(f.buf, w.tables...)
+
+	footerOff := w.off
+	w.writeAll(f.buf)
+	var tail enc
+	tail.u64(footerOff)
+	tail.u64(uint64(len(f.buf)))
+	tail.u32(crc32.Checksum(f.buf, crcTable))
+	tail.u32(magicV1)
+	w.writeAll(tail.buf)
+	return w.err
+}
+
+// WriteSegment builds a segment at path atomically: the build callback
+// populates a Writer backed by a temp file in the same directory, which
+// is fsynced and renamed over path only on success. A crashed or failed
+// write can therefore never leave a half-written segment under the
+// final name.
+func WriteSegment(path string, build func(w *Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	w := NewWriter(tmp)
+	if err = build(w); err != nil {
+		return err
+	}
+	if err = w.Finish(); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Raw little-endian byte views of numeric slices. On a little-endian
+// host these alias the slice memory (no copy); on big-endian they
+// re-encode element-wise so files stay portable.
+
+func f64Bytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+	}
+	var e enc
+	for _, x := range v {
+		e.f64(x)
+	}
+	return e.buf
+}
+
+func i64Bytes(v []int64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+	}
+	var e enc
+	for _, x := range v {
+		e.i64(x)
+	}
+	return e.buf
+}
+
+func u64Bytes(v []uint64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+	}
+	var e enc
+	for _, x := range v {
+		e.u64(x)
+	}
+	return e.buf
+}
+
+func u32Bytes(v []uint32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4)
+	}
+	var e enc
+	for _, x := range v {
+		e.u32(x)
+	}
+	return e.buf
+}
+
+func i32Bytes(v []int32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4)
+	}
+	var e enc
+	for _, x := range v {
+		e.u32(uint32(x))
+	}
+	return e.buf
+}

@@ -190,6 +190,30 @@ func (c *Cache[V]) Sweep(keep func(key string, v V) bool) int {
 	return removed
 }
 
+// Range calls fn for every cached entry without touching recency order
+// (unlike Get, so a full export does not reshuffle the LRU). Iteration
+// stops early when fn returns false. Each shard is visited under its own
+// lock; fn must not call back into the cache. Entries added or removed
+// concurrently may or may not be seen — Range is a snapshot-quality
+// iterator for warmup export, not a consistency point.
+func (c *Cache[V]) Range(fn func(key string, v V) bool) {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry[V])
+			if !fn(e.key, e.val) {
+				s.mu.Unlock()
+				return
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
 // Len returns the current entry count across all shards.
 func (c *Cache[V]) Len() int {
 	if c == nil {

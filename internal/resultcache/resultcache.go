@@ -117,6 +117,36 @@ func (c *Cache[V]) Put(key string, v V) {
 	c.lru.Put(key, e)
 }
 
+// PutWithDeadline inserts or replaces the value for key with an explicit
+// absolute expiry deadline (zero = no TTL), bypassing the cache's
+// configured TTL. Boot-time restore uses it to re-insert snapshotted
+// entries under their ORIGINAL deadlines, so a restart never extends a
+// cached answer's life beyond what the pre-restart process promised.
+func (c *Cache[V]) PutWithDeadline(key string, v V, deadline time.Time) {
+	if c == nil {
+		return
+	}
+	c.lru.Put(key, &entry[V]{val: v, deadline: deadline})
+}
+
+// Range calls fn for every live (non-expired) entry together with its
+// absolute expiry deadline (zero = no TTL), without touching recency
+// order. Iteration stops early when fn returns false; fn must not call
+// back into the cache. Expired-but-unswept entries are skipped, not
+// removed (Range takes only read-side shard locks via the LRU).
+func (c *Cache[V]) Range(fn func(key string, v V, deadline time.Time) bool) {
+	if c == nil {
+		return
+	}
+	now := c.now()
+	c.lru.Range(func(k string, e *entry[V]) bool {
+		if !e.deadline.IsZero() && now.After(e.deadline) {
+			return true
+		}
+		return fn(k, e.val, e.deadline)
+	})
+}
+
 // Delete removes the key if present.
 func (c *Cache[V]) Delete(key string) {
 	if c == nil {

@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"blinkdb"
@@ -50,17 +51,23 @@ type Config struct {
 	// DefaultCostSeconds prices templates the engine has never observed
 	// (default 0.1s).
 	DefaultCostSeconds float64
+	// Warming starts the server in the not-ready state: /healthz reports
+	// 503 {"status":"warming"} and /query refuses with 503 until
+	// SetReady. Lets the listener come up immediately while the engine
+	// loads samples and warmup state behind it.
+	Warming bool
 	// Now overrides the clock (tests). Default time.Now.
 	Now func() time.Time
 }
 
 // Server is the HTTP handler. Use New.
 type Server struct {
-	eng *blinkdb.Engine
-	adm *admission.Controller
-	met *telemetry.ServerMetrics
-	mux *http.ServeMux
-	cfg Config
+	eng   *blinkdb.Engine
+	adm   *admission.Controller
+	met   *telemetry.ServerMetrics
+	mux   *http.ServeMux
+	cfg   Config
+	ready atomic.Bool
 }
 
 // New wraps eng in the serving layer.
@@ -81,8 +88,22 @@ func New(eng *blinkdb.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.ready.Store(!cfg.Warming)
 	return s
 }
+
+// SetReady marks warming complete: /healthz flips to 200 "ok" and
+// /query starts admitting. One-way; call after samples and warmup state
+// have loaded.
+func (s *Server) SetReady() { s.ready.Store(true) }
+
+// ExportAdmissionEWMA snapshots the admission controller's learned
+// per-template costs for persistence in the engine's warmup file.
+func (s *Server) ExportAdmissionEWMA() map[string]float64 { return s.adm.ExportEWMA() }
+
+// ImportAdmissionEWMA seeds the admission controller from a persisted
+// snapshot. Live observations always win over imported ones.
+func (s *Server) ImportAdmissionEWMA(m map[string]float64) { s.adm.ImportEWMA(m) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -178,6 +199,10 @@ func toResultJSON(res *blinkdb.Result) *resultJSON {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "warming"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -190,6 +215,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"error": "warming: samples and warmup state still loading"})
+		return
+	}
 	arrival := s.cfg.Now()
 	req, err := decodeRequest(r)
 	if err != nil {

@@ -324,6 +324,56 @@ func TestHealthzAndStats(t *testing.T) {
 	}
 }
 
+// TestWarmingGate: a server constructed warming refuses queries and
+// reports 503 "warming" from /healthz until SetReady; after the flip
+// both endpoints behave normally.
+func TestWarmingGate(t *testing.T) {
+	eng := demoEngine(t, 20000)
+	srv := New(eng, Config{Warming: true})
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "warming") {
+		t.Fatalf("warming healthz: %d %s", w.Code, w.Body.String())
+	}
+	if w := postQuery(t, srv, fmt.Sprintf(`{"sql": %q}`, boundedSQL)); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("warming query: %d, want 503", w.Code)
+	} else if w.Header().Get("Retry-After") == "" {
+		t.Fatal("warming query rejection must carry Retry-After")
+	}
+
+	srv.SetReady()
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("ready healthz: %d %s", w.Code, w.Body.String())
+	}
+	if w := postQuery(t, srv, fmt.Sprintf(`{"sql": %q}`, boundedSQL)); w.Code != http.StatusOK {
+		t.Fatalf("ready query: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// TestAdmissionEWMARoundTrip: costs learned by one server seed a
+// successor through the export/import pair the warmup file uses.
+func TestAdmissionEWMARoundTrip(t *testing.T) {
+	eng := demoEngine(t, 20000)
+	srv := New(eng, Config{})
+	if w := postQuery(t, srv, fmt.Sprintf(`{"sql": %q}`, boundedSQL)); w.Code != http.StatusOK {
+		t.Fatalf("query: %d", w.Code)
+	}
+	m := srv.ExportAdmissionEWMA()
+	if len(m) == 0 {
+		t.Fatal("no EWMA learned after a completed query")
+	}
+	next := New(eng, Config{})
+	next.ImportAdmissionEWMA(m)
+	if got := next.ExportAdmissionEWMA(); !reflect.DeepEqual(got, m) {
+		t.Fatalf("imported EWMA %v, want %v", got, m)
+	}
+}
+
 // TestGracefulDrain pins SIGTERM semantics at the http.Server level: an
 // in-flight query completes while Shutdown waits, and the listener stops
 // accepting afterwards.

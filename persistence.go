@@ -1,0 +1,522 @@
+package blinkdb
+
+// Engine persistence: with Config.DataDir set, the engine makes its
+// expensive warm state durable across restarts in three layers, all
+// built on internal/blockfile segments (CRC-checksummed, atomically
+// replaced, mmap-loaded):
+//
+//  1. Sample segments. CreateSamples persists every built family to
+//     DataDir/samples/<table>/ keyed by a build signature over its
+//     inputs (table content stats, templates, budget, seed, layout). A
+//     warm boot whose CreateSamples call matches the signature loads
+//     the families from disk instead of re-running stratification —
+//     and because sampling is seeded-deterministic, the loaded
+//     families are the ones a rebuild would produce.
+//
+//  2. The warmup file. SnapshotWarmup writes DataDir/warmup.seg: per-
+//     table catalog epochs with content fingerprints, the ELP
+//     runtime's prepared templates and cached results, and the serving
+//     layer's admission-cost EWMA. RestoreWarmup replays it after the
+//     samples are loaded, restoring epochs only when the live content
+//     fingerprint matches the snapshot's — a mismatch (anything
+//     changed under the snapshot) leaves the warmup entries stale and
+//     they are dropped individually, never served.
+//
+//  3. Everything is fail-soft: a missing, truncated, corrupt or
+//     version-skewed file degrades to the cold path with the reason
+//     recorded in PersistenceNotes — never a panic, never a wrong
+//     answer.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"blinkdb/internal/blockfile"
+	"blinkdb/internal/catalog"
+	"blinkdb/internal/sample"
+	"blinkdb/internal/types"
+)
+
+const (
+	// warmupFileVersion versions the warmup manifest blob.
+	warmupFileVersion = 1
+	// sampleManifestVersion versions the per-table sample manifest blob.
+	sampleManifestVersion = 1
+)
+
+// WarmupState carries serving-layer state that rides the warmup file
+// but lives outside the engine: the admission controller's per-template
+// cost EWMA (internal/admission), owned by blinkdb-server.
+type WarmupState struct {
+	// AdmissionEWMA maps template keys to learned wall seconds.
+	AdmissionEWMA map[string]float64
+}
+
+// RestoreReport summarises what RestoreWarmup brought back.
+type RestoreReport struct {
+	// EpochsRestored counts tables whose catalog epoch was fast-
+	// forwarded to the snapshot's (content fingerprints matched).
+	EpochsRestored int
+	// Plans and Results count restored plan-cache templates and
+	// result-cache answers.
+	Plans, Results int
+	// Warmup holds the serving-layer state for the caller to re-seed.
+	Warmup WarmupState
+}
+
+// PersistenceNotes returns the reasons persistence fell back to cold
+// paths (stale signatures, corrupt files, fingerprint mismatches) since
+// the engine was opened — the audit trail behind "clean rebuild, never
+// wrong". Empty when everything loaded warm or persistence is off.
+func (e *Engine) PersistenceNotes() []string {
+	return append([]string(nil), e.persistNotes...)
+}
+
+func (e *Engine) noteF(format string, args ...any) {
+	e.persistNotes = append(e.persistNotes, fmt.Sprintf(format, args...))
+}
+
+// --- build signatures and content fingerprints ------------------------
+
+// hashW is a tiny FNV-1a sink for signature/fingerprint building.
+type hashW struct{ h uint64 }
+
+func newHashW() *hashW { return &hashW{h: 14695981039346656037} }
+
+func (w *hashW) bytes(b []byte) {
+	for _, c := range b {
+		w.h = (w.h ^ uint64(c)) * 1099511628211
+	}
+}
+func (w *hashW) str(s string) {
+	var n [8]byte
+	putU64(&n, uint64(len(s)))
+	w.bytes(n[:])
+	w.bytes([]byte(s))
+}
+func (w *hashW) u64(v uint64) {
+	var n [8]byte
+	putU64(&n, v)
+	w.bytes(n[:])
+}
+func (w *hashW) i64(v int64)   { w.u64(uint64(v)) }
+func (w *hashW) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func putU64(b *[8]byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// sampleSignature hashes everything that determines what CreateSamples
+// builds: the base table's identity and content stats, the resolved
+// options, and the engine knobs the build config inherits. Matching
+// signatures mean a rebuild would reproduce the persisted families
+// bit for bit (sampling is seeded-deterministic).
+func (e *Engine) sampleSignature(entry *catalog.Entry, opts SampleOptions, blockRows int) uint64 {
+	w := newHashW()
+	w.str("blinkdb-sample-sig-v1")
+	t := entry.Table
+	w.str(t.Name)
+	w.str(t.Schema.String())
+	w.i64(t.NumRows())
+	w.i64(t.Bytes())
+	w.i64(int64(len(t.Blocks)))
+	// Content stats: per-block zones are cheap and content-sensitive.
+	for _, b := range t.Blocks {
+		w.i64(int64(b.NumRows()))
+		w.i64(b.Bytes)
+		w.u64(uint64(b.Node))
+		for _, z := range b.Zones {
+			hashZone(w, z.Valid, z.Min, z.Max)
+		}
+	}
+	w.f64(opts.BudgetFraction)
+	w.i64(opts.K)
+	w.i64(int64(opts.Resolutions))
+	w.f64(opts.CapRatio)
+	w.i64(int64(opts.MaxColumns))
+	w.f64(opts.UniformFraction)
+	w.f64(opts.ChurnFraction)
+	for _, tpl := range opts.Templates {
+		w.str(types.NewColumnSet(tpl.Columns...).Key())
+		w.f64(tpl.Weight)
+	}
+	w.i64(int64(blockRows))
+	w.i64(int64(e.cfg.Nodes))
+	w.i64(e.cfg.Seed)
+	w.i64(int64(e.cfg.Layout))
+	w.i64(int64(e.cfg.Workers))
+	return w.h
+}
+
+func hashZone(w *hashW, valid bool, min, max types.Value) {
+	if !valid {
+		w.u64(0)
+		return
+	}
+	w.u64(1)
+	for _, v := range [2]types.Value{min, max} {
+		w.u64(uint64(v.Kind))
+		w.i64(v.I)
+		w.f64(v.F)
+		w.str(v.S)
+	}
+}
+
+// tableFingerprint hashes a table's live catalog state — schema, block
+// structure, zone contents, and every family's structure and per-block
+// zone contents. It is the cheap (no row scan) content check gating
+// epoch restore: warmup entries recorded pre-restart epochs, and fast-
+// forwarding the live epoch to match is sound only if the state the
+// entries were computed against is the state actually loaded.
+func tableFingerprint(entry *catalog.Entry) uint64 {
+	w := newHashW()
+	w.str("blinkdb-table-fp-v1")
+	t := entry.Table
+	w.str(t.Name)
+	w.str(t.Schema.String())
+	w.i64(t.NumRows())
+	w.i64(t.Bytes())
+	for _, b := range t.Blocks {
+		w.i64(int64(b.NumRows()))
+		w.i64(b.Bytes)
+		w.u64(uint64(b.Node))
+		for _, z := range b.Zones {
+			hashZone(w, z.Valid, z.Min, z.Max)
+		}
+	}
+	fams := append([]*sample.Family(nil), entry.Families...)
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Phi.Key() < fams[j].Phi.Key() })
+	w.i64(int64(len(fams)))
+	for _, f := range fams {
+		w.str(f.Phi.Key())
+		w.i64(int64(len(f.Caps)))
+		for _, k := range f.Caps {
+			w.i64(k)
+		}
+		for _, d := range f.Deltas {
+			w.i64(d.NumRows())
+			w.i64(d.Bytes())
+			for _, b := range d.Blocks {
+				w.i64(int64(b.NumRows()))
+				w.u64(uint64(b.Node))
+				for _, z := range b.Zones {
+					hashZone(w, z.Valid, z.Min, z.Max)
+				}
+			}
+		}
+	}
+	return w.h
+}
+
+// --- sample segment persistence ---------------------------------------
+
+func (e *Engine) sampleDir(table string) string {
+	return filepath.Join(e.cfg.DataDir, "samples", strings.ToLower(table))
+}
+
+func (e *Engine) sampleManifestPath(table string) string {
+	return filepath.Join(e.sampleDir(table), "MANIFEST.seg")
+}
+
+// persistSamples writes every family to its own segment, then the
+// manifest last — a crash mid-write leaves either the old manifest
+// (pointing at old, still-present segments) or no manifest (cold
+// rebuild); never a manifest referencing missing data.
+func (e *Engine) persistSamples(table string, sig uint64, fams []*sample.Family, rep *SampleReport) {
+	dir := e.sampleDir(table)
+	for i, f := range fams {
+		path := filepath.Join(dir, fmt.Sprintf("fam%d.seg", i))
+		if err := blockfile.WriteSegment(path, func(w *blockfile.Writer) error {
+			return sample.WriteFamily(w, f)
+		}); err != nil {
+			e.noteF("persist samples %s: fam%d: %v", table, i, err)
+			return
+		}
+	}
+	var enc blockfile.Enc
+	enc.U32(sampleManifestVersion)
+	enc.U64(sig)
+	enc.I64(rep.BudgetBytes)
+	enc.U8(b2u8(rep.Optimal))
+	enc.U32(uint32(len(fams)))
+	err := blockfile.WriteSegment(e.sampleManifestPath(table), func(w *blockfile.Writer) error {
+		w.PutMeta("manifest", enc.Bytes())
+		return nil
+	})
+	if err != nil {
+		e.noteF("persist samples %s: manifest: %v", table, err)
+		return
+	}
+	if e.sampleSigs == nil {
+		e.sampleSigs = map[string]uint64{}
+	}
+	e.sampleSigs[strings.ToLower(table)] = sig
+}
+
+// loadPersistedSamples loads the table's families from DataDir when the
+// persisted build signature matches sig. All-or-nothing: families reach
+// the catalog only after every segment loaded and validated; any
+// failure degrades to a cold rebuild with the reason noted.
+func (e *Engine) loadPersistedSamples(table string, sig uint64) (*SampleReport, bool) {
+	mseg, err := blockfile.Open(e.sampleManifestPath(table))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			e.noteF("load samples %s: manifest: %v", table, err)
+		}
+		return nil, false
+	}
+	defer mseg.Close()
+	blob, ok := mseg.Meta("manifest")
+	if !ok {
+		e.noteF("load samples %s: manifest blob missing", table)
+		return nil, false
+	}
+	d := blockfile.NewDec(blob)
+	ver := d.U32()
+	storedSig := d.U64()
+	budget := d.I64()
+	optimal := d.U8() != 0
+	nfams := d.Count(0)
+	if err := d.Err(); err != nil || ver != sampleManifestVersion {
+		e.noteF("load samples %s: manifest corrupt or version %d", table, ver)
+		return nil, false
+	}
+	if storedSig != sig {
+		e.noteF("load samples %s: build signature changed (stored %x, want %x) — rebuilding", table, storedSig, sig)
+		return nil, false
+	}
+
+	fams := make([]*sample.Family, 0, nfams)
+	segs := make([]*blockfile.Segment, 0, nfams)
+	closeSegs := func() {
+		for _, s := range segs {
+			s.Close()
+		}
+	}
+	var total int64
+	for i := 0; i < nfams; i++ {
+		path := filepath.Join(e.sampleDir(table), fmt.Sprintf("fam%d.seg", i))
+		seg, err := blockfile.Open(path)
+		if err != nil {
+			e.noteF("load samples %s: fam%d: %v — rebuilding", table, i, err)
+			closeSegs()
+			return nil, false
+		}
+		segs = append(segs, seg)
+		fam, err := sample.ReadFamily(seg)
+		if err == nil {
+			err = fam.Validate()
+		}
+		if err != nil {
+			e.noteF("load samples %s: fam%d: %v — rebuilding", table, i, err)
+			closeSegs()
+			return nil, false
+		}
+		fams = append(fams, fam)
+	}
+	// Loaded columns are zero-copy views into the (usually mmap'd)
+	// segments, so the segments must outlive the families: they stay
+	// open for the engine's lifetime and unmap on Engine.Close.
+	e.openSegs = append(e.openSegs, segs...)
+	rep := &SampleReport{BudgetBytes: budget, Optimal: optimal}
+	for _, f := range fams {
+		if err := e.cat.AddFamily(table, f); err != nil {
+			e.noteF("load samples %s: register: %v", table, err)
+			return nil, false
+		}
+		rep.Families = append(rep.Families, FamilyInfo{
+			Columns:      f.Phi.Columns(),
+			StorageBytes: f.StorageBytes(),
+			Rows:         f.StorageRows(),
+			Resolutions:  f.Resolutions(),
+		})
+		total += f.StorageBytes()
+	}
+	rep.TotalBytes = total
+	if e.sampleSigs == nil {
+		e.sampleSigs = map[string]uint64{}
+	}
+	e.sampleSigs[strings.ToLower(table)] = sig
+	return rep, true
+}
+
+// --- warmup snapshot / restore ----------------------------------------
+
+func (e *Engine) warmupPath() string {
+	return filepath.Join(e.cfg.DataDir, "warmup.seg")
+}
+
+// SnapshotWarmup persists the engine's warm state to DataDir: current
+// sample families (re-persisted, so refreshes survive restarts), per-
+// table epochs with content fingerprints, prepared-template probe
+// state, cached results with their original TTL deadlines, and the
+// caller's WarmupState. Safe to call concurrently with queries — it
+// sees a snapshot-quality view. No-op error when DataDir is unset.
+func (e *Engine) SnapshotWarmup(st WarmupState) error {
+	if e.cfg.DataDir == "" {
+		return fmt.Errorf("blinkdb: SnapshotWarmup requires Config.DataDir")
+	}
+	// Re-persist families for every table that went through
+	// CreateSamples, under the signature recorded then: a family
+	// refreshed since (RefreshSamples, Maintain) replaces its segment,
+	// so the next warm boot resumes from the refreshed state the
+	// warmup entries were computed against.
+	for table, sig := range e.sampleSigs {
+		entry, err := e.cat.Lookup(table)
+		if err != nil {
+			continue
+		}
+		rep := &SampleReport{Optimal: true}
+		for _, f := range entry.Families {
+			rep.TotalBytes += f.StorageBytes()
+		}
+		if prev, ok := e.sampleReports[table]; ok {
+			rep = prev
+		}
+		e.persistSamples(table, sig, entry.Families, rep)
+	}
+
+	var manifest blockfile.Enc
+	manifest.U32(warmupFileVersion)
+	tables := e.cat.Tables()
+	manifest.U32(uint32(len(tables)))
+	for _, name := range tables {
+		entry, err := e.cat.Lookup(name)
+		if err != nil {
+			return err
+		}
+		manifest.Str(name)
+		manifest.U64(entry.Epoch)
+		manifest.U64(tableFingerprint(entry))
+	}
+
+	var adm blockfile.Enc
+	keys := make([]string, 0, len(st.AdmissionEWMA))
+	for k := range st.AdmissionEWMA {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	adm.U32(uint32(len(keys)))
+	for _, k := range keys {
+		adm.Str(k)
+		adm.F64(st.AdmissionEWMA[k])
+	}
+
+	elpBlob := e.rt.ExportWarmup()
+	return blockfile.WriteSegment(e.warmupPath(), func(w *blockfile.Writer) error {
+		w.PutMeta("manifest", manifest.Bytes())
+		w.PutMeta("elp", elpBlob)
+		w.PutMeta("admission", adm.Bytes())
+		return nil
+	})
+}
+
+// RestoreWarmup replays DataDir/warmup.seg into the engine: catalog
+// epochs fast-forward where content fingerprints match, then the plan
+// and result caches re-fill from the snapshot (entries that no longer
+// validate are dropped individually). Call it AFTER tables are loaded
+// and CreateSamples ran. A missing file returns (nil, nil) — a normal
+// cold boot; corrupt files degrade to (nil, nil) with the reason in
+// PersistenceNotes. Never panics, never restores state it cannot
+// validate.
+func (e *Engine) RestoreWarmup() (*RestoreReport, error) {
+	if e.cfg.DataDir == "" {
+		return nil, fmt.Errorf("blinkdb: RestoreWarmup requires Config.DataDir")
+	}
+	seg, err := blockfile.Open(e.warmupPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		e.noteF("restore warmup: %v — cold boot", err)
+		return nil, nil
+	}
+	defer seg.Close()
+
+	rep := &RestoreReport{}
+	blob, ok := seg.Meta("manifest")
+	if !ok {
+		e.noteF("restore warmup: manifest missing — cold boot")
+		return nil, nil
+	}
+	d := blockfile.NewDec(blob)
+	if ver := d.U32(); d.Err() != nil || ver != warmupFileVersion {
+		e.noteF("restore warmup: manifest version %d (want %d) — cold boot", ver, warmupFileVersion)
+		return nil, nil
+	}
+	// validated collects tables whose live content fingerprint matches
+	// the snapshot's. Only their epochs fast-forward, and only entries
+	// depending exclusively on them restore: a snapshot epoch can
+	// numerically alias a rebuilt epoch over different content, so
+	// epoch equality alone proves nothing across a restart.
+	validated := map[string]bool{}
+	ntables := d.Count(1)
+	for i := 0; i < ntables; i++ {
+		name := d.Str()
+		epoch := d.U64()
+		fp := d.U64()
+		if d.Err() != nil {
+			break
+		}
+		entry, err := e.cat.Lookup(name)
+		if err != nil {
+			e.noteF("restore warmup: table %q not loaded — entries will drop", name)
+			continue
+		}
+		if tableFingerprint(entry) != fp {
+			e.noteF("restore warmup: table %q content changed since snapshot — entries will drop", name)
+			continue
+		}
+		if e.cat.RestoreEpoch(name, epoch) {
+			validated[strings.ToLower(name)] = true
+			rep.EpochsRestored++
+		}
+	}
+	if err := d.Err(); err != nil {
+		e.noteF("restore warmup: manifest truncated: %v", err)
+		return nil, nil
+	}
+
+	if blob, ok := seg.Meta("elp"); ok {
+		plans, results, err := e.rt.ImportWarmup(blob, func(table string) bool {
+			return validated[strings.ToLower(table)]
+		})
+		if err != nil {
+			e.noteF("restore warmup: elp state: %v — caches warm lazily", err)
+		}
+		rep.Plans, rep.Results = plans, results
+	}
+
+	if blob, ok := seg.Meta("admission"); ok {
+		d := blockfile.NewDec(blob)
+		n := d.Count(5)
+		m := make(map[string]float64, n)
+		for i := 0; i < n; i++ {
+			k := d.Str()
+			v := d.F64()
+			if d.Err() != nil {
+				break
+			}
+			m[k] = v
+		}
+		if err := d.Err(); err != nil {
+			e.noteF("restore warmup: admission ewma corrupt: %v", err)
+		} else {
+			rep.Warmup.AdmissionEWMA = m
+		}
+	}
+	return rep, nil
+}
+
+func b2u8(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,372 @@
+package blinkdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// persistQueries exercise both caches and several planning paths. They
+// are chosen to produce NaN-free estimates so reflect.DeepEqual is a
+// sound comparison.
+var persistQueries = []string{
+	`SELECT AVG(sessiontime) FROM sessions WHERE city = 'city1' ERROR WITHIN 20%`,
+	`SELECT COUNT(*) FROM sessions WHERE os = 'OSX' ERROR WITHIN 20%`,
+	`SELECT AVG(sessiontime) FROM sessions GROUP BY city WITHIN 2 SECONDS`,
+	`SELECT SUM(sessiontime) FROM sessions WHERE city = 'city2' OR os = 'Linux' ERROR WITHIN 20%`,
+	`SELECT COUNT(*) FROM sessions GROUP BY os`,
+}
+
+// bootEngine opens an engine over dataDir, loads the deterministic
+// sessions table and runs CreateSamples — the full boot sequence a
+// server would run. It returns the engine and the sample report.
+func bootEngine(t testing.TB, dataDir string) (*Engine, *SampleReport) {
+	t.Helper()
+	eng := Open(Config{
+		Nodes: 10, Workers: 2, Seed: 42, RowsPerBlock: 128,
+		DataDir: dataDir,
+	})
+	load := eng.CreateTable("sessions",
+		Col("city", String), Col("os", String), Col("sessiontime", Float))
+	oses := []string{"Win7", "OSX", "Linux"}
+	state := uint64(1)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % n
+	}
+	for i := 0; i < 6000; i++ {
+		city := fmt.Sprintf("city%d", next(1+i%40))
+		if err := load.Append(city, oses[next(3)], float64(next(10000))/17.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := load.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.CreateSamples("sessions", SampleOptions{
+		BudgetFraction: 1.0,
+		K:              500,
+		Templates: []Template{
+			{Columns: []string{"city"}, Weight: 0.7},
+			{Columns: []string{"os"}, Weight: 0.3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, rep
+}
+
+// TestWarmBootSamplesLoad: a second boot over the same DataDir must
+// load the persisted families instead of rebuilding, produce an
+// identical sample report, and answer every query bit-identically to
+// the engine that built them.
+func TestWarmBootSamplesLoad(t *testing.T) {
+	dir := t.TempDir()
+	cold, coldRep := bootEngine(t, dir)
+	warm, warmRep := bootEngine(t, dir)
+
+	if notes := warm.PersistenceNotes(); len(notes) != 0 {
+		t.Fatalf("warm boot fell back to cold paths: %v", notes)
+	}
+	if !reflect.DeepEqual(coldRep, warmRep) {
+		t.Errorf("sample reports differ:\n cold %+v\n warm %+v", coldRep, warmRep)
+	}
+	for _, src := range persistQueries {
+		want, err := cold.Query(src)
+		if err != nil {
+			t.Fatalf("%q cold: %v", src, err)
+		}
+		got, err := warm.Query(src)
+		if err != nil {
+			t.Fatalf("%q warm: %v", src, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%q: warm-boot answer differs\n cold %+v\n warm %+v", src, want, got)
+		}
+	}
+}
+
+// TestRestartBitIdentical is the tentpole acceptance test: an engine
+// that snapshots its warm state, "dies", and boots again over the same
+// DataDir must be indistinguishable from the engine that never
+// restarted — every response DeepEqual, including simulated latencies
+// and cache markers, with replayed queries served as result-cache hits
+// and new constants as plan-cache hits.
+func TestRestartBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	twin, _ := bootEngine(t, dir)
+
+	// Warm both caches (miss, then hit), keep the steady-state answers.
+	for _, src := range persistQueries {
+		if _, err := twin.Query(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steady := map[string]*Result{}
+	for _, src := range persistQueries {
+		res, err := twin.Query(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ResultCache != "hit" {
+			t.Fatalf("%q: twin steady-state ResultCache = %q, want hit", src, res.ResultCache)
+		}
+		steady[src] = res
+	}
+
+	ewma := map[string]float64{"tmplA": 0.25, "tmplB": 1.5}
+	if err := twin.SnapshotWarmup(WarmupState{AdmissionEWMA: ewma}); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh process boots over the same DataDir.
+	restarted, _ := bootEngine(t, dir)
+	rep, err := restarted.RestoreWarmup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatalf("RestoreWarmup found nothing; notes: %v", restarted.PersistenceNotes())
+	}
+	if rep.EpochsRestored == 0 || rep.Plans == 0 || rep.Results == 0 {
+		t.Fatalf("restored epochs=%d plans=%d results=%d; want all > 0 (notes: %v)",
+			rep.EpochsRestored, rep.Plans, rep.Results, restarted.PersistenceNotes())
+	}
+	if !reflect.DeepEqual(rep.Warmup.AdmissionEWMA, ewma) {
+		t.Errorf("admission EWMA did not round-trip: %v", rep.Warmup.AdmissionEWMA)
+	}
+
+	// Replayed queries: result-cache hits, bit-identical to the twin.
+	for _, src := range persistQueries {
+		got, err := restarted.Query(src)
+		if err != nil {
+			t.Fatalf("%q restarted: %v", src, err)
+		}
+		if got.ResultCache != "hit" {
+			t.Errorf("%q restarted: ResultCache = %q, want hit", src, got.ResultCache)
+		}
+		if !reflect.DeepEqual(got, steady[src]) {
+			t.Errorf("%q: restarted answer differs from twin\n twin %+v\n rest %+v",
+				src, steady[src], got)
+		}
+	}
+
+	// New constants on restored templates: plan-cache hits, identical
+	// to the twin answering the same fresh queries.
+	for _, src := range []string{
+		`SELECT AVG(sessiontime) FROM sessions WHERE city = 'city7' ERROR WITHIN 20%`,
+		`SELECT SUM(sessiontime) FROM sessions WHERE city = 'city9' OR os = 'Win7' ERROR WITHIN 20%`,
+	} {
+		want, err := twin.Query(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restarted.Query(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.PlanCache != "hit" {
+			t.Errorf("%q restarted: PlanCache = %q, want hit", src, got.PlanCache)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%q: restarted new-constant answer differs\n twin %+v\n rest %+v",
+				src, want, got)
+		}
+	}
+}
+
+// TestSnapshotDuringConcurrentQueries: SnapshotWarmup must be safe —
+// and the snapshot usable — while queries are executing (run under
+// -race in CI). Every concurrent query must still answer correctly.
+func TestSnapshotDuringConcurrentQueries(t *testing.T) {
+	dir := t.TempDir()
+	eng, _ := bootEngine(t, dir)
+	for _, src := range persistQueries {
+		if _, err := eng.Query(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src := persistQueries[(g+i)%len(persistQueries)]
+				if _, err := eng.Query(src); err != nil {
+					t.Errorf("concurrent query: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 5; i++ {
+		if err := eng.SnapshotWarmup(WarmupState{}); err != nil {
+			t.Errorf("snapshot %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The last snapshot taken under load must restore cleanly.
+	restarted, _ := bootEngine(t, dir)
+	rep, err := restarted.RestoreWarmup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Plans == 0 {
+		t.Fatalf("snapshot under load did not restore (rep=%+v, notes=%v)",
+			rep, restarted.PersistenceNotes())
+	}
+	for _, src := range persistQueries {
+		want, err := eng.Query(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restarted.Query(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%q: restored-under-load answer differs", src)
+		}
+	}
+}
+
+// TestStaleWarmupDropped: when the data under the snapshot changed (a
+// sample refresh after the snapshot was taken), the restored engine
+// must drop the warmup entries — stale → rebuild, never wrong.
+func TestStaleWarmupDropped(t *testing.T) {
+	dir := t.TempDir()
+	eng, _ := bootEngine(t, dir)
+	for _, src := range persistQueries {
+		if _, err := eng.Query(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.SnapshotWarmup(WarmupState{}); err != nil {
+		t.Fatal(err)
+	}
+	// Refresh AFTER the snapshot: the persisted sample segments now
+	// describe pre-refresh families, but the snapshot's fingerprint
+	// covers the refreshed catalog — restore must refuse the epochs.
+	if _, ok, err := eng.RefreshSamples("sessions"); err != nil || !ok {
+		t.Fatalf("refresh: ok=%v err=%v", ok, err)
+	}
+	if err := eng.SnapshotWarmup(WarmupState{}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one persisted family segment so the warm sample load
+	// degrades too: the boot must fall back to a cold rebuild, whose
+	// families cannot fingerprint-match the snapshot.
+	segs, err := filepath.Glob(filepath.Join(dir, "samples", "sessions", "fam*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no persisted family segments: %v", err)
+	}
+	blob, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x40
+	if err := os.WriteFile(segs[0], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	restarted, _ := bootEngine(t, dir)
+	notes := restarted.PersistenceNotes()
+	if len(notes) == 0 {
+		t.Fatalf("corrupt segment loaded without a note")
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "rebuilding") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("notes lack a rebuild reason: %v", notes)
+	}
+	rep, err := restarted.RestoreWarmup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != nil && (rep.Plans != 0 || rep.Results != 0) {
+		t.Errorf("stale warmup restored plans=%d results=%d; want 0", rep.Plans, rep.Results)
+	}
+	// The engine still answers — cold, correctly.
+	for _, src := range persistQueries {
+		if _, err := restarted.Query(src); err != nil {
+			t.Errorf("%q after stale fallback: %v", src, err)
+		}
+	}
+}
+
+// TestCorruptWarmupFileColdBoots: truncations and bit flips of
+// warmup.seg must degrade to a cold boot with a note — no panic, no
+// restored garbage.
+func TestCorruptWarmupFileColdBoots(t *testing.T) {
+	dir := t.TempDir()
+	eng, _ := bootEngine(t, dir)
+	for _, src := range persistQueries {
+		if _, err := eng.Query(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.SnapshotWarmup(WarmupState{}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "warmup.seg")
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, mutate func() []byte) {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, mutate(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			restarted, _ := bootEngine(t, dir)
+			rep, err := restarted.RestoreWarmup()
+			if err != nil {
+				t.Fatalf("RestoreWarmup must fail soft: %v", err)
+			}
+			if rep != nil && (rep.Plans != 0 || rep.Results != 0) {
+				t.Fatalf("corrupt warmup restored plans=%d results=%d", rep.Plans, rep.Results)
+			}
+			for _, src := range persistQueries[:2] {
+				if _, err := restarted.Query(src); err != nil {
+					t.Fatalf("%q after corrupt warmup: %v", src, err)
+				}
+			}
+		})
+	}
+	check("truncated", func() []byte { return orig[:len(orig)/3] })
+	check("bitflip-tail", func() []byte {
+		mut := append([]byte(nil), orig...)
+		mut[len(mut)-10] ^= 0x01
+		return mut
+	})
+	check("bitflip-body", func() []byte {
+		mut := append([]byte(nil), orig...)
+		mut[len(mut)/2] ^= 0x80
+		return mut
+	})
+	check("empty", func() []byte { return nil })
+	check("wrong-magic", func() []byte {
+		mut := append([]byte(nil), orig...)
+		mut[0] ^= 0xFF
+		return mut
+	})
+}
