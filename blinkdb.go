@@ -1070,6 +1070,12 @@ func (e *Engine) NoteAdmitted() { e.rt.NoteAdmitted() }
 // serving layer before any planning or scanning happened.
 func (e *Engine) NoteShed() { e.rt.NoteShed() }
 
+// NoteCancelled records a request whose client gave up while it was
+// still queued for admission — it never reached the pipeline, so no
+// other counter would see it, and arrivals would stop balancing against
+// admitted + shed + cancelled.
+func (e *Engine) NoteCancelled() { e.rt.NoteCancelled() }
+
 // Tables lists registered table names.
 func (e *Engine) Tables() []string { return e.cat.Tables() }
 

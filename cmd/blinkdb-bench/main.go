@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +37,7 @@ import (
 	"blinkdb/internal/blockfile"
 	"blinkdb/internal/exec"
 	"blinkdb/internal/experiments"
+	"blinkdb/internal/loadgen"
 	"blinkdb/internal/server"
 	"blinkdb/internal/sqlparser"
 	"blinkdb/internal/storage"
@@ -243,6 +245,32 @@ type persistenceRecord struct {
 	ReadFileLoadMBps float64 `json:"readfile_load_mb_per_sec"`
 }
 
+// loadgenRecord reports the closed-loop SLO harness: a seeded
+// ServeGen-style cohort mix generated by internal/loadgen, recorded to
+// its trace wire format, and replayed twice over real HTTP against a
+// capacity-1 server — once cache-cold, once cache-warm with the very
+// same trace. Per-SLO-class percentiles, bound-compliance and shed
+// rates come straight from the runner's Report.
+type loadgenRecord struct {
+	Seed            int64   `json:"seed"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Cohorts         int     `json:"cohorts"`
+	TraceRequests   int     `json:"trace_requests"`
+	// TraceFingerprint identifies the recorded request stream;
+	// TraceReplayIdentical asserts the determinism contract held: a
+	// second Generate of the same spec and a read-back of the recorded
+	// bytes both reproduce the stream byte-for-byte.
+	TraceFingerprint     string `json:"trace_fingerprint"`
+	TraceReplayIdentical bool   `json:"trace_replay_identical"`
+	// ConservationOK asserts the serving-path accounting identity over
+	// both passes: every dispatched arrival is admitted, shed, or
+	// queue-cancelled on the server side. The bench panics when it does
+	// not balance, so the CI smoke run enforces it.
+	ConservationOK bool            `json:"conservation_ok"`
+	Cold           *loadgen.Report `json:"cold"`
+	Warm           *loadgen.Report `json:"warm"`
+}
+
 // snapshot is the BENCH_<date>.json schema.
 type snapshot struct {
 	Date        string             `json:"date"`
@@ -257,6 +285,7 @@ type snapshot struct {
 	Telemetry   telemetryRecord    `json:"telemetry"`
 	Server      serverRecord       `json:"server"`
 	Persistence persistenceRecord  `json:"persistence"`
+	Loadgen     loadgenRecord      `json:"loadgen"`
 }
 
 func main() {
@@ -270,6 +299,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "write a BENCH_<date>.json perf snapshot")
 		jsonPath = flag.String("json-path", "", "override the snapshot path (implies -json)")
 		smoke    = flag.Bool("smoke", false, "shrink the executor/replay micro-benchmarks (CI path coverage; numbers not comparable to tracked snapshots)")
+		loadOnly = flag.Bool("loadgen", false, "run only the loadgen closed-loop SLO harness and print its record as JSON")
 		trace    = flag.String("trace", "", "write a Chrome trace-event file of a cold+warm query pair to this path")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -308,6 +338,17 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-10s %s\n", e.Name, e.Description)
 		}
+		return
+	}
+
+	if *loadOnly {
+		rec := loadgenBench(*smoke)
+		data, err := json.MarshalIndent(&rec, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal loadgen record: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
 		return
 	}
 
@@ -378,6 +419,7 @@ func main() {
 		snap.Telemetry = telemetryBench(*smoke)
 		snap.Server = serverBench(*smoke)
 		snap.Persistence = persistenceBench(*smoke)
+		snap.Loadgen = loadgenBench(*smoke)
 		path := *jsonPath
 		if path == "" {
 			path = "BENCH_" + snap.Date + ".json"
@@ -1041,6 +1083,137 @@ func serverBench(smoke bool) serverRecord {
 		rec.ShedRate = float64(shed) / float64(total)
 	}
 	return rec
+}
+
+// loadgenSpec is the bench's production-shaped mix: an interactive
+// error-bounded cohort, a bursty streaming-dashboard cohort, and a
+// time-bounded batch cohort, all aimed at the Zipf traffic table.
+func loadgenSpec(smoke bool) loadgen.Spec {
+	dur := 3 * time.Second
+	if smoke {
+		dur = 1200 * time.Millisecond
+	}
+	return loadgen.Spec{
+		Seed:     4242,
+		Duration: dur,
+		Cohorts: []loadgen.Cohort{
+			{
+				Name: "interactive", SLOClass: "interactive", SLOTargetSeconds: 0.5,
+				Clients: 8, RateQPS: 150, RateSkew: 1.1,
+				Arrival: loadgen.Poisson,
+				Templates: []loadgen.Template{
+					{Name: "avg-city", Pattern: "SELECT AVG(sessiontime) FROM traffic WHERE city = 'city%d'",
+						Cardinality: 200, Skew: 1.1, Weight: 3},
+					{Name: "avg-os", Pattern: "SELECT AVG(sessiontime) FROM traffic WHERE os = 'os%d'",
+						Cardinality: 40, Skew: 1.2, Weight: 1},
+				},
+				Bounds: []loadgen.Bound{
+					{ErrorPct: 10, Confidence: 95, Weight: 3},
+					{Weight: 1},
+				},
+				GiveUpSeconds: 2,
+			},
+			{
+				Name: "dashboard", SLOClass: "dashboard", SLOTargetSeconds: 1,
+				Clients: 4, RateQPS: 60,
+				Arrival: loadgen.Gamma, Burstiness: 4,
+				Templates: []loadgen.Template{
+					{Name: "avg-country", Pattern: "SELECT AVG(sessiontime) FROM traffic WHERE country = 'country%d'",
+						Cardinality: 80, Skew: 1.2, Weight: 1},
+				},
+				Bounds:         []loadgen.Bound{{ErrorPct: 5, Confidence: 95, Weight: 1}},
+				StreamFraction: 1,
+			},
+			{
+				Name: "batch", SLOClass: "batch",
+				Clients: 2, RateQPS: 15,
+				Arrival: loadgen.Poisson,
+				Templates: []loadgen.Template{
+					{Name: "avg-browser", Pattern: "SELECT AVG(sessiontime) FROM traffic WHERE browser = 'browser%d'",
+						Cardinality: 60, Weight: 1},
+				},
+				Bounds: []loadgen.Bound{{TimeSeconds: 2, Weight: 1}},
+			},
+		},
+	}
+}
+
+// loadgenBench generates the seeded cohort mix, proves the trace
+// record/replay determinism contract, then replays the recorded trace
+// twice against one capacity-1 server — cold caches, then warm — and
+// asserts the serving-path conservation identity before reporting.
+func loadgenBench(smoke bool) loadgenRecord {
+	rows, sampleK := 200000, int64(8000)
+	if smoke {
+		rows, sampleK = 50000, int64(2000)
+	}
+	spec := loadgenSpec(smoke)
+	tr := loadgen.Generate(spec)
+	wire := tr.Bytes()
+
+	// Determinism contract: regeneration and wire round-trip must both
+	// reproduce the recorded stream byte-for-byte. The replay below uses
+	// the *read-back* trace, so what drives the server is what replays.
+	replayed, err := loadgen.ReadTrace(bytes.NewReader(wire))
+	if err != nil {
+		panic(fmt.Sprintf("loadgen trace round-trip: %v", err))
+	}
+	identical := bytes.Equal(replayed.Bytes(), wire) &&
+		bytes.Equal(loadgen.Generate(spec).Bytes(), wire)
+
+	// Result cache ON: the warm pass of the same trace then measures the
+	// cache-warm serving path against the cold pass's numbers. The
+	// backlog is bounded in *predicted* seconds, which is where the
+	// cold/warm contrast bites hardest: cold, every template prices at
+	// the 0.1s default and bursts shed; warm, the admission EWMA has
+	// learned the real per-template costs and the same trace flows
+	// through — the paper's priced-admission loop closing in miniature.
+	eng := buildTrafficEngine(rows, sampleK, 0, 0, false)
+	srv := server.New(eng, server.Config{Admission: admission.Config{
+		MaxConcurrent: 1, MaxQueue: 8, MaxBacklogSeconds: 0.15,
+	}})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	cold, err := loadgen.Run(replayed, loadgen.RunOptions{BaseURL: hs.URL})
+	if err != nil {
+		panic(err)
+	}
+	warm, err := loadgen.Run(replayed, loadgen.RunOptions{BaseURL: hs.URL})
+	if err != nil {
+		panic(err)
+	}
+
+	// Conservation: every dispatched arrival must land in exactly one
+	// server-side bucket. Handlers abandoned by impatient clients may
+	// still be unwinding, so give the ledger a moment to balance.
+	arrivals := int64(cold.Arrivals + warm.Arrivals)
+	ok := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		snap := srv.Metrics().Snapshot()
+		if snap.Admitted+snap.Shed+snap.QueueCancelled == arrivals {
+			ok = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !ok {
+		snap := srv.Metrics().Snapshot()
+		panic(fmt.Sprintf("loadgen conservation violated: admitted %d + shed %d + queueCancelled %d != arrivals %d",
+			snap.Admitted, snap.Shed, snap.QueueCancelled, arrivals))
+	}
+
+	return loadgenRecord{
+		Seed:                 spec.Seed,
+		DurationSeconds:      spec.Duration.Seconds(),
+		Cohorts:              len(spec.Cohorts),
+		TraceRequests:        len(tr.Requests),
+		TraceFingerprint:     tr.Fingerprint(),
+		TraceReplayIdentical: identical,
+		ConservationOK:       ok,
+		Cold:                 cold,
+		Warm:                 warm,
+	}
 }
 
 // p50 returns the median of xs (0 when empty).

@@ -32,6 +32,7 @@ import (
 
 	"blinkdb"
 	"blinkdb/internal/admission"
+	"blinkdb/internal/loadgen"
 	"blinkdb/internal/server"
 )
 
@@ -332,7 +333,10 @@ func runSelfcheck(o options) error {
 	}
 	fmt.Printf("selfcheck ok: %d frames, final matches library mode\n", len(frames))
 
-	return selfcheckRestart(o, sql)
+	if err := selfcheckRestart(o, sql); err != nil {
+		return err
+	}
+	return selfcheckRestartUnderLoad(o, sql)
 }
 
 // selfcheckRestart is the persistence leg: serve against a data
@@ -415,6 +419,175 @@ func selfcheckRestart(o options, sql string) error {
 		return fmt.Errorf("restart diff: %w", err)
 	}
 	fmt.Println("selfcheck restart ok: reborn server's first answer identical to predecessor's warm answer")
+	return nil
+}
+
+// selfcheckLoadSpec is the kill+restart mix: a Poisson interactive
+// cohort and a bursty half-streaming cohort, both aimed at the selfcheck
+// sessions table, running long enough to straddle the kill, the reload,
+// and the reborn server's steady state.
+func selfcheckLoadSpec() loadgen.Spec {
+	return loadgen.Spec{
+		Seed:     77,
+		Duration: 6 * time.Second,
+		Cohorts: []loadgen.Cohort{
+			{
+				Name: "interactive", SLOClass: "interactive", SLOTargetSeconds: 1,
+				Clients: 4, RateQPS: 40, RateSkew: 1.2,
+				Arrival: loadgen.Poisson,
+				Templates: []loadgen.Template{
+					{Name: "avg-session", Pattern: "SELECT AVG(sessiontimems) FROM sessions WHERE city = 'city00%d'",
+						Cardinality: 9, Skew: 1.2, Weight: 3},
+					{Name: "avg-buffer", Pattern: "SELECT AVG(bufferingms) FROM sessions WHERE city = 'city00%d'",
+						Cardinality: 9, Skew: 1.2, Weight: 1},
+				},
+				Bounds: []loadgen.Bound{
+					{ErrorPct: 5, Confidence: 95, Weight: 2},
+					{TimeSeconds: 1, Weight: 1},
+					{Weight: 1},
+				},
+				GiveUpSeconds: 2,
+			},
+			{
+				Name: "dashboard", SLOClass: "dashboard", SLOTargetSeconds: 2,
+				Clients: 2, RateQPS: 20,
+				Arrival: loadgen.Gamma, Burstiness: 4,
+				Templates: []loadgen.Template{
+					{Name: "avg-session-stream", Pattern: "SELECT AVG(sessiontimems) FROM sessions WHERE city = 'city00%d'",
+						Cardinality: 9, Skew: 1.5, Weight: 1},
+				},
+				Bounds:         []loadgen.Bound{{ErrorPct: 10, Confidence: 95, Weight: 1}},
+				StreamFraction: 0.5,
+			},
+		},
+	}
+}
+
+// selfcheckRestartUnderLoad is the kill+restart leg with the loadgen
+// cohorts still firing: serve from a data directory, start the mix,
+// snapshot and tear the stack down abruptly mid-burst (no drain — the
+// listener and its connections die like a SIGKILL), rebind the same
+// port warming, reload behind it, and require that (a) /healthz says
+// "warming" while cohorts keep arriving, (b) the reborn server's first
+// answer is bit-identical to the predecessor's warm answer, and (c) the
+// cohorts observed all three regimes: served before the kill, 503
+// warming during the reload, served again after.
+func selfcheckRestartUnderLoad(o options, sql string) error {
+	dir, err := os.MkdirTemp("", "blinkdb-selfcheck-load-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	o.data = dir
+
+	// Life 1 on an explicit port so the successor can rebind it.
+	eng1, err := buildEngine(o)
+	if err != nil {
+		return err
+	}
+	srv1 := server.New(eng1, server.Config{Admission: admissionConfig(o)})
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		eng1.Close()
+		return err
+	}
+	addr := ln1.Addr().String()
+	base := "http://" + addr
+	hs1 := &http.Server{Handler: srv1}
+	go hs1.Serve(ln1)
+
+	var warm json.RawMessage
+	for i := 0; i < 2; i++ { // second pass: plan AND result caches hot
+		if warm, err = singleFrame(base, sql); err != nil {
+			hs1.Close()
+			eng1.Close()
+			return fmt.Errorf("life-1 warm query %d: %w", i, err)
+		}
+	}
+
+	// The cohorts run through the whole arc: kill, reload, rebirth.
+	repc := make(chan *loadgen.Report, 1)
+	errc := make(chan error, 1)
+	go func() {
+		rep, err := loadgen.Run(loadgen.Generate(selfcheckLoadSpec()), loadgen.RunOptions{BaseURL: base})
+		if err != nil {
+			errc <- err
+			return
+		}
+		repc <- rep
+	}()
+
+	time.Sleep(1200 * time.Millisecond) // cohorts are mid-burst
+	if err := eng1.SnapshotWarmup(blinkdb.WarmupState{
+		AdmissionEWMA: srv1.ExportAdmissionEWMA(),
+	}); err != nil {
+		hs1.Close()
+		eng1.Close()
+		return err
+	}
+	// The "kill": Close (unlike Shutdown) tears down the listener AND
+	// every active connection with no drain; in-flight streams break
+	// mid-frame. Give the aborted handlers a beat to unwind before the
+	// engine goes away under them.
+	hs1.Close()
+	time.Sleep(300 * time.Millisecond)
+	eng1.Close()
+
+	// Life 2: rebind the same port immediately with a warming server, so
+	// arrivals during the reload see 503 "warming", not dead air.
+	var ln2 net.Listener
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if ln2, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("rebind %s: %w", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	eng2 := openEngine(o)
+	defer eng2.Close()
+	srv2 := server.New(eng2, server.Config{Warming: true, Admission: admissionConfig(o)})
+	hs2 := &http.Server{Handler: srv2}
+	go hs2.Serve(ln2)
+	defer hs2.Close()
+
+	if status, err := healthz(base); err != nil || status != "warming" {
+		return fmt.Errorf("healthz during reload-under-load: %q, %v (want warming)", status, err)
+	}
+	if err := warmEngine(eng2, srv2, o); err != nil {
+		return err
+	}
+	if notes := eng2.PersistenceNotes(); len(notes) != 0 {
+		return fmt.Errorf("warm boot under load hit persistence notes: %v", notes)
+	}
+	srv2.SetReady()
+	if status, err := healthz(base); err != nil || status != "ok" {
+		return fmt.Errorf("healthz after reload-under-load: %q, %v (want ok)", status, err)
+	}
+
+	reborn, err := singleFrame(base, sql)
+	if err != nil {
+		return fmt.Errorf("reborn-under-load query: %w", err)
+	}
+	if err := diffFrames(warm, reborn); err != nil {
+		return fmt.Errorf("restart-under-load diff: %w", err)
+	}
+
+	var rep *loadgen.Report
+	select {
+	case rep = <-repc:
+	case err := <-errc:
+		return fmt.Errorf("loadgen run: %w", err)
+	}
+	if rep.Served == 0 {
+		return fmt.Errorf("cohorts were never served: %s", rep.Summary())
+	}
+	if rep.Unavailable == 0 {
+		return fmt.Errorf("cohorts never saw the warming window (kill+reload too fast?): %s", rep.Summary())
+	}
+	fmt.Println("selfcheck restart-under-load ok: warming held, reborn answer identical, cohorts saw all three regimes")
+	fmt.Print(rep.Summary())
 	return nil
 }
 

@@ -22,6 +22,7 @@ package admission
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 )
@@ -198,12 +199,13 @@ func (c *Controller) Admit(ctx context.Context, key string, predictedSeconds flo
 }
 
 // retryAfterLocked estimates when shedding stops: the time the configured
-// concurrency needs to drain the current predicted backlog, at least a
-// second (the granularity HTTP Retry-After speaks).
+// concurrency needs to drain the current predicted backlog, rounded UP to
+// whole seconds (the granularity HTTP Retry-After speaks) with a 1s
+// floor. Rounding down would invite clients back before the backlog
+// drains — a 1.9s estimate must say 2, never 1.
 func (c *Controller) retryAfterLocked() time.Duration {
 	seconds := c.backlog / float64(c.cfg.MaxConcurrent)
-	d := time.Duration(seconds * float64(time.Second))
-	d = d.Round(time.Second)
+	d := time.Duration(math.Ceil(seconds)) * time.Second
 	if d < time.Second {
 		d = time.Second
 	}

@@ -220,3 +220,34 @@ func TestEWMAExportImport(t *testing.T) {
 		t.Errorf("non-positive imported cost was kept")
 	}
 }
+
+// TestRetryAfterRoundsUp pins the shed backoff estimate: fractional
+// backlogs must round UP to whole seconds (1.4s of backlog → "retry in
+// 2"), never down — a truncated hint invites clients back before the
+// backlog can have drained.
+func TestRetryAfterRoundsUp(t *testing.T) {
+	cases := []struct {
+		backlog float64
+		want    time.Duration
+	}{
+		{0.2, time.Second},     // sub-second floors at the Retry-After granularity
+		{1.0, time.Second},     // exact seconds stay exact
+		{1.4, 2 * time.Second}, // pre-fix Round() said 1s here
+		{1.9, 2 * time.Second},
+		{2.0, 2 * time.Second},
+	}
+	for _, tc := range cases {
+		c := New(Config{MaxConcurrent: 1, MaxQueue: 100, MaxBacklogSeconds: 0.01})
+		if _, err := c.Admit(context.Background(), "running", tc.backlog); err != nil {
+			t.Fatal(err)
+		}
+		_, err := c.Admit(context.Background(), "next", 1.0)
+		var shed *ShedError
+		if !errors.As(err, &shed) {
+			t.Fatalf("backlog %v: expected shed, got %v", tc.backlog, err)
+		}
+		if shed.RetryAfter != tc.want {
+			t.Errorf("backlog %vs: RetryAfter = %v, want %v", tc.backlog, shed.RetryAfter, tc.want)
+		}
+	}
+}

@@ -78,6 +78,13 @@ func (rt *Runtime) NoteAdmitted() { rt.bump(&rt.stats.admitted) }
 // planning or scanning happened).
 func (rt *Runtime) NoteShed() { rt.bump(&rt.stats.shed) }
 
+// NoteCancelled records one cancellation that happened outside the query
+// pipeline — a client that gave up while still waiting in the admission
+// queue. Cancels inside a running query are counted by the pipeline
+// itself; this entry point exists so queued-then-gone arrivals don't
+// vanish from the admitted/shed/cancelled ledger.
+func (rt *Runtime) NoteCancelled() { rt.bump(&rt.stats.cancelled) }
+
 // bump increments one counter under the stats mutex. Call sites pass a
 // pointer to the field (`rt.bump(&rt.stats.cacheHits)`); computing the
 // field address outside the lock is safe — only the write is guarded.

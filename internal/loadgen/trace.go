@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// The trace wire format is JSON lines: one header line, then one line
+// per request in schedule order. It is the record/replay contract — a
+// production-shaped run is reproducible byte-for-byte:
+//
+//	{"v":1,"seed":42,"duration_us":3000000,"requests":412}
+//	{"at_us":1795,"cohort":"interactive","slo":"interactive",...}
+//	...
+//
+// Serialization is deterministic (struct-ordered fields, no maps), so
+// equal Traces marshal to equal bytes and Encode∘ReadTrace∘Encode is
+// the identity on bytes. Fingerprint hashes exactly these bytes.
+
+// traceHeader is the first line of a serialized trace.
+type traceHeader struct {
+	V          int   `json:"v"`
+	Seed       int64 `json:"seed"`
+	DurationUS int64 `json:"duration_us"`
+	Requests   int   `json:"requests"`
+}
+
+const traceVersion = 1
+
+// Encode serializes the trace in the JSON-lines wire format.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{
+		V: traceVersion, Seed: t.Seed,
+		DurationUS: t.Duration.Microseconds(),
+		Requests:   len(t.Requests),
+	}); err != nil {
+		return err
+	}
+	for i := range t.Requests {
+		if err := enc.Encode(&t.Requests[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Bytes serializes the trace into memory (fingerprinting and tests).
+func (t *Trace) Bytes() []byte {
+	var buf bytes.Buffer
+	if err := t.Encode(&buf); err != nil {
+		// bytes.Buffer writes cannot fail; an error here is a marshal bug.
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// Fingerprint returns the FNV-1a 64-bit hash of the serialized trace —
+// the identity two runs compare to prove they replayed the same
+// request stream.
+func (t *Trace) Fingerprint() string {
+	return fmt.Sprintf("%016x", fnv64(t.Bytes()))
+}
+
+// ReadTrace parses a serialized trace. The request order on the wire is
+// trusted (it was written in schedule order); a request count mismatch
+// between header and body is an error, so truncated recordings fail
+// loudly instead of replaying a partial load.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("loadgen: empty trace")
+	}
+	var h traceHeader
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, fmt.Errorf("loadgen: bad trace header: %w", err)
+	}
+	if h.V != traceVersion {
+		return nil, fmt.Errorf("loadgen: trace version %d, want %d", h.V, traceVersion)
+	}
+	t := &Trace{
+		Seed:     h.Seed,
+		Duration: time.Duration(h.DurationUS) * time.Microsecond,
+		Requests: make([]Request, 0, h.Requests),
+	}
+	for sc.Scan() {
+		var req Request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			return nil, fmt.Errorf("loadgen: bad trace line %d: %w", len(t.Requests)+2, err)
+		}
+		t.Requests = append(t.Requests, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.Requests) != h.Requests {
+		return nil, fmt.Errorf("loadgen: truncated trace: header says %d requests, read %d",
+			h.Requests, len(t.Requests))
+	}
+	return t, nil
+}

@@ -245,41 +245,66 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &shed) {
 			s.eng.NoteShed()
 			s.met.RecordShed()
-			w.Header().Set("Retry-After",
-				strconv.Itoa(int(shed.RetryAfter/time.Second)))
+			retry := retryAfterSeconds(shed.RetryAfter)
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
 			writeJSON(w, http.StatusTooManyRequests, map[string]any{
 				"error":               "overloaded: query shed by admission control",
-				"retry_after_seconds": int(shed.RetryAfter / time.Second),
+				"retry_after_seconds": retry,
 				"queued":              shed.Queued,
 				"backlog_seconds":     shed.BacklogSeconds,
 			})
 			return
 		}
-		// Client went away while queued; nothing useful to write.
+		// Client went away while queued. Nothing useful to write, but the
+		// arrival must not vanish from accounting: without these two
+		// records, admitted + shed + queue-cancelled drifts away from
+		// arrivals under bursty load and conservation checks can't hold.
+		s.eng.NoteCancelled()
+		s.met.RecordQueueCancel()
 		return
 	}
 	s.eng.NoteAdmitted()
 	s.met.RecordAdmit(ticket.WaitSeconds)
 
-	granted := s.cfg.Now()
+	// Release the ticket with compute-side seconds only. The handlers
+	// stop their clock when the final frame is produced, not when the
+	// last byte is flushed to the client: charging wire-drain time here
+	// would let one slow streaming consumer inflate the template's
+	// admission EWMA and shed everyone else's queries.
+	var compute float64
 	if req.Stream {
-		s.streamQuery(w, r, sql, arrival)
+		compute = s.streamQuery(w, r, sql, arrival)
 	} else {
-		s.singleQuery(w, r, sql, arrival)
+		compute = s.singleQuery(w, r, sql, arrival)
 	}
-	ticket.Release(s.cfg.Now().Sub(granted).Seconds())
+	ticket.Release(compute)
 }
 
-// singleQuery answers with one JSON frame.
-func (s *Server) singleQuery(w http.ResponseWriter, r *http.Request, sql string, arrival time.Time) {
+// retryAfterSeconds renders a shed backoff as whole seconds for the
+// Retry-After header and the JSON mirror. Rounds up — truncation would
+// tell clients to come back before the backlog drains, and could emit
+// the illegal "Retry-After: 0" for sub-second hints.
+func retryAfterSeconds(d time.Duration) int {
+	if d <= 0 {
+		return 1
+	}
+	return int((d + time.Second - 1) / time.Second)
+}
+
+// singleQuery answers with one JSON frame. It returns the engine
+// compute seconds for admission calibration (0 when the query did not
+// complete — Release skips learning on non-positive observations).
+func (s *Server) singleQuery(w http.ResponseWriter, r *http.Request, sql string, arrival time.Time) float64 {
+	start := s.cfg.Now()
 	res, err := s.eng.QueryCtx(r.Context(), sql)
 	if err != nil {
 		if r.Context().Err() != nil {
-			return // client gone; the engine already counted the cancel
+			return 0 // client gone; the engine already counted the cancel
 		}
 		writeError(w, http.StatusUnprocessableEntity, err)
-		return
+		return 0
 	}
+	compute := s.cfg.Now().Sub(start).Seconds()
 	elapsed := s.cfg.Now().Sub(arrival).Seconds()
 	s.met.RecordFirstAnswer(elapsed)
 	s.met.RecordFinal(elapsed)
@@ -287,11 +312,16 @@ func (s *Server) singleQuery(w http.ResponseWriter, r *http.Request, sql string,
 		Seq: 0, Level: res.Level, Final: true,
 		ElapsedMS: elapsed * 1000, Result: toResultJSON(res),
 	})
+	return compute
 }
 
 // streamQuery answers with one frame per refinement: NDJSON lines by
 // default, SSE "data:" events when the client asked for an event stream.
-func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, sql string, arrival time.Time) {
+// It returns the engine compute seconds — wall time minus emit/flush
+// time, accumulated in segments that pause while a frame drains to the
+// client — so a slow reader cannot poison the admission EWMA. 0 when
+// the stream did not complete.
+func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, sql string, arrival time.Time) float64 {
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
 	if sse {
 		w.Header().Set("Content-Type", "text/event-stream")
@@ -322,8 +352,12 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, sql string,
 		return nil
 	}
 	first := true
+	compute := 0.0
+	segStart := s.cfg.Now() // current compute segment; paused during emit
 	err := s.eng.QueryStream(r.Context(), sql, func(u blinkdb.StreamUpdate) error {
-		elapsed := s.cfg.Now().Sub(arrival).Seconds()
+		now := s.cfg.Now()
+		compute += now.Sub(segStart).Seconds()
+		elapsed := now.Sub(arrival).Seconds()
 		if first {
 			s.met.RecordFirstAnswer(elapsed)
 			first = false
@@ -331,16 +365,23 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, sql string,
 		if u.Final {
 			s.met.RecordFinal(elapsed)
 		}
-		return emit(frame{
+		emitErr := emit(frame{
 			Seq: u.Seq, Level: u.Level, Final: u.Final,
 			ElapsedMS: elapsed * 1000, Result: toResultJSON(u.Result),
 		})
+		segStart = s.cfg.Now()
+		return emitErr
 	})
-	if err != nil && r.Context().Err() == nil {
-		// Headers are gone; deliver the failure in-band as a final frame.
-		_ = emit(frame{Final: true, Error: err.Error(),
-			ElapsedMS: s.cfg.Now().Sub(arrival).Seconds() * 1000})
+	compute += s.cfg.Now().Sub(segStart).Seconds()
+	if err != nil {
+		if r.Context().Err() == nil {
+			// Headers are gone; deliver the failure in-band as a final frame.
+			_ = emit(frame{Final: true, Error: err.Error(),
+				ElapsedMS: s.cfg.Now().Sub(arrival).Seconds() * 1000})
+		}
+		return 0
 	}
+	return compute
 }
 
 // decodeRequest reads a queryRequest from JSON (POST) or URL parameters

@@ -13,11 +13,12 @@ import "sync/atomic"
 // and nil-safe, so call sites can thread an optional *ServerMetrics
 // without guards.
 type ServerMetrics struct {
-	admitted  atomic.Int64
-	shed      atomic.Int64
-	queueWait Histogram // seconds from arrival to admission grant
-	ttfa      Histogram // seconds from arrival to first streamed refinement
-	ttf       Histogram // seconds from arrival to final answer
+	admitted       atomic.Int64
+	shed           atomic.Int64
+	queueCancelled atomic.Int64
+	queueWait      Histogram // seconds from arrival to admission grant
+	ttfa           Histogram // seconds from arrival to first streamed refinement
+	ttf            Histogram // seconds from arrival to final answer
 }
 
 // RecordAdmit counts one admitted request and its queue wait in seconds.
@@ -35,6 +36,17 @@ func (m *ServerMetrics) RecordShed() {
 		return
 	}
 	m.shed.Add(1)
+}
+
+// RecordQueueCancel counts one request whose client went away while it
+// was still queued for admission — neither admitted nor shed. Tracking
+// it keeps the books balanced: arrivals that reached admission equal
+// Admitted + Shed + QueueCancelled.
+func (m *ServerMetrics) RecordQueueCancel() {
+	if m == nil {
+		return
+	}
+	m.queueCancelled.Add(1)
 }
 
 // RecordFirstAnswer records the seconds from request arrival to the first
@@ -58,11 +70,13 @@ func (m *ServerMetrics) RecordFinal(seconds float64) {
 
 // ServerSnapshot is a point-in-time summary of ServerMetrics.
 type ServerSnapshot struct {
-	// Admitted / Shed count admission outcomes since start. ShedRate is
+	// Admitted / Shed count admission outcomes since start; QueueCancelled
+	// counts arrivals whose client gave up while still queued. ShedRate is
 	// Shed/(Admitted+Shed), 0 before any request.
-	Admitted int64
-	Shed     int64
-	ShedRate float64
+	Admitted       int64
+	Shed           int64
+	QueueCancelled int64
+	ShedRate       float64
 	// QueueWait summarizes seconds spent queued before admission.
 	QueueWait Percentiles
 	// TimeToFirstAnswer / TimeToFinal summarize seconds from arrival to
@@ -81,6 +95,7 @@ func (m *ServerMetrics) Snapshot() ServerSnapshot {
 	s := ServerSnapshot{
 		Admitted:          m.admitted.Load(),
 		Shed:              m.shed.Load(),
+		QueueCancelled:    m.queueCancelled.Load(),
 		QueueWait:         percentilesOf(m.queueWait.Snapshot()),
 		TimeToFirstAnswer: percentilesOf(m.ttfa.Snapshot()),
 		TimeToFinal:       percentilesOf(m.ttf.Snapshot()),
